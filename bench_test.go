@@ -1,0 +1,48 @@
+// Package-level benchmarks: one testing.B target per table and figure of
+// the paper's evaluation (run `go test -bench=. -benchmem`). Each benchmark
+// executes the corresponding experiment end to end at a reduced scale; for
+// full paper-shaped output use cmd/seabed-bench.
+package seabed_test
+
+import (
+	"io"
+	"testing"
+
+	"seabed/internal/bench"
+)
+
+// benchCfg keeps each iteration around a second.
+func benchCfg() bench.Config {
+	return bench.Config{Quick: true, Scale: 50_000, Workers: 16, Trials: 1, Seed: 42}
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := bench.Find(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_OperationCosts(b *testing.B)     { runExperiment(b, "table1") }
+func BenchmarkTable2_QueryTranslation(b *testing.B)   { runExperiment(b, "table2") }
+func BenchmarkTable3_IDListEncodings(b *testing.B)    { runExperiment(b, "table3") }
+func BenchmarkTable4_QueryCategories(b *testing.B)    { runExperiment(b, "table4") }
+func BenchmarkTable5_DatasetSizes(b *testing.B)       { runExperiment(b, "table5") }
+func BenchmarkFig6_LatencyVsRows(b *testing.B)        { runExperiment(b, "fig6") }
+func BenchmarkFig7_LatencyVsWorkers(b *testing.B)     { runExperiment(b, "fig7") }
+func BenchmarkFig8_SelectivitySweep(b *testing.B)     { runExperiment(b, "fig8") }
+func BenchmarkFig9a_GroupByMicrobench(b *testing.B)   { runExperiment(b, "fig9a") }
+func BenchmarkFig9bc_BigDataBenchmark(b *testing.B)   { runExperiment(b, "fig9bc") }
+func BenchmarkFig10a_AdAnalyticsLatency(b *testing.B) { runExperiment(b, "fig10a") }
+func BenchmarkFig10b_SplasheStorage(b *testing.B)     { runExperiment(b, "fig10b") }
+func BenchmarkLinks_ClientLinkSweep(b *testing.B)     { runExperiment(b, "links") }
+func BenchmarkAblations_DesignChoices(b *testing.B)   { runExperiment(b, "ablations") }

@@ -1,0 +1,67 @@
+// Command seabed-bench regenerates every table and figure of the Seabed
+// paper's evaluation (§6) at laptop scale.
+//
+// Usage:
+//
+//	seabed-bench [-run name[,name...]] [-scale N] [-workers N] [-quick] [-trials N]
+//
+// Without -run, every experiment runs in paper order. Row counts are the
+// paper's divided by -scale (default 10,000); shapes, not absolute numbers,
+// are the reproduction target (see DESIGN.md and EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"seabed/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment names (default: all); use -list to enumerate")
+	list := flag.Bool("list", false, "list experiments and exit")
+	scale := flag.Uint64("scale", 10_000, "divide the paper's row counts by this factor")
+	workers := flag.Int("workers", 100, "simulated cluster worker count (paper: 100 cores)")
+	quick := flag.Bool("quick", false, "shrink sweeps and datasets for a fast smoke run")
+	trials := flag.Int("trials", 0, "runs per measured point (0 = default)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Workers: *workers, Quick: *quick, Trials: *trials, Seed: *seed}
+
+	selected := bench.Experiments()
+	if *run != "" {
+		selected = nil
+		for _, name := range strings.Split(*run, ",") {
+			e, ok := bench.Find(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "seabed-bench: unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s — %s ===\n", e.Name, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "seabed-bench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %.1fs ---\n", e.Name, time.Since(start).Seconds())
+	}
+}

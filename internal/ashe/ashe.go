@@ -1,0 +1,215 @@
+// Package ashe implements ASHE, Seabed's additively symmetric homomorphic
+// encryption scheme (§3.1, Appendix A.1).
+//
+// Plaintexts are elements of the additive group Z_2^64, represented as
+// uint64 (signed measures map through two's complement). A ciphertext is a
+// pair (c, S) where c = m − F_k(id) + F_k(id−1) mod 2^64 and S is a multiset
+// of identifiers. Homomorphic addition adds the group elements and unions
+// the multisets:
+//
+//	(c1, S1) ⊕ (c2, S2) = (c1 + c2, S1 ∪ S2)
+//
+// Decryption computes c + Σ_{i∈S} (F_k(i) − F_k(i−1)). Because the pad of
+// identifier i is the telescoping difference F(i) − F(i−1), the sum over a
+// contiguous identifier range [lo, hi] collapses to F(hi) − F(lo−1): two PRF
+// evaluations per range regardless of length (§3.2). Identifier lists are
+// managed by package idlist, which stores them as ranges for exactly this
+// reason.
+//
+// Identifier 0 is reserved: decrypting it would require F(−1), which wraps.
+// Seabed assigns row identifiers starting at 1 (§4.2).
+package ashe
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"seabed/internal/idlist"
+	"seabed/internal/prf"
+)
+
+// KeySize is the column key length in bytes.
+const KeySize = prf.KeySize
+
+// Key is a per-column ASHE secret key. Seabed chooses a fresh key for every
+// encrypted column (§4.2).
+//
+// A Key is not safe for concurrent use (the underlying PRF caches its last
+// AES block); use Clone to derive per-goroutine instances.
+type Key struct {
+	f *prf.PRF
+}
+
+// NewKey returns a Key for the given 16-byte secret.
+func NewKey(secret []byte) (*Key, error) {
+	f, err := prf.New(secret)
+	if err != nil {
+		return nil, fmt.Errorf("ashe: %v", err)
+	}
+	return &Key{f: f}, nil
+}
+
+// MustNewKey is like NewKey but panics on error.
+func MustNewKey(secret []byte) *Key {
+	k, err := NewKey(secret)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Clone returns an independent Key with the same secret.
+func (k *Key) Clone() *Key { return &Key{f: k.f.Clone()} }
+
+// Ciphertext is an ASHE ciphertext: a group element plus the identifier
+// multiset it covers. The zero value is the encryption of 0 over the empty
+// multiset and is the identity for Add.
+type Ciphertext struct {
+	Body uint64
+	IDs  idlist.List
+}
+
+// Encrypt encrypts m under identifier id (which must be ≥ 1).
+func (k *Key) Encrypt(m uint64, id uint64) Ciphertext {
+	return Ciphertext{Body: k.EncryptBody(m, id), IDs: idlist.FromRange(id, id)}
+}
+
+// EncryptBody returns only the group element of Enc(m, id). Columnar storage
+// keeps bodies in a []uint64 with the identifier implicit in the row
+// position, so this is the hot path for uploads.
+func (k *Key) EncryptBody(m uint64, id uint64) uint64 {
+	if id == 0 {
+		panic("ashe: identifier 0 is reserved")
+	}
+	return m - k.f.Delta(id)
+}
+
+// Decrypt recovers the plaintext sum encrypted by ct.
+func (k *Key) Decrypt(ct Ciphertext) uint64 {
+	sum := ct.Body
+	for _, r := range ct.IDs.Ranges() {
+		if r.Lo == 0 {
+			panic("ashe: identifier 0 is reserved")
+		}
+		sum += k.f.RangeDelta(r.Lo, r.Hi)
+	}
+	return sum
+}
+
+// DecryptBody recovers the plaintext of a single-row ciphertext body.
+func (k *Key) DecryptBody(body uint64, id uint64) uint64 {
+	if id == 0 {
+		panic("ashe: identifier 0 is reserved")
+	}
+	return body + k.f.Delta(id)
+}
+
+// PRFEvalsToDecrypt reports how many PRF evaluations Decrypt will perform for
+// the ciphertext: two per identifier range (§3.2). The Ad-Analytics
+// evaluation (§6.6) reports this statistic.
+func PRFEvalsToDecrypt(ct Ciphertext) uint64 {
+	return 2 * uint64(ct.IDs.NumRanges())
+}
+
+// Add returns the homomorphic sum of two ciphertexts.
+func Add(a, b Ciphertext) Ciphertext {
+	ids := a.IDs.Clone()
+	ids.Merge(b.IDs)
+	return Ciphertext{Body: a.Body + b.Body, IDs: ids}
+}
+
+// Accumulate adds b into a in place, avoiding the clone in Add. It is the
+// aggregation hot path on the server.
+func (a *Ciphertext) Accumulate(b Ciphertext) {
+	a.Body += b.Body
+	a.IDs.Merge(b.IDs)
+}
+
+// AccumulateBody adds a single row's ciphertext body with identifier id.
+func (a *Ciphertext) AccumulateBody(body uint64, id uint64) {
+	a.Body += body
+	a.IDs.Append(id)
+}
+
+// EncryptColumn encrypts values under consecutive identifiers starting at
+// startID (which must be ≥ 1) and returns the ciphertext bodies. Consecutive
+// identifiers make the PRF's block packing effective and give uploads the
+// contiguous-ID property that range encoding exploits (§4.2, §4.5).
+func (k *Key) EncryptColumn(values []uint64, startID uint64) []uint64 {
+	if startID == 0 {
+		panic("ashe: identifier 0 is reserved")
+	}
+	out := make([]uint64, len(values))
+	for i, m := range values {
+		out[i] = m - k.f.Delta(startID+uint64(i))
+	}
+	return out
+}
+
+// DecryptColumn inverts EncryptColumn.
+func (k *Key) DecryptColumn(bodies []uint64, startID uint64) []uint64 {
+	if startID == 0 {
+		panic("ashe: identifier 0 is reserved")
+	}
+	out := make([]uint64, len(bodies))
+	for i, c := range bodies {
+		out[i] = c + k.f.Delta(startID+uint64(i))
+	}
+	return out
+}
+
+// EncryptColumnParallel is EncryptColumn fanned out over up to
+// runtime.NumCPU() goroutines, each with its own PRF clone. ASHE encryption
+// is inherently parallelizable (§4.3); Seabed's client runs it
+// multi-threaded to cut upload latency.
+func (k *Key) EncryptColumnParallel(values []uint64, startID uint64) []uint64 {
+	return k.columnParallel(values, startID, true)
+}
+
+// DecryptColumnParallel inverts EncryptColumnParallel.
+func (k *Key) DecryptColumnParallel(bodies []uint64, startID uint64) []uint64 {
+	return k.columnParallel(bodies, startID, false)
+}
+
+func (k *Key) columnParallel(in []uint64, startID uint64, encrypt bool) []uint64 {
+	if startID == 0 {
+		panic("ashe: identifier 0 is reserved")
+	}
+	workers := runtime.NumCPU()
+	const minChunk = 4096
+	if len(in) < minChunk*2 || workers < 2 {
+		if encrypt {
+			return k.EncryptColumn(in, startID)
+		}
+		return k.DecryptColumn(in, startID)
+	}
+	out := make([]uint64, len(in))
+	chunk := (len(in) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(in) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(in) {
+			hi = len(in)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f := k.f.Clone()
+			for i := lo; i < hi; i++ {
+				d := f.Delta(startID + uint64(i))
+				if encrypt {
+					out[i] = in[i] - d
+				} else {
+					out[i] = in[i] + d
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

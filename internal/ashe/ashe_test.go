@@ -1,0 +1,265 @@
+package ashe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seabed/internal/idlist"
+)
+
+var testKey = MustNewKey([]byte("0123456789abcdef"))
+
+func TestRoundtripSingle(t *testing.T) {
+	f := func(m uint64, id uint64) bool {
+		if id == 0 {
+			id = 1
+		}
+		ct := testKey.Encrypt(m, id)
+		return testKey.Decrypt(ct) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextLooksRandom(t *testing.T) {
+	// Encryptions of zero under distinct ids must differ (randomized scheme).
+	seen := map[uint64]bool{}
+	for id := uint64(1); id <= 1000; id++ {
+		body := testKey.EncryptBody(0, id)
+		if seen[body] {
+			t.Fatalf("duplicate ciphertext body for plaintext 0 at id %d", id)
+		}
+		seen[body] = true
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	f := func(m1, m2 uint64) bool {
+		c1 := testKey.Encrypt(m1, 10)
+		c2 := testKey.Encrypt(m2, 11)
+		return testKey.Decrypt(Add(c1, c2)) == m1+m2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomomorphismManyRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sum Ciphertext
+	var want uint64
+	for id := uint64(1); id <= 10000; id++ {
+		m := rng.Uint64()
+		want += m
+		sum.AccumulateBody(testKey.EncryptBody(m, id), id)
+	}
+	if got := testKey.Decrypt(sum); got != want {
+		t.Fatalf("Decrypt = %d, want %d", got, want)
+	}
+	// Contiguous ids must have collapsed to a single range: decryption is
+	// two PRF evaluations (§3.2).
+	if n := PRFEvalsToDecrypt(sum); n != 2 {
+		t.Fatalf("PRFEvalsToDecrypt = %d, want 2 for contiguous ids", n)
+	}
+}
+
+func TestSignedValuesViaTwosComplement(t *testing.T) {
+	vals := []int64{-5, 3, -10, 12, 0}
+	var sum Ciphertext
+	var want int64
+	for i, v := range vals {
+		id := uint64(i + 1)
+		want += v
+		sum.Accumulate(testKey.Encrypt(uint64(v), id))
+	}
+	if got := int64(testKey.Decrypt(sum)); got != want {
+		t.Fatalf("signed sum = %d, want %d", got, want)
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	// Sums are mod 2^64 by construction.
+	c1 := testKey.Encrypt(^uint64(0), 1)
+	c2 := testKey.Encrypt(2, 2)
+	if got := testKey.Decrypt(Add(c1, c2)); got != 1 {
+		t.Fatalf("wraparound sum = %d, want 1", got)
+	}
+}
+
+func TestMultisetSemantics(t *testing.T) {
+	// Adding the same row twice must double its contribution.
+	ct := testKey.Encrypt(21, 5)
+	sum := Add(ct, ct)
+	if got := testKey.Decrypt(sum); got != 42 {
+		t.Fatalf("double-counted row decrypts to %d, want 42", got)
+	}
+}
+
+func TestZeroValueIsIdentity(t *testing.T) {
+	var zero Ciphertext
+	ct := testKey.Encrypt(99, 7)
+	if got := testKey.Decrypt(Add(zero, ct)); got != 99 {
+		t.Fatalf("identity add = %d, want 99", got)
+	}
+	if got := testKey.Decrypt(zero); got != 0 {
+		t.Fatalf("empty ciphertext decrypts to %d, want 0", got)
+	}
+}
+
+func TestColumnRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := make([]uint64, 5000)
+	for i := range values {
+		values[i] = rng.Uint64()
+	}
+	bodies := testKey.EncryptColumn(values, 100)
+	back := testKey.DecryptColumn(bodies, 100)
+	for i := range values {
+		if back[i] != values[i] {
+			t.Fatalf("column roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestColumnMatchesSingleEncrypt(t *testing.T) {
+	values := []uint64{5, 10, 15, 20}
+	bodies := testKey.EncryptColumn(values, 7)
+	for i, m := range values {
+		if want := testKey.EncryptBody(m, 7+uint64(i)); bodies[i] != want {
+			t.Fatalf("column body %d = %#x, want %#x", i, bodies[i], want)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]uint64, 50000)
+	for i := range values {
+		values[i] = rng.Uint64()
+	}
+	serial := testKey.EncryptColumn(values, 1)
+	parallel := testKey.EncryptColumnParallel(values, 1)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel encryption diverges at %d", i)
+		}
+	}
+	back := testKey.DecryptColumnParallel(parallel, 1)
+	for i := range values {
+		if back[i] != values[i] {
+			t.Fatalf("parallel decryption diverges at %d", i)
+		}
+	}
+}
+
+func TestDifferentKeysProduceDifferentCiphertexts(t *testing.T) {
+	other := MustNewKey([]byte("fedcba9876543210"))
+	same := 0
+	for id := uint64(1); id <= 256; id++ {
+		if testKey.EncryptBody(7, id) == other.EncryptBody(7, id) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("keys agree on %d/256 bodies", same)
+	}
+}
+
+func TestIdentifierZeroPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Encrypt":       func() { testKey.Encrypt(1, 0) },
+		"EncryptColumn": func() { testKey.EncryptColumn([]uint64{1}, 0) },
+		"DecryptBody":   func() { testKey.DecryptBody(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with id 0: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	var sum Ciphertext
+	for id := uint64(1); id <= 100; id++ {
+		if id%3 == 0 {
+			continue // gaps force multiple ranges
+		}
+		sum.AccumulateBody(testKey.EncryptBody(id*7, id), id)
+	}
+	for _, codec := range idlist.AllCodecs() {
+		data, err := sum.Marshal(codec)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		got, err := Unmarshal(data, codec)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if testKey.Decrypt(got) != testKey.Decrypt(sum) {
+			t.Fatalf("%s: marshal roundtrip changed decryption", codec.Name())
+		}
+	}
+}
+
+func TestUnmarshalRejectsShortBuffer(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}, idlist.Default); err == nil {
+		t.Fatal("want error for short buffer")
+	}
+}
+
+func TestNewKeyRejectsBadSecret(t *testing.T) {
+	if _, err := NewKey([]byte("short")); err == nil {
+		t.Fatal("want error for short secret")
+	}
+}
+
+// Table 1 micro-benchmarks: ASHE encryption/decryption, paper band 12–24 ns.
+
+func BenchmarkEncrypt(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += testKey.EncryptBody(uint64(i), uint64(i)+1)
+	}
+	_ = sink
+}
+
+func BenchmarkDecryptBody(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += testKey.DecryptBody(uint64(i), uint64(i)+1)
+	}
+	_ = sink
+}
+
+func BenchmarkPlainAddBaseline(b *testing.B) {
+	// Table 1's "plain addition ~1 ns" row.
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += uint64(i)
+	}
+	_ = sink
+}
+
+func BenchmarkAggregateColumn(b *testing.B) {
+	const rows = 1 << 16
+	bodies := testKey.EncryptColumn(make([]uint64, rows), 1)
+	b.SetBytes(rows * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum Ciphertext
+		for j, body := range bodies {
+			sum.AccumulateBody(body, uint64(j)+1)
+		}
+		if sum.IDs.NumRanges() != 1 {
+			b.Fatal("expected one range")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"seabed/internal/client"
+	"seabed/internal/engine"
+	"seabed/internal/idlist"
+	"seabed/internal/prf"
+	"seabed/internal/translate"
+	"seabed/internal/workload"
+)
+
+// Ablations covers the design decisions DESIGN.md calls out beyond the
+// paper's own figures: where compression runs, the group-inflation factor,
+// range encoding for group-by results, the PRF packing optimization, and
+// straggler sensitivity.
+func Ablations(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	rows := workload.ScaleRows(1_750_000_000, cfg.Scale)
+	if cfg.Quick {
+		rows = workload.ScaleRows(1_750_000_000, cfg.Scale*10)
+	}
+
+	// --- 1. Worker-side vs driver-side compression (§4.5) ---
+	fmt.Fprintln(w, "Ablation 1: compression at workers vs driver (sel=50% aggregation)")
+	proxy, err := syntheticProxy(cfg, rows, 10, translate.Seabed)
+	if err != nil {
+		return err
+	}
+	const sql = "SELECT SUM(v) FROM synth"
+	workerOpts := client.QueryOptions{Selectivity: 0.5, SelSeed: uint64(cfg.Seed)}
+	driverOpts := workerOpts
+	driverOpts.CompressAtDriver = true
+	wDur, wRes, err := medianServer(proxy, sql, translate.Seabed, workerOpts, cfg.Trials)
+	if err != nil {
+		return err
+	}
+	dDur, dRes, err := medianServer(proxy, sql, translate.Seabed, driverOpts, cfg.Trials)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  at workers: server=%s shuffleBytes=%d\n", seconds(wDur), wRes.Metrics.ShuffleBytes)
+	fmt.Fprintf(w, "  at driver:  server=%s shuffleBytes=%d\n", seconds(dDur), dRes.Metrics.ShuffleBytes)
+	fmt.Fprintln(w, "  (paper: worker-side wins — parallel compression, less driver bottleneck)")
+
+	// --- 2. Group-inflation factor sweep (§4.5) ---
+	fmt.Fprintln(w, "\nAblation 2: group-inflation factor (10 groups)")
+	gproxy, err := syntheticProxy(cfg, rows, 10, translate.Seabed)
+	if err != nil {
+		return err
+	}
+	const gsql = "SELECT g, SUM(v) FROM synth GROUP BY g"
+	factors := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		factors = []int{1, 4}
+	}
+	for _, f := range factors {
+		opts := client.QueryOptions{DisableInflation: true}
+		if f > 1 {
+			opts = client.QueryOptions{ForceInflate: f}
+		}
+		d, res, err := medianServer(gproxy, gsql, translate.Seabed, opts, cfg.Trials)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  inflate=%2d: server=%s reducers=%d shuffle=%s\n",
+			f, seconds(d), res.Metrics.ReduceTasks, res.Metrics.ShuffleTime)
+	}
+
+	// --- 3. Range encoding for group-by results (§4.5) ---
+	fmt.Fprintln(w, "\nAblation 3: group-by ID-list codec (range encoding bloats sparse lists)")
+	for _, codec := range []idlist.Codec{idlist.VBDiff, idlist.RangeVBDiff, idlist.RangeVBDiffDeflateFast} {
+		_, res, err := medianServer(gproxy, gsql, translate.Seabed,
+			client.QueryOptions{DisableInflation: true, Codec: codec}, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-34s resultBytes=%d\n", shortCodec(codec.Name()), res.Metrics.ResultBytes)
+	}
+
+	// --- 4. PRF block packing (§4.3) ---
+	fmt.Fprintln(w, "\nAblation 4: PRF block packing (sequential ids share AES blocks)")
+	f := prf.MustNew([]byte("bench-key-16byte"))
+	const n = 2_000_000
+	var sink uint64
+	start := time.Now()
+	for i := uint64(0); i < n; i++ {
+		sink += f.U64(i)
+	}
+	seq := time.Since(start) / n
+	start = time.Now()
+	for i := uint64(0); i < n; i++ {
+		sink += f.U64(i * 2654435761)
+	}
+	rnd := time.Since(start) / n
+	_ = sink
+	fmt.Fprintf(w, "  sequential: %dns/eval   random: %dns/eval   packing speedup: %.2fx (ideal 2x)\n",
+		seq.Nanoseconds(), rnd.Nanoseconds(), float64(rnd)/float64(seq))
+
+	// --- 5. Straggler sensitivity (§6.2) ---
+	fmt.Fprintln(w, "\nAblation 5: straggler injection (5x slowdown, varying probability)")
+	// A 16-worker fixture keeps per-task work large enough to stand out from
+	// measurement noise.
+	scfg := cfg
+	scfg.Workers = 16
+	sproxy, err := syntheticProxy(scfg, rows, 10, translate.Seabed)
+	if err != nil {
+		return err
+	}
+	src, err := sproxy.Table("synth", translate.Seabed)
+	if err != nil {
+		return err
+	}
+	for _, p := range []float64{0, 0.05, 0.2} {
+		cl := engine.NewCluster(engine.Config{
+			Workers: 16, Seed: uint64(cfg.Seed),
+			StragglerProb: p, StragglerFactor: 5,
+		})
+		var ds []time.Duration
+		var tasks int
+		for t := 0; t < maxTrials(cfg.Trials, 3); t++ {
+			res, err := cl.Run(&engine.Plan{Table: src, Aggs: []engine.Agg{{Kind: engine.AggAsheSum, Col: "v_ashe"}}})
+			if err != nil {
+				return err
+			}
+			ds = append(ds, res.Metrics.MapTime)
+			tasks = res.Metrics.MapTasks
+		}
+		fmt.Fprintf(w, "  p=%.2f: map makespan=%s over %d tasks (median of %d)\n",
+			p, seconds(median(ds)), tasks, len(ds))
+	}
+	fmt.Fprintln(w, "  (paper §6.2: stragglers — usually GC — hurt short Seabed/NoEnc jobs most)")
+	return nil
+}
+
+func maxTrials(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"seabed/internal/client"
+	"seabed/internal/engine"
+	"seabed/internal/planner"
+	"seabed/internal/schema"
+	"seabed/internal/sqlparse"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+	"seabed/internal/workload"
+)
+
+// Table2 shows the query translation examples of paper Table 2: the same
+// SQL translated for NoEnc and for Seabed's encrypted schema.
+func Table2(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(w, "Table 2: query translation examples")
+
+	// The Table 2 schema: measure a, range dimension b, splayed dimension
+	// with d=16 values, group dimension k.
+	tbl := &schema.Table{Name: "tbl", Columns: []schema.Column{
+		{Name: "a", Type: schema.Int64, Sensitive: true},
+		{Name: "b", Type: schema.Int64, Sensitive: true},
+		{Name: "g", Type: schema.Int64, Sensitive: true, Cardinality: 16},
+		{Name: "k", Type: schema.Int64, Sensitive: true},
+	}}
+	samples := []string{
+		"SELECT SUM(a) FROM tbl WHERE b > 10",
+		"SELECT COUNT(*) FROM tbl WHERE g = 10",
+		"SELECT k, SUM(a) FROM tbl GROUP BY k",
+	}
+	cluster := engine.NewCluster(engine.Config{Workers: 100})
+	proxy, err := client.NewProxy([]byte("seabed-bench-master-secret-0123"), cluster)
+	if err != nil {
+		return err
+	}
+	if _, err := proxy.CreatePlan(tbl, samples, planner.Options{}); err != nil {
+		return err
+	}
+	// A single-row table is enough to resolve plans.
+	one := make([]uint64, 1)
+	src, err := store.Build("tbl", []store.Column{
+		{Name: "a", Kind: store.U64, U64: one},
+		{Name: "b", Kind: store.U64, U64: one},
+		{Name: "g", Kind: store.U64, U64: one},
+		{Name: "k", Kind: store.U64, U64: one},
+	}, 1)
+	if err != nil {
+		return err
+	}
+	if err := proxy.Upload("tbl", src, translate.NoEnc, translate.Seabed); err != nil {
+		return err
+	}
+
+	examples := []struct {
+		kind string
+		sql  string
+		opts translate.Options
+	}{
+		{"ID preservation", "SELECT SUM(tmp.a) FROM (SELECT a FROM tbl WHERE b > 10) tmp", translate.Options{}},
+		{"SPLASHE", "SELECT COUNT(*) FROM tbl WHERE g = 10", translate.Options{}},
+		{"Group-by optimization", "SELECT k, SUM(a) FROM tbl GROUP BY k", translate.Options{Workers: 100, ExpectedGroups: 10}},
+	}
+	for _, ex := range examples {
+		q := sqlparse.MustParse(ex.sql)
+		fmt.Fprintf(w, "\n[%s]\n  SQL:    %s\n", ex.kind, q)
+		tr, err := translate.Translate(q, proxy, proxy.Ring(), translate.Seabed, ex.opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  Seabed: %s\n", planString(tr))
+	}
+	return nil
+}
+
+// planString renders a translated plan the way Table 2 sketches Spark code.
+func planString(tr *translate.Translation) string {
+	var b strings.Builder
+	sp := tr.Server
+	b.WriteString("table")
+	for _, f := range sp.Filters {
+		switch f.Kind {
+		case engine.FilterDetEq:
+			fmt.Fprintf(&b, ".filter(DET.eq(%s, <enc>))", f.Col)
+		case engine.FilterOpeCmp:
+			fmt.Fprintf(&b, ".filter(OPE.%s(%s, <enc>))", strings.ToLower(f.Op.String()), f.Col)
+		case engine.FilterPlainCmp:
+			fmt.Fprintf(&b, ".filter(%s %s %d)", f.Col, f.Op, f.U64)
+		case engine.FilterRandom:
+			fmt.Fprintf(&b, ".sample(%g)", f.Prob)
+		}
+	}
+	if gb := sp.GroupBy; gb != nil {
+		if gb.Inflate > 1 {
+			fmt.Fprintf(&b, ".map(x => (%s + ':' + rnd%%%d, (x.id, x.val))).reduceByKey(ASHE)", gb.Col, gb.Inflate)
+		} else {
+			fmt.Fprintf(&b, ".map(x => (%s, (x.id, x.val))).reduceByKey(ASHE)", gb.Col)
+		}
+	} else if len(sp.Aggs) > 0 {
+		cols := make([]string, len(sp.Aggs))
+		for i, a := range sp.Aggs {
+			cols[i] = a.Col
+			if a.Kind == engine.AggCount {
+				cols[i] = "count"
+			}
+		}
+		fmt.Fprintf(&b, ".map(x => (x.id, [%s])).reduce(ASHE)", strings.Join(cols, ","))
+	}
+	if len(sp.Project) > 0 {
+		fmt.Fprintf(&b, ".select(%s)", strings.Join(sp.Project, ","))
+	}
+	return b.String()
+}
+
+// Table4 reproduces the query-support classification: the generated
+// ad-analytics log, the MDX catalog, and the TPC-DS reference row.
+func Table4(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(w, "Table 4: query support categories (total / server / client-pre / client-post / two-round)")
+	logSize := workload.AdLogReference.Total
+	if cfg.Quick {
+		logSize = 10_000
+	}
+	log := workload.GenerateAdLog(logSize, cfg.Seed)
+	ada, err := workload.ClassifyLog(log)
+	if err != nil {
+		return err
+	}
+	mdx := workload.MDXCounts()
+	tpc := workload.TPCDSReference
+
+	row := func(name string, c workload.CategoryCounts, note string) {
+		fmt.Fprintf(w, "%-14s %8d %8d %8d %8d %8d   %s\n",
+			name, c.Total, c.Server, c.ClientPre, c.ClientPost, c.TwoRound, note)
+	}
+	fmt.Fprintf(w, "%-14s %8s %8s %8s %8s %8s\n", "Query set", "total", "S", "CPre", "CPost", "2R")
+	row("Ad Analytics", ada, "(generated log, classified by the planner; paper: 168352/134298/0/34054/0)")
+	row("TPC-DS", tpc, "(reference row from the paper)")
+	row("MDX", mdx, "(classified from the Appendix B catalog; paper: 38/17/12/4/5)")
+	return nil
+}
+
+// Table5 reproduces dataset characteristics: rows, dims, measures, and the
+// disk/memory footprint under NoEnc, Seabed, and Paillier.
+func Table5(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Table 5: dataset characteristics (rows scaled by 1/%d; sizes in MB)\n", cfg.Scale)
+	fmt.Fprintf(w, "%-22s %10s %5s %5s | %9s %9s %9s | %9s %9s %9s\n",
+		"Dataset", "rows", "dims", "meas", "diskNoEnc", "diskSbd", "diskPail", "memNoEnc", "memSbd", "memPail")
+
+	type ds struct {
+		name       string
+		paperRows  uint64
+		dims, meas int
+		build      func(rows int) (*store.Table, *schema.Table, []string, error)
+	}
+	mk := func(name string, paperRows uint64, dims, meas int,
+		build func(rows int) (*store.Table, *schema.Table, []string, error)) ds {
+		return ds{name, paperRows, dims, meas, build}
+	}
+
+	sets := []ds{
+		mk("Synthetic - Large", 1_750_000_000, 0, 1, buildSynth),
+		mk("Synthetic - Small", 250_000_000, 0, 1, buildSynth),
+		mk("BDB - Rankings", 90_000_000, 1, 2, buildRankings(cfg)),
+		mk("BDB - UserVisits", 775_000_000, 8, 2, buildUserVisits(cfg)),
+		mk("BDB - Query4 Ph.2", 194_000_000, 2, 1, buildQ4(cfg)),
+		mk("Ad Analytics", 759_000_000, 33, 18, buildAdA(cfg)),
+	}
+	for _, d := range sets {
+		rows := workload.ScaleRows(d.paperRows, cfg.Scale)
+		if cfg.Quick {
+			rows = workload.ScaleRows(d.paperRows, cfg.Scale*10)
+		}
+		src, sch, samples, err := d.build(rows)
+		if err != nil {
+			return fmt.Errorf("%s: %v", d.name, err)
+		}
+		sizes, err := datasetSizes(src, sch, samples)
+		if err != nil {
+			return fmt.Errorf("%s: %v", d.name, err)
+		}
+		mb := func(b uint64) string { return fmt.Sprintf("%.1f", float64(b)/1e6) }
+		fmt.Fprintf(w, "%-22s %10d %5d %5d | %9s %9s %9s | %9s %9s %9s\n",
+			d.name, rows, d.dims, d.meas,
+			mb(sizes.disk[0]), mb(sizes.disk[1]), mb(sizes.disk[2]),
+			mb(sizes.mem[0]), mb(sizes.mem[1]), mb(sizes.mem[2]))
+	}
+	fmt.Fprintln(w, "(paper shape: Seabed disk ≈ 1.1-2x NoEnc, Paillier ≈ 3-15x NoEnc)")
+	return nil
+}
+
+type sizeTriple struct {
+	disk [3]uint64 // NoEnc, Seabed, Paillier
+	mem  [3]uint64
+}
+
+// datasetSizes encrypts a source table in all three modes and measures.
+func datasetSizes(src *store.Table, sch *schema.Table, samples []string) (sizeTriple, error) {
+	var out sizeTriple
+	cluster := engine.NewCluster(engine.Config{Workers: 4})
+	proxy, err := client.NewProxy([]byte("seabed-bench-master-secret-0123"), cluster)
+	if err != nil {
+		return out, err
+	}
+	if _, err := proxy.CreatePlan(sch, samples, planner.Options{}); err != nil {
+		return out, err
+	}
+	for i, mode := range []translate.Mode{translate.NoEnc, translate.Seabed, translate.Paillier} {
+		if err := proxy.Upload(sch.Name, src, mode); err != nil {
+			return out, err
+		}
+		t, err := proxy.Table(sch.Name, mode)
+		if err != nil {
+			return out, err
+		}
+		out.disk[i] = t.DiskBytes()
+		out.mem[i] = t.MemBytes()
+	}
+	return out, nil
+}
+
+func buildSynth(rows int) (*store.Table, *schema.Table, []string, error) {
+	src, err := workload.Synthetic(rows, 10, 1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return src, workload.SyntheticSchema(10), workload.SyntheticQueries(), nil
+}
+
+func buildRankings(cfg Config) func(rows int) (*store.Table, *schema.Table, []string, error) {
+	return func(rows int) (*store.Table, *schema.Table, []string, error) {
+		bdb, err := workload.GenerateBDB(workload.BDBConfig{Pages: rows, Visits: 1, Q4Rows: 1, Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return bdb.Rankings, bdb.RankingsSchema, workload.BDBSamples()["rankings"], nil
+	}
+}
+
+func buildUserVisits(cfg Config) func(rows int) (*store.Table, *schema.Table, []string, error) {
+	return func(rows int) (*store.Table, *schema.Table, []string, error) {
+		pages := rows / 10
+		if pages < 10 {
+			pages = 10
+		}
+		bdb, err := workload.GenerateBDB(workload.BDBConfig{Pages: pages, Visits: rows, Q4Rows: 1, Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return bdb.UserVisits, bdb.UserVisitsSchema, workload.BDBSamples()["uservisits"], nil
+	}
+}
+
+func buildQ4(cfg Config) func(rows int) (*store.Table, *schema.Table, []string, error) {
+	return func(rows int) (*store.Table, *schema.Table, []string, error) {
+		bdb, err := workload.GenerateBDB(workload.BDBConfig{Pages: 100, Visits: 1, Q4Rows: rows, Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return bdb.Q4Phase2, bdb.Q4Phase2Schema, workload.BDBSamples()["q4phase2"], nil
+	}
+}
+
+func buildAdA(cfg Config) func(rows int) (*store.Table, *schema.Table, []string, error) {
+	return func(rows int) (*store.Table, *schema.Table, []string, error) {
+		ada, err := workload.GenerateAdA(workload.AdAConfig{Rows: rows, Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ada.Table, ada.Schema, workload.AdASamples(), nil
+	}
+}

@@ -1,0 +1,146 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+
+	"seabed/internal/engine"
+	"seabed/internal/planner"
+	"seabed/internal/schema"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+)
+
+// appendFixture builds a proxy with a SPLASHE-enhanced dimension and a batch
+// generator with a configurable distribution.
+func appendFixture(t *testing.T) (*Proxy, func(rows int, skewToUncommon bool) *store.Table) {
+	t.Helper()
+	tbl := &schema.Table{Name: "ap", Columns: []schema.Column{
+		{Name: "m", Type: schema.Int64, Sensitive: true},
+		{Name: "d", Type: schema.Int64, Sensitive: true, Cardinality: 4,
+			Freqs: []uint64{1000, 800, 100, 100}},
+		{Name: "o", Type: schema.Int64, Sensitive: true},
+	}}
+	samples := []string{
+		"SELECT SUM(m) FROM ap WHERE d = 2",
+		"SELECT SUM(m) FROM ap WHERE o > 10",
+	}
+	cluster := engine.NewCluster(engine.Config{Workers: 4})
+	proxy, err := NewProxy([]byte("append-test-master-secret-01234"), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.CreatePlan(tbl, samples, planner.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	gen := func(rows int, skewToUncommon bool) *store.Table {
+		rng := rand.New(rand.NewSource(int64(rows)))
+		m := make([]uint64, rows)
+		d := make([]uint64, rows)
+		o := make([]uint64, rows)
+		for i := 0; i < rows; i++ {
+			m[i] = uint64(rng.Intn(1000))
+			o[i] = uint64(rng.Intn(100))
+			if skewToUncommon {
+				d[i] = 2 // one uncommon value only: drifted, below threshold
+			} else {
+				switch r := rng.Intn(20); {
+				case r < 10:
+					d[i] = 0
+				case r < 18:
+					d[i] = 1
+				default:
+					d[i] = uint64(2 + rng.Intn(2))
+				}
+			}
+		}
+		src, err := store.Build("ap", []store.Column{
+			{Name: "m", Kind: store.U64, U64: m},
+			{Name: "d", Kind: store.U64, U64: d},
+			{Name: "o", Kind: store.U64, U64: o},
+		}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	return proxy, gen
+}
+
+func TestAppendPreservesResults(t *testing.T) {
+	proxy, gen := appendFixture(t)
+	if err := proxy.Upload("ap", gen(2000, false), translate.NoEnc, translate.Seabed); err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Append("ap", gen(500, false), translate.NoEnc, translate.Seabed); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		"SELECT SUM(m) FROM ap",
+		"SELECT SUM(m) FROM ap WHERE d = 2",
+		"SELECT SUM(m) FROM ap WHERE o > 50",
+		"SELECT COUNT(*) FROM ap",
+	} {
+		want, err := proxy.Query(sql, translate.NoEnc, QueryOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		got, err := proxy.Query(sql, translate.Seabed, QueryOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if got.Rows[0].Values[0].I64 != want.Rows[0].Values[0].I64 {
+			t.Fatalf("%s after append: %d, want %d", sql, got.Rows[0].Values[0].I64, want.Rows[0].Values[0].I64)
+		}
+	}
+	enc, err := proxy.Table("ap", translate.Seabed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.NumRows() != 2500 {
+		t.Fatalf("rows after append = %d, want 2500", enc.NumRows())
+	}
+}
+
+func TestAppendKeepsIDsContiguous(t *testing.T) {
+	proxy, gen := appendFixture(t)
+	if err := proxy.Upload("ap", gen(1000, false), translate.Seabed); err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Append("ap", gen(300, false), translate.Seabed); err != nil {
+		t.Fatal(err)
+	}
+	// A full-table ASHE aggregate must still collapse to one identifier
+	// range — appends continue the contiguous id space.
+	res, err := proxy.Query("SELECT SUM(m) FROM ap", translate.Seabed, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PRFEvals != 2 {
+		t.Fatalf("PRF evals after append = %d, want 2 (one contiguous range)", res.PRFEvals)
+	}
+}
+
+func TestAppendDriftedDistributionFails(t *testing.T) {
+	proxy, gen := appendFixture(t)
+	if err := proxy.Upload("ap", gen(2000, false), translate.Seabed); err != nil {
+		t.Fatal(err)
+	}
+	// A small batch of one uncommon value has no common rows to absorb the
+	// balancing dummies and too few occurrences to reach the threshold on
+	// its own: the §3.5 limitation must surface as an error.
+	err := proxy.Append("ap", gen(50, true), translate.Seabed)
+	if err == nil {
+		t.Fatal("want error for drifted batch distribution")
+	}
+}
+
+func TestAppendRequiresUpload(t *testing.T) {
+	proxy, gen := appendFixture(t)
+	if err := proxy.Append("ap", gen(10, false), translate.Seabed); err == nil {
+		t.Fatal("want error when appending before upload")
+	}
+	if err := proxy.Append("nope", gen(10, false), translate.Seabed); err == nil {
+		t.Fatal("want error for unknown table")
+	}
+}

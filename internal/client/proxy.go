@@ -1,0 +1,278 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"seabed/internal/engine"
+	"seabed/internal/idlist"
+	"seabed/internal/netsim"
+	"seabed/internal/paillier"
+	"seabed/internal/planner"
+	"seabed/internal/schema"
+	"seabed/internal/sqlparse"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+)
+
+// Proxy is Seabed's trusted client-side proxy (§4.1): it plans schemas,
+// encrypts uploads, translates queries, talks to the (untrusted) engine, and
+// decrypts results. Users interact with the proxy exactly as they would with
+// a plain Spark SQL endpoint.
+type Proxy struct {
+	ring    *KeyRing
+	cluster *engine.Cluster
+	// Link models the server↔client connection (§6.6).
+	Link netsim.Link
+	// Parts is the partition count for uploads (defaults to 4× workers).
+	Parts int
+
+	mu     sync.Mutex
+	tables map[string]*tableEntry
+}
+
+type tableEntry struct {
+	plan  *planner.Plan
+	plain *store.Table
+	enc   map[translate.Mode]*store.Table
+}
+
+// NewProxy creates a proxy bound to a cluster, with the in-cluster client
+// link of the paper's default setup.
+func NewProxy(master []byte, cluster *engine.Cluster) (*Proxy, error) {
+	ring, err := NewKeyRing(master)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		ring:    ring,
+		cluster: cluster,
+		Link:    netsim.InCluster,
+		tables:  make(map[string]*tableEntry),
+	}, nil
+}
+
+// Ring exposes the proxy's key ring (it stays inside the trusted domain).
+func (p *Proxy) Ring() *KeyRing { return p.ring }
+
+// CreatePlan runs the planner over a plaintext schema and sample query set
+// (the "Create Plan" request of §4.1).
+func (p *Proxy) CreatePlan(tbl *schema.Table, sampleSQL []string, opts planner.Options) (*planner.Plan, error) {
+	samples := make([]*sqlparse.Query, 0, len(sampleSQL))
+	for _, src := range sampleSQL {
+		q, err := sqlparse.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, q)
+	}
+	plan, err := planner.New(tbl, samples, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tables[tbl.Name] = &tableEntry{plan: plan, enc: make(map[translate.Mode]*store.Table)}
+	return plan, nil
+}
+
+// Upload encrypts plaintext data into the physical tables for the given
+// modes (the "Upload Data" request of §4.1). Seabed deployments upload only
+// translate.Seabed; the evaluation also materializes NoEnc and Paillier
+// baselines.
+func (p *Proxy) Upload(table string, src *store.Table, modes ...translate.Mode) error {
+	p.mu.Lock()
+	entry := p.tables[table]
+	p.mu.Unlock()
+	if entry == nil {
+		return fmt.Errorf("client: no plan for table %q; call CreatePlan first", table)
+	}
+	parts := p.Parts
+	if parts <= 0 {
+		parts = 4 * p.cluster.Workers()
+	}
+	for _, mode := range modes {
+		if mode == translate.Paillier {
+			if err := p.ring.EnsurePaillier(paillier.DefaultBits); err != nil {
+				return err
+			}
+		}
+		enc, err := Encrypt(entry.plan, p.ring, src, mode, parts)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		entry.enc[mode] = enc
+		if mode == translate.NoEnc {
+			entry.plain = enc
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// Append encrypts a batch of new rows and appends it to the already-uploaded
+// physical tables, continuing the global row identifiers (§4.1: uploads are
+// "a continuing process; database insertions are handled in the same way").
+//
+// Enhanced SPLASHE dimensions balance each batch independently; if a batch's
+// value distribution has drifted far from the planned one, balancing can run
+// out of dummy rows and Append returns the §3.5 error — re-plan with fresh
+// frequency estimates in that case.
+func (p *Proxy) Append(table string, batch *store.Table, modes ...translate.Mode) error {
+	p.mu.Lock()
+	entry := p.tables[table]
+	p.mu.Unlock()
+	if entry == nil {
+		return fmt.Errorf("client: no plan for table %q; call CreatePlan first", table)
+	}
+	for _, mode := range modes {
+		p.mu.Lock()
+		existing := entry.enc[mode]
+		p.mu.Unlock()
+		if existing == nil {
+			return fmt.Errorf("client: table %q has no %v upload to append to", table, mode)
+		}
+		enc, err := EncryptFrom(entry.plan, p.ring, batch, mode, 1, existing.NumRows()+1)
+		if err != nil {
+			return fmt.Errorf("client: append to %q: %v", table, err)
+		}
+		p.mu.Lock()
+		err = existing.AppendTable(enc)
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plan implements translate.Catalog.
+func (p *Proxy) Plan(table string) (*planner.Plan, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entry := p.tables[table]
+	if entry == nil {
+		return nil, fmt.Errorf("client: unknown table %q", table)
+	}
+	return entry.plan, nil
+}
+
+// Table implements translate.Catalog.
+func (p *Proxy) Table(table string, mode translate.Mode) (*store.Table, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entry := p.tables[table]
+	if entry == nil {
+		return nil, fmt.Errorf("client: unknown table %q", table)
+	}
+	t := entry.enc[mode]
+	if t == nil {
+		return nil, fmt.Errorf("client: table %q has no %v upload", table, mode)
+	}
+	return t, nil
+}
+
+// QueryOptions tunes one query execution.
+type QueryOptions struct {
+	// ExpectedGroups feeds the group-inflation heuristic (§4.5).
+	ExpectedGroups int
+	// DisableInflation turns the optimization off.
+	DisableInflation bool
+	// Selectivity, when in (0, 1), appends the §6.1 random-selection filter
+	// to the server plan: each row is chosen independently with this
+	// probability (the microbenchmarks' worst-case model).
+	Selectivity float64
+	// SelSeed seeds the random selection.
+	SelSeed uint64
+	// Codec overrides the identifier-list codec (the Figure 8 sweep).
+	Codec idlist.Codec
+	// CompressAtDriver moves result compression from workers to the driver
+	// (the §4.5 ablation).
+	CompressAtDriver bool
+	// ForceInflate overrides the computed group-inflation factor.
+	ForceInflate int
+	// ServerOnly skips client-side decryption, matching experiments that
+	// measure only server latency (§6.7).
+	ServerOnly bool
+}
+
+// QueryResult couples the decrypted rows with the end-to-end latency
+// breakdown the evaluation reports (§6.2: server, network, client).
+type QueryResult struct {
+	*Result
+	ServerTime  time.Duration
+	NetworkTime time.Duration
+	ClientTime  time.Duration
+	TotalTime   time.Duration
+}
+
+// Query parses, translates, executes, and decrypts a SQL query under the
+// given mode (the "Query Data" request of §4.1).
+func (p *Proxy) Query(sql string, mode translate.Mode, opts QueryOptions) (*QueryResult, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunQuery(q, mode, opts)
+}
+
+// RunQuery is Query over a pre-parsed statement.
+func (p *Proxy) RunQuery(q *sqlparse.Query, mode translate.Mode, opts QueryOptions) (*QueryResult, error) {
+	tr, err := translate.Translate(q, p, p.ring, mode, translate.Options{
+		Workers:          p.cluster.Workers(),
+		ExpectedGroups:   opts.ExpectedGroups,
+		DisableInflation: opts.DisableInflation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.Selectivity > 0 && opts.Selectivity < 1 {
+		tr.Server.Filters = append(tr.Server.Filters, engine.Filter{
+			Kind: engine.FilterRandom, Prob: opts.Selectivity, Seed: opts.SelSeed,
+		})
+	}
+	if opts.Codec != nil {
+		tr.Server.Codec = opts.Codec
+	}
+	if opts.CompressAtDriver {
+		tr.Server.CompressAtDriver = true
+	}
+	if opts.ForceInflate > 1 && tr.Server.GroupBy != nil {
+		tr.Server.GroupBy.Inflate = opts.ForceInflate
+		tr.Client.Inflated = true
+	}
+	res, err := p.cluster.Run(tr.Server)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ServerOnly {
+		qr := &QueryResult{
+			Result:      &Result{Metrics: res.Metrics},
+			ServerTime:  res.Metrics.ServerTime,
+			NetworkTime: p.Link.TransferTime(res.Metrics.ResultBytes),
+		}
+		qr.TotalTime = qr.ServerTime + qr.NetworkTime
+		return qr, nil
+	}
+	dec, err := Decrypt(tr, res, p.ring)
+	if err != nil {
+		return nil, err
+	}
+	qr := &QueryResult{
+		Result:      dec,
+		ServerTime:  res.Metrics.ServerTime,
+		NetworkTime: p.Link.TransferTime(res.Metrics.ResultBytes),
+		ClientTime:  dec.ClientTime,
+	}
+	qr.TotalTime = qr.ServerTime + qr.NetworkTime + qr.ClientTime
+	return qr, nil
+}
+
+// WithCluster returns a proxy sharing this proxy's key ring and uploaded
+// tables but executing against a different cluster — the Figure 7 worker
+// sweep rebinds one dataset across cluster sizes this way.
+func (p *Proxy) WithCluster(cluster *engine.Cluster) *Proxy {
+	return &Proxy{ring: p.ring, cluster: cluster, Link: p.Link, Parts: p.Parts, tables: p.tables}
+}

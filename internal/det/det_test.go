@@ -1,0 +1,137 @@
+package det
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var testKey = MustNewKey([]byte("0123456789abcdef"))
+
+func TestU64Roundtrip(t *testing.T) {
+	f := func(v uint64) bool {
+		ct := testKey.EncryptU64(v)
+		got, err := testKey.DecryptU64(ct)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU64Deterministic(t *testing.T) {
+	a := testKey.EncryptU64(42)
+	b := testKey.EncryptU64(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same plaintext must yield same ciphertext")
+	}
+	c := testKey.EncryptU64(43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different plaintexts must yield different ciphertexts")
+	}
+}
+
+func TestU64DecryptRejectsCorruption(t *testing.T) {
+	ct := testKey.EncryptU64(42)
+	ct[3] ^= 0xff
+	if _, err := testKey.DecryptU64(ct); err == nil {
+		t.Fatal("want error for corrupted ciphertext")
+	}
+	if _, err := testKey.DecryptU64(ct[:5]); err == nil {
+		t.Fatal("want error for short ciphertext")
+	}
+}
+
+func TestU64DecryptRejectsWrongKey(t *testing.T) {
+	other := MustNewKey([]byte("fedcba9876543210"))
+	ct := testKey.EncryptU64(42)
+	if _, err := other.DecryptU64(ct); err == nil {
+		t.Fatal("want error when decrypting with wrong key")
+	}
+}
+
+func TestBytesRoundtrip(t *testing.T) {
+	f := func(p []byte) bool {
+		ct := testKey.EncryptBytes(p)
+		got, err := testKey.DecryptBytes(ct)
+		return err == nil && bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesDeterministic(t *testing.T) {
+	a := testKey.EncryptString("Canada")
+	b := testKey.EncryptString("Canada")
+	if !bytes.Equal(a, b) {
+		t.Fatal("same string must yield same ciphertext")
+	}
+	c := testKey.EncryptString("India")
+	if bytes.Equal(a, c) {
+		t.Fatal("different strings must yield different ciphertexts")
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	for _, s := range []string{"", "x", "hello world", "日本語", string(make([]byte, 1000))} {
+		ct := testKey.EncryptString(s)
+		got, err := testKey.DecryptString(ct)
+		if err != nil {
+			t.Fatalf("DecryptString(%q): %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("roundtrip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestBytesDecryptRejectsCorruption(t *testing.T) {
+	ct := testKey.EncryptString("Canada")
+	ct[len(ct)-1] ^= 1
+	if _, err := testKey.DecryptBytes(ct); err == nil {
+		t.Fatal("want error for corrupted ciphertext")
+	}
+	if _, err := testKey.DecryptBytes(ct[:4]); err == nil {
+		t.Fatal("want error for truncated ciphertext")
+	}
+}
+
+func TestKeysAreIndependent(t *testing.T) {
+	other := MustNewKey([]byte("fedcba9876543210"))
+	if bytes.Equal(testKey.EncryptU64(1), other.EncryptU64(1)) {
+		t.Fatal("different keys produced the same ciphertext")
+	}
+}
+
+func TestNewKeyRejectsBadSecret(t *testing.T) {
+	if _, err := NewKey([]byte("short")); err == nil {
+		t.Fatal("want error for short secret")
+	}
+}
+
+func TestEqualityPreserved(t *testing.T) {
+	// The property the server relies on: ciphertext equality ⇔ plaintext
+	// equality under one key.
+	f := func(a, b uint64) bool {
+		ea, eb := testKey.EncryptU64(a), testKey.EncryptU64(b)
+		return bytes.Equal(ea, eb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncryptU64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		testKey.EncryptU64(uint64(i))
+	}
+}
+
+func BenchmarkEncryptString(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		testKey.EncryptString("uservisits.example.com/page")
+	}
+}

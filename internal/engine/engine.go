@@ -1,0 +1,280 @@
+// Package engine implements Seabed's server side: a Spark-like distributed
+// analytics engine over partitioned columnar tables (§4.5).
+//
+// The engine executes physical plans — filter, aggregate, group-by, scan,
+// and broadcast equi-join — with one map task per partition and a shuffle +
+// reduce stage for group-by queries, mirroring the paper's Spark deployment.
+// Aggregation understands plaintext values, ASHE ciphertexts (sum bodies,
+// merge identifier lists), and Paillier ciphertexts (modular products), so
+// the NoEnc / Seabed / Paillier comparisons of §6 all run through the same
+// code path.
+//
+// Tasks execute for real — the actual cryptography runs — but the reported
+// server latency is computed by a list scheduler that places the measured
+// task durations onto a configured number of simulated workers and adds
+// modeled shuffle time (DESIGN.md §2 explains this substitution for the
+// paper's physical cluster). Map-side results are compressed at the workers
+// by default, the choice §4.5 arrives at.
+package engine
+
+import (
+	"math/big"
+	"time"
+
+	"seabed/internal/idlist"
+	"seabed/internal/netsim"
+	"seabed/internal/paillier"
+	"seabed/internal/sqlparse"
+	"seabed/internal/store"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Workers is the number of simulated worker cores (the x-axis of
+	// Figure 7). Defaults to 4.
+	Workers int
+	// RealParallelism bounds the goroutines that actually execute tasks.
+	// Defaults to runtime.NumCPU().
+	RealParallelism int
+	// ShuffleLink models the per-worker link carrying map→reduce traffic.
+	// Defaults to netsim.Shuffle.
+	ShuffleLink netsim.Link
+	// StragglerProb optionally makes a task a straggler with the given
+	// probability (§6.2 observed GC stragglers); its simulated duration is
+	// multiplied by StragglerFactor. Zero disables injection.
+	StragglerProb float64
+	// StragglerFactor is the slowdown applied to stragglers (default 5).
+	StragglerFactor float64
+	// Seed drives straggler injection and group inflation.
+	Seed uint64
+}
+
+// Cluster executes plans under a Config.
+type Cluster struct {
+	cfg Config
+}
+
+// NewCluster returns a Cluster, applying Config defaults.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.RealParallelism <= 0 {
+		cfg.RealParallelism = 0 // resolved at run time
+	}
+	if cfg.ShuffleLink == (netsim.Link{}) {
+		cfg.ShuffleLink = netsim.Shuffle
+	}
+	if cfg.StragglerFactor == 0 {
+		cfg.StragglerFactor = 5
+	}
+	return &Cluster{cfg: cfg}
+}
+
+// Workers returns the simulated worker count.
+func (c *Cluster) Workers() int { return c.cfg.Workers }
+
+// FilterKind selects a predicate evaluation strategy.
+type FilterKind int
+
+const (
+	// FilterPlainCmp compares a plaintext U64 column against a constant.
+	FilterPlainCmp FilterKind = iota
+	// FilterStrCmp compares a plaintext Str column against a constant
+	// (equality and inequality only).
+	FilterStrCmp
+	// FilterDetEq compares a DET Bytes column against an encrypted
+	// constant.
+	FilterDetEq
+	// FilterOpeCmp order-compares an OPE Bytes column against an encrypted
+	// constant.
+	FilterOpeCmp
+	// FilterRandom selects each row independently with probability Prob,
+	// the selectivity model of §6.1.
+	FilterRandom
+)
+
+// Filter is one conjunct of a plan's predicate.
+type Filter struct {
+	Kind FilterKind
+	Col  string
+	Op   sqlparse.CmpOp
+	// U64 is the constant for FilterPlainCmp.
+	U64 uint64
+	// Str is the constant for FilterStrCmp.
+	Str string
+	// Bytes is the encrypted constant for FilterDetEq / FilterOpeCmp.
+	Bytes []byte
+	// Negate inverts FilterDetEq (for <> predicates).
+	Negate bool
+	// Prob and Seed drive FilterRandom.
+	Prob float64
+	Seed uint64
+}
+
+// AggKind selects an aggregation strategy.
+type AggKind int
+
+const (
+	// AggPlainSum sums a plaintext U64 column.
+	AggPlainSum AggKind = iota
+	// AggPlainSumSq sums the squares of a plaintext U64 column (NoEnc
+	// variance; encrypted modes use a client-computed squared column).
+	AggPlainSumSq
+	// AggCount counts selected rows.
+	AggCount
+	// AggAsheSum sums an ASHE column: bodies mod 2^64 plus identifier-list
+	// union.
+	AggAsheSum
+	// AggPaillierSum multiplies Paillier ciphertexts mod N².
+	AggPaillierSum
+	// AggPlainMin / AggPlainMax track extremes of a plaintext column.
+	AggPlainMin
+	AggPlainMax
+	// AggOpeMin / AggOpeMax track extremes of an OPE column using
+	// order-revealing comparison.
+	AggOpeMin
+	AggOpeMax
+	// AggPlainMedian collects a plaintext column and reports its upper
+	// median.
+	AggPlainMedian
+	// AggOpeMedian collects an OPE column, sorts the ciphertexts by
+	// order-revealing comparison (Table 6: "Median … Using OPE"), and
+	// reports the middle element with its companion value.
+	AggOpeMedian
+)
+
+// Agg is one aggregate of a plan.
+type Agg struct {
+	Kind AggKind
+	Col  string
+	// PK is required for AggPaillierSum.
+	PK *paillier.PublicKey
+	// Companion optionally names a column whose value rides along with the
+	// winning row of AggOpeMin/AggOpeMax (typically the measure's ASHE
+	// column, so the client can decrypt the extreme's actual value).
+	Companion string
+}
+
+// GroupBy describes a plan's grouping.
+type GroupBy struct {
+	// Col is the grouping column (plaintext U64/Str or DET Bytes).
+	Col string
+	// Inflate, when > 1, appends a pseudo-random suffix in [0, Inflate) to
+	// every group key, multiplying the number of groups to engage idle
+	// reducers (§4.5). The client merges the inflated groups back.
+	Inflate int
+}
+
+// Join is a broadcast equi-join against a smaller table.
+type Join struct {
+	Right *store.Table
+	// LeftCol and RightCol are the key columns (both plaintext or both
+	// DET-encrypted).
+	LeftCol, RightCol string
+	// RightCols are projected from the right side and become addressable
+	// by filters and aggregates.
+	RightCols []string
+}
+
+// Plan is a physical query plan.
+type Plan struct {
+	Table   *store.Table
+	Join    *Join
+	Filters []Filter
+	Aggs    []Agg
+	GroupBy *GroupBy
+	// Project switches the plan to scan mode: matching rows are returned
+	// with their global identifiers and these columns' values.
+	Project []string
+	// Codec encodes ASHE identifier lists for transfer. Defaults to
+	// idlist.Default for plain aggregation and idlist.VBDiff for group-by
+	// (§4.5).
+	Codec idlist.Codec
+	// CompressAtDriver moves result compression from the workers to the
+	// driver (the ablation of §4.5; default false = compress at workers).
+	CompressAtDriver bool
+}
+
+// AggValue is one aggregate result.
+type AggValue struct {
+	Kind AggKind
+	U64  uint64
+	Ashe AsheAgg
+	Pail *big.Int
+	// Ope holds the winning ciphertext for AggOpeMin/AggOpeMax; ArgID is the
+	// winning row's identifier, and U64 (or CompanionBytes, for byte-valued
+	// companions) its companion-column value.
+	Ope            []byte
+	ArgID          uint64
+	CompanionBytes []byte
+}
+
+// AsheAgg is an aggregated ASHE ciphertext with its encoded identifier list.
+type AsheAgg struct {
+	Body uint64
+	// IDs is the raw identifier list (present until encoding).
+	IDs idlist.List
+	// Encoded is the codec-compressed list as shipped to the client.
+	Encoded []byte
+}
+
+// Group is one result group.
+type Group struct {
+	// Key is the group key: exactly one of KeyU64/KeyBytes/KeyStr is
+	// meaningful per the grouping column's kind; Suffix is the inflation
+	// suffix (−1 when inflation is off).
+	KeyU64   uint64
+	KeyBytes []byte
+	KeyStr   string
+	KeyKind  store.Kind
+	Suffix   int
+	Rows     uint64
+	Aggs     []AggValue
+}
+
+// ScanRow is one row returned by a scan plan.
+type ScanRow struct {
+	ID uint64
+	// U64s and Bytes hold the projected values, in Plan.Project order,
+	// split by column kind (nil entries in the other slice).
+	U64s  []uint64
+	Bytes [][]byte
+	Strs  []string
+}
+
+// Metrics reports the simulated and measured costs of a run.
+type Metrics struct {
+	// ServerTime is the simulated cluster makespan: map stage + shuffle +
+	// reduce stage + driver merge.
+	ServerTime time.Duration
+	// MapTime and ReduceTime are the simulated stage makespans.
+	MapTime    time.Duration
+	ReduceTime time.Duration
+	// ShuffleTime is the modeled map→reduce transfer time.
+	ShuffleTime time.Duration
+	// DriverTime is the measured driver-side merge (and compression, if
+	// CompressAtDriver).
+	DriverTime time.Duration
+	// ShuffleBytes is the serialized size of all map-side partials.
+	ShuffleBytes int
+	// ResultBytes is the serialized result size sent to the client.
+	ResultBytes int
+	// MapTasks and ReduceTasks count scheduled tasks.
+	MapTasks    int
+	ReduceTasks int
+	// RowsScanned and RowsSelected count input rows and filter survivors.
+	RowsScanned  uint64
+	RowsSelected uint64
+}
+
+// Result is a plan's output.
+type Result struct {
+	// Groups holds aggregation output; a query without GROUP BY yields one
+	// group with KeyKind == store.U64 and Suffix == -1.
+	Groups []Group
+	// Scan holds scan-mode output.
+	Scan []ScanRow
+	// Metrics reports costs.
+	Metrics Metrics
+}

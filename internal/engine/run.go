@@ -1,0 +1,392 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"seabed/internal/idlist"
+	"seabed/internal/ope"
+	"seabed/internal/store"
+)
+
+// Run executes a plan and returns its result and cost metrics.
+func (c *Cluster) Run(pl *Plan) (*Result, error) {
+	if pl.Table == nil {
+		return nil, errors.New("engine: plan has no table")
+	}
+	if len(pl.Aggs) == 0 && len(pl.Project) == 0 {
+		return nil, errors.New("engine: plan has neither aggregates nor projection")
+	}
+	if len(pl.Project) > 0 && (len(pl.Aggs) > 0 || pl.GroupBy != nil) {
+		return nil, errors.New("engine: scan plans cannot aggregate or group")
+	}
+	for _, a := range pl.Aggs {
+		if a.Kind == AggPaillierSum && a.PK == nil {
+			return nil, errors.New("engine: Paillier aggregate without public key")
+		}
+	}
+	codec := pl.Codec
+	if codec == nil {
+		if pl.GroupBy != nil {
+			codec = idlist.VBDiff // §4.5: no range encoding for group-by
+		} else {
+			codec = idlist.Default
+		}
+		// Record the effective codec so the client decodes with the same one.
+		pl.Codec = codec
+	}
+
+	var metrics Metrics
+
+	// Broadcast join preparation (driver side, measured).
+	var right map[string]*store.Column
+	var joinHash map[string]int
+	if pl.Join != nil {
+		start := time.Now()
+		var err error
+		right, err = flattenRight(pl.Join.Right, pl.Join.RightCols, pl.Join.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		joinHash = buildJoinHash(right, pl.Join.RightCol)
+		metrics.DriverTime += time.Since(start)
+	}
+
+	// Map stage: one task per partition, executed with bounded real
+	// parallelism, each measured individually.
+	parts := pl.Table.Parts
+	results := make([]*mapResult, len(parts))
+	errs := make([]error, len(parts))
+	par := c.cfg.RealParallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = pl.runMapTask(c, parts[i], right, joinHash, codec)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	durations := make([]time.Duration, len(results))
+	rng := rand.New(rand.NewSource(int64(c.cfg.Seed) ^ 0x5eabed))
+	for i, r := range results {
+		d := r.elapsed
+		if c.cfg.StragglerProb > 0 && rng.Float64() < c.cfg.StragglerProb {
+			d = time.Duration(float64(d) * c.cfg.StragglerFactor)
+		}
+		durations[i] = d
+		metrics.ShuffleBytes += r.bytes
+		metrics.RowsScanned += r.rowsScanned
+		metrics.RowsSelected += r.rowsSelected
+	}
+	metrics.MapTasks = len(results)
+	metrics.MapTime = makespan(durations, c.cfg.Workers)
+
+	out := &Result{}
+	switch {
+	case len(pl.Project) > 0:
+		c.reduceScan(pl, results, out, &metrics)
+	case pl.GroupBy == nil:
+		if err := c.reduceSingle(pl, results, codec, out, &metrics); err != nil {
+			return nil, err
+		}
+	default:
+		if err := c.reduceGroups(pl, results, codec, out, &metrics); err != nil {
+			return nil, err
+		}
+	}
+
+	metrics.ServerTime = metrics.MapTime + metrics.ShuffleTime + metrics.ReduceTime + metrics.DriverTime
+	out.Metrics = metrics
+	return out, nil
+}
+
+// reduceScan concatenates scan rows at the driver.
+func (c *Cluster) reduceScan(pl *Plan, results []*mapResult, out *Result, m *Metrics) {
+	start := time.Now()
+	total := 0
+	for _, r := range results {
+		total += len(r.scan)
+	}
+	out.Scan = make([]ScanRow, 0, total)
+	for _, r := range results {
+		out.Scan = append(out.Scan, r.scan...)
+	}
+	m.DriverTime += time.Since(start)
+	// Partials stream straight to the driver over one link.
+	m.ShuffleTime = c.cfg.ShuffleLink.TransferTime(m.ShuffleBytes)
+	m.ResultBytes = m.ShuffleBytes
+}
+
+// reduceSingle merges no-group-by partials at the driver (§4.5: workers send
+// partial results to the driver, which aggregates).
+func (c *Cluster) reduceSingle(pl *Plan, results []*mapResult, codec idlist.Codec, out *Result, m *Metrics) error {
+	start := time.Now()
+	final := newPartial(pl.Aggs)
+	for _, r := range results {
+		mergePartial(pl, final, r.single)
+	}
+	group, bytes, err := pl.finishPartial(final, groupKey{kind: store.U64, suffix: -1}, codec)
+	if err != nil {
+		return err
+	}
+	out.Groups = []Group{group}
+	m.DriverTime += time.Since(start)
+	m.ShuffleTime = c.cfg.ShuffleLink.TransferTime(m.ShuffleBytes)
+	m.ResultBytes = bytes
+	return nil
+}
+
+// reduceGroups shuffles partial groups to reducers and merges per key.
+func (c *Cluster) reduceGroups(pl *Plan, results []*mapResult, codec idlist.Codec, out *Result, m *Metrics) error {
+	// Count distinct keys to size the reducer pool.
+	keys := make(map[groupKey]bool)
+	for _, r := range results {
+		for k := range r.groups {
+			keys[k] = true
+		}
+	}
+	reducers := c.cfg.Workers
+	if len(keys) < reducers {
+		reducers = len(keys)
+	}
+	if reducers < 1 {
+		reducers = 1
+	}
+	m.ReduceTasks = reducers
+
+	// The shuffle fans out over the active reducers' links in parallel:
+	// fewer reducers means fewer links carrying the same bytes — the §4.5
+	// bottleneck that group inflation exists to fix.
+	m.ShuffleTime = c.cfg.ShuffleLink.TransferTime(m.ShuffleBytes / reducers)
+
+	// Partition keys among reducers.
+	assign := make(map[groupKey]int, len(keys))
+	orderedKeys := make([]groupKey, 0, len(keys))
+	for k := range keys {
+		orderedKeys = append(orderedKeys, k)
+	}
+	sort.Slice(orderedKeys, func(a, b int) bool { return lessKey(orderedKeys[a], orderedKeys[b]) })
+	for i, k := range orderedKeys {
+		assign[k] = i % reducers
+	}
+
+	// Bucket each map task's partial groups by reducer once (the shuffle),
+	// then merge per reducer.
+	type shard struct {
+		key groupKey
+		p   *partial
+	}
+	buckets := make([][]shard, reducers)
+	for _, mr := range results {
+		for k, p := range mr.groups {
+			r := assign[k]
+			buckets[r] = append(buckets[r], shard{key: k, p: p})
+		}
+	}
+	durations := make([]time.Duration, reducers)
+	resultBytes := 0
+	for r := 0; r < reducers; r++ {
+		start := time.Now()
+		merged := make(map[groupKey]*partial)
+		for _, s := range buckets[r] {
+			acc := merged[s.key]
+			if acc == nil {
+				acc = newPartial(pl.Aggs)
+				merged[s.key] = acc
+			}
+			mergePartial(pl, acc, s.p)
+		}
+		for k, p := range merged {
+			group, bytes, err := pl.finishPartial(p, k, codec)
+			if err != nil {
+				return err
+			}
+			out.Groups = append(out.Groups, group)
+			resultBytes += bytes
+		}
+		durations[r] = time.Since(start)
+	}
+	m.ReduceTime = makespan(durations, c.cfg.Workers)
+	m.ResultBytes = resultBytes
+	sort.Slice(out.Groups, func(a, b int) bool { return lessGroup(out.Groups[a], out.Groups[b]) })
+	return nil
+}
+
+func lessKey(a, b groupKey) bool {
+	if a.u64 != b.u64 {
+		return a.u64 < b.u64
+	}
+	if a.str != b.str {
+		return a.str < b.str
+	}
+	return a.suffix < b.suffix
+}
+
+func lessGroup(a, b Group) bool {
+	if a.KeyU64 != b.KeyU64 {
+		return a.KeyU64 < b.KeyU64
+	}
+	ab, bb := string(a.KeyBytes), string(b.KeyBytes)
+	if ab != bb {
+		return ab < bb
+	}
+	if a.KeyStr != b.KeyStr {
+		return a.KeyStr < b.KeyStr
+	}
+	return a.Suffix < b.Suffix
+}
+
+// mergePartial folds src into dst.
+func mergePartial(pl *Plan, dst, src *partial) {
+	if src == nil {
+		return
+	}
+	dst.rows += src.rows
+	for i := range dst.aggs {
+		d, s := &dst.aggs[i], &src.aggs[i]
+		switch d.kind {
+		case AggCount, AggPlainSum, AggPlainSumSq:
+			d.u64 += s.u64
+		case AggAsheSum:
+			d.u64 += s.u64
+			d.ids.Merge(s.ids)
+		case AggPaillierSum:
+			pl.Aggs[i].PK.AddInto(d.pail, s.pail)
+		case AggPlainMin:
+			if s.seen && (!d.seen || s.u64 < d.u64) {
+				d.u64, d.seen = s.u64, true
+			}
+		case AggPlainMax:
+			if s.seen && (!d.seen || s.u64 > d.u64) {
+				d.u64, d.seen = s.u64, true
+			}
+		case AggOpeMin:
+			if s.seen && (!d.seen || ope.Less(s.ope, d.ope)) {
+				d.ope, d.argID, d.u64, d.compBytes, d.seen = s.ope, s.argID, s.u64, s.compBytes, true
+			}
+		case AggOpeMax:
+			if s.seen && (!d.seen || ope.Less(d.ope, s.ope)) {
+				d.ope, d.argID, d.u64, d.compBytes, d.seen = s.ope, s.argID, s.u64, s.compBytes, true
+			}
+		case AggPlainMedian:
+			d.medU64 = append(d.medU64, s.medU64...)
+		case AggOpeMedian:
+			d.medOpe = append(d.medOpe, s.medOpe...)
+			d.medIDs = append(d.medIDs, s.medIDs...)
+			d.medComp = append(d.medComp, s.medComp...)
+		}
+	}
+}
+
+// finishPartial converts a merged partial into a result Group, encoding ASHE
+// identifier lists for the client, and returns the group's serialized size.
+func (pl *Plan) finishPartial(p *partial, key groupKey, codec idlist.Codec) (Group, int, error) {
+	g := Group{KeyKind: key.kind, Suffix: key.suffix, Rows: p.rows, Aggs: make([]AggValue, len(p.aggs))}
+	switch key.kind {
+	case store.U64:
+		g.KeyU64 = key.u64
+	case store.Bytes:
+		g.KeyBytes = []byte(key.str)
+	default:
+		g.KeyStr = key.str
+	}
+	bytes := 8 // key + row count, roughly
+	if key.kind != store.U64 {
+		bytes += len(key.str)
+	}
+	for i := range p.aggs {
+		st := &p.aggs[i]
+		av := AggValue{Kind: st.kind}
+		switch st.kind {
+		case AggCount, AggPlainSum, AggPlainSumSq, AggPlainMin, AggPlainMax:
+			av.U64 = st.u64
+			bytes += 8
+		case AggAsheSum:
+			enc, err := codec.Encode(st.ids)
+			if err != nil {
+				return Group{}, 0, fmt.Errorf("engine: encode result id list: %v", err)
+			}
+			av.Ashe = AsheAgg{Body: st.u64, IDs: st.ids, Encoded: enc}
+			bytes += 8 + len(enc)
+		case AggPaillierSum:
+			av.Pail = st.pail
+			bytes += pl.Aggs[i].PK.CiphertextSize()
+		case AggOpeMin, AggOpeMax:
+			av.Ope = st.ope
+			av.ArgID = st.argID
+			av.U64 = st.u64
+			av.CompanionBytes = st.compBytes
+			bytes += len(st.ope) + 16 + len(st.compBytes)
+		case AggPlainMedian:
+			if n := len(st.medU64); n > 0 {
+				sort.Slice(st.medU64, func(a, b int) bool { return st.medU64[a] < st.medU64[b] })
+				av.U64 = st.medU64[n/2]
+			}
+			bytes += 8
+		case AggOpeMedian:
+			if n := len(st.medOpe); n > 0 {
+				// Sort indices by order-revealing comparison; the server can
+				// do this without any key.
+				idx := make([]int, n)
+				for i := range idx {
+					idx[i] = i
+				}
+				sort.Slice(idx, func(a, b int) bool { return ope.Less(st.medOpe[idx[a]], st.medOpe[idx[b]]) })
+				mid := idx[n/2]
+				av.Ope = st.medOpe[mid]
+				av.ArgID = st.medIDs[mid]
+				if len(st.medComp) == n {
+					av.U64 = st.medComp[mid]
+				}
+			}
+			bytes += 64 + 16
+		}
+		g.Aggs[i] = av
+	}
+	return g, bytes, nil
+}
+
+// makespan list-schedules the given task durations onto w workers (FIFO,
+// earliest-free-worker) and returns the finishing time.
+func makespan(durations []time.Duration, w int) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	if w < 1 {
+		w = 1
+	}
+	free := make([]time.Duration, w)
+	var finish time.Duration
+	for _, d := range durations {
+		// Earliest-free worker.
+		min := 0
+		for i := 1; i < w; i++ {
+			if free[i] < free[min] {
+				min = i
+			}
+		}
+		free[min] += d
+		if free[min] > finish {
+			finish = free[min]
+		}
+	}
+	return finish
+}

@@ -1,0 +1,572 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"time"
+
+	"seabed/internal/idlist"
+	"seabed/internal/ope"
+	"seabed/internal/sqlparse"
+	"seabed/internal/store"
+)
+
+// groupKey identifies a group within map/reduce bookkeeping. Bytes keys are
+// folded into the string field.
+type groupKey struct {
+	kind   store.Kind
+	u64    uint64
+	str    string
+	suffix int
+}
+
+// partial is an in-flight aggregate for one group.
+type partial struct {
+	rows uint64
+	aggs []aggState
+}
+
+// aggState is one aggregate's accumulator.
+type aggState struct {
+	kind      AggKind
+	u64       uint64
+	ids       idlist.List
+	pail      *big.Int
+	ope       []byte
+	compBytes []byte // byte-valued companion of the winning row
+	argID     uint64 // winning row for min/max
+	// median collection: every selected row's key material.
+	medU64  []uint64
+	medOpe  [][]byte
+	medComp []uint64
+	medIDs  []uint64
+	seen    bool // for min/max: whether any row contributed
+	// encodedLen is the codec-compressed identifier-list size when the
+	// worker compressed it (shuffle accounting).
+	encodedLen int
+}
+
+func newPartial(aggs []Agg) *partial {
+	p := &partial{aggs: make([]aggState, len(aggs))}
+	for i, a := range aggs {
+		p.aggs[i].kind = a.Kind
+		if a.Kind == AggPaillierSum {
+			p.aggs[i].pail = a.PK.EncryptZero()
+		}
+	}
+	return p
+}
+
+// mapResult is one map task's output.
+type mapResult struct {
+	single  *partial
+	groups  map[groupKey]*partial
+	scan    []ScanRow
+	elapsed time.Duration
+	// bytes is the serialized partial size (shuffle traffic).
+	bytes        int
+	rowsScanned  uint64
+	rowsSelected uint64
+}
+
+// boundCols resolves every column a plan references against a partition and
+// the optional broadcast join.
+type boundCols struct {
+	filters    []*store.Column
+	aggs       []*store.Column
+	companions []*store.Column
+	group      *store.Column
+	project    []*store.Column
+
+	// joined columns come from the flattened right table.
+	filterRight  []bool
+	aggRight     []bool
+	groupRight   bool
+	projectRight []bool
+
+	leftKey  *store.Column
+	joinHash map[string]int
+	right    map[string]*store.Column
+}
+
+// flattenRight concatenates the right table's partitions per column.
+func flattenRight(t *store.Table, cols []string, key string) (map[string]*store.Column, error) {
+	names := append([]string{key}, cols...)
+	out := make(map[string]*store.Column, len(names))
+	for _, name := range names {
+		if _, ok := out[name]; ok {
+			continue
+		}
+		kind, err := t.ColKind(name)
+		if err != nil {
+			return nil, err
+		}
+		full := &store.Column{Name: name, Kind: kind}
+		for _, p := range t.Parts {
+			c := p.Col(name)
+			if c == nil {
+				return nil, fmt.Errorf("engine: join table %q partition missing column %q", t.Name, name)
+			}
+			switch kind {
+			case store.U64:
+				full.U64 = append(full.U64, c.U64...)
+			case store.Bytes:
+				full.Bytes = append(full.Bytes, c.Bytes...)
+			default:
+				full.Str = append(full.Str, c.Str...)
+			}
+		}
+		out[name] = full
+	}
+	return out, nil
+}
+
+// hashKeyOf renders a join/group key value as a map key.
+func hashKeyOf(c *store.Column, i int) string {
+	switch c.Kind {
+	case store.U64:
+		var b [8]byte
+		v := c.U64[i]
+		for j := 0; j < 8; j++ {
+			b[j] = byte(v >> (8 * j))
+		}
+		return string(b[:])
+	case store.Bytes:
+		return string(c.Bytes[i])
+	default:
+		return c.Str[i]
+	}
+}
+
+// buildJoinHash indexes the right table's key column.
+func buildJoinHash(right map[string]*store.Column, keyCol string) map[string]int {
+	key := right[keyCol]
+	h := make(map[string]int, key.Len())
+	for i := 0; i < key.Len(); i++ {
+		h[hashKeyOf(key, i)] = i
+	}
+	return h
+}
+
+// bind resolves the plan's columns against one partition.
+func (pl *Plan) bind(part *store.Partition, right map[string]*store.Column, joinHash map[string]int) (*boundCols, error) {
+	b := &boundCols{right: right, joinHash: joinHash}
+	resolve := func(name string) (*store.Column, bool, error) {
+		if c := part.Col(name); c != nil {
+			return c, false, nil
+		}
+		if right != nil {
+			if c, ok := right[name]; ok {
+				return c, true, nil
+			}
+		}
+		return nil, false, fmt.Errorf("engine: unknown column %q", name)
+	}
+	for _, f := range pl.Filters {
+		if f.Kind == FilterRandom {
+			b.filters = append(b.filters, nil)
+			b.filterRight = append(b.filterRight, false)
+			continue
+		}
+		c, r, err := resolve(f.Col)
+		if err != nil {
+			return nil, err
+		}
+		b.filters = append(b.filters, c)
+		b.filterRight = append(b.filterRight, r)
+	}
+	for _, a := range pl.Aggs {
+		if a.Kind == AggCount {
+			b.aggs = append(b.aggs, nil)
+			b.companions = append(b.companions, nil)
+			b.aggRight = append(b.aggRight, false)
+			continue
+		}
+		c, r, err := resolve(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		var comp *store.Column
+		if a.Companion != "" {
+			comp, _, err = resolve(a.Companion)
+			if err != nil {
+				return nil, err
+			}
+		}
+		b.aggs = append(b.aggs, c)
+		b.companions = append(b.companions, comp)
+		b.aggRight = append(b.aggRight, r)
+	}
+	if pl.GroupBy != nil {
+		c, r, err := resolve(pl.GroupBy.Col)
+		if err != nil {
+			return nil, err
+		}
+		b.group, b.groupRight = c, r
+	}
+	for _, name := range pl.Project {
+		c, r, err := resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		b.project = append(b.project, c)
+		b.projectRight = append(b.projectRight, r)
+	}
+	if pl.Join != nil {
+		c := part.Col(pl.Join.LeftCol)
+		if c == nil {
+			return nil, fmt.Errorf("engine: join key %q missing from left table", pl.Join.LeftCol)
+		}
+		b.leftKey = c
+	}
+	return b, nil
+}
+
+// splitmix64 is the deterministic per-row hash behind FilterRandom and group
+// inflation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func cmpMatch(op sqlparse.CmpOp, cmp int) bool {
+	switch op {
+	case sqlparse.OpEq:
+		return cmp == 0
+	case sqlparse.OpNe:
+		return cmp != 0
+	case sqlparse.OpLt:
+		return cmp < 0
+	case sqlparse.OpLe:
+		return cmp <= 0
+	case sqlparse.OpGt:
+		return cmp > 0
+	case sqlparse.OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// runMapTask executes the plan's map stage on one partition.
+func (pl *Plan) runMapTask(c *Cluster, part *store.Partition, right map[string]*store.Column, joinHash map[string]int, codec idlist.Codec) (*mapResult, error) {
+	b, err := pl.bind(part, right, joinHash)
+	if err != nil {
+		return nil, err
+	}
+	res := &mapResult{}
+	n := part.NumRows()
+	res.rowsScanned = uint64(n)
+
+	start := time.Now()
+	if pl.GroupBy == nil && len(pl.Project) == 0 {
+		res.single = newPartial(pl.Aggs)
+	} else if pl.GroupBy != nil {
+		res.groups = make(map[groupKey]*partial)
+	}
+
+	inflate := 0
+	if pl.GroupBy != nil && pl.GroupBy.Inflate > 1 {
+		inflate = pl.GroupBy.Inflate
+	}
+
+	for i := 0; i < n; i++ {
+		rowID := part.StartID + uint64(i)
+		joinIdx := -1
+		if b.leftKey != nil {
+			idx, ok := b.joinHash[hashKeyOf(b.leftKey, i)]
+			if !ok {
+				continue // inner join: unmatched rows drop
+			}
+			joinIdx = idx
+		}
+		// at maps a side flag to the row index without allocating (hot loop).
+		// Filters (conjunction).
+		ok := true
+		for fi := range pl.Filters {
+			f := &pl.Filters[fi]
+			switch f.Kind {
+			case FilterRandom:
+				if f.Prob < 1 && splitmix64(f.Seed^rowID) >= uint64(f.Prob*float64(1<<63))<<1 {
+					ok = false
+				}
+			case FilterPlainCmp:
+				col := b.filters[fi]
+				j := i
+				if b.filterRight[fi] {
+					j = joinIdx
+				}
+				if !cmpMatch(f.Op, cmpU64(col.U64[j], f.U64)) {
+					ok = false
+				}
+			case FilterStrCmp:
+				col := b.filters[fi]
+				j := i
+				if b.filterRight[fi] {
+					j = joinIdx
+				}
+				v := col.Str[j]
+				var cmp int
+				switch {
+				case v < f.Str:
+					cmp = -1
+				case v > f.Str:
+					cmp = 1
+				}
+				if !cmpMatch(f.Op, cmp) {
+					ok = false
+				}
+			case FilterDetEq:
+				col := b.filters[fi]
+				j := i
+				if b.filterRight[fi] {
+					j = joinIdx
+				}
+				if bytes.Equal(col.Bytes[j], f.Bytes) == f.Negate {
+					ok = false
+				}
+			case FilterOpeCmp:
+				col := b.filters[fi]
+				j := i
+				if b.filterRight[fi] {
+					j = joinIdx
+				}
+				if !cmpMatch(f.Op, ope.Compare(col.Bytes[j], f.Bytes)) {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		res.rowsSelected++
+
+		// Scan mode: project and continue.
+		if len(pl.Project) > 0 {
+			row := ScanRow{ID: rowID,
+				U64s:  make([]uint64, len(b.project)),
+				Bytes: make([][]byte, len(b.project)),
+				Strs:  make([]string, len(b.project))}
+			for pi, col := range b.project {
+				j := i
+				if b.projectRight[pi] {
+					j = joinIdx
+				}
+				switch col.Kind {
+				case store.U64:
+					row.U64s[pi] = col.U64[j]
+				case store.Bytes:
+					row.Bytes[pi] = col.Bytes[j]
+				default:
+					row.Strs[pi] = col.Str[j]
+				}
+			}
+			res.scan = append(res.scan, row)
+			continue
+		}
+
+		// Locate the group partial.
+		var pg *partial
+		if pl.GroupBy == nil {
+			pg = res.single
+		} else {
+			key := groupKey{kind: b.group.Kind, suffix: -1}
+			j := i
+			if b.groupRight {
+				j = joinIdx
+			}
+			switch b.group.Kind {
+			case store.U64:
+				key.u64 = b.group.U64[j]
+			case store.Bytes:
+				key.str = string(b.group.Bytes[j])
+			default:
+				key.str = b.group.Str[j]
+			}
+			if inflate > 0 {
+				key.suffix = int(splitmix64(c.cfg.Seed^rowID^0xa5a5) % uint64(inflate))
+			}
+			pg = res.groups[key]
+			if pg == nil {
+				pg = newPartial(pl.Aggs)
+				res.groups[key] = pg
+			}
+		}
+		pg.rows++
+
+		// Accumulate aggregates.
+		for ai := range pl.Aggs {
+			st := &pg.aggs[ai]
+			col := b.aggs[ai]
+			j := i
+			if col != nil && b.aggRight[ai] {
+				j = joinIdx
+			}
+			switch st.kind {
+			case AggCount:
+				st.u64++
+			case AggPlainSum:
+				st.u64 += col.U64[j]
+			case AggPlainSumSq:
+				st.u64 += col.U64[j] * col.U64[j]
+			case AggAsheSum:
+				st.u64 += col.U64[j]
+				st.ids.Append(rowID)
+			case AggPaillierSum:
+				pl.Aggs[ai].PK.AddInto(st.pail, new(big.Int).SetBytes(col.Bytes[j]))
+			case AggPlainMin:
+				if !st.seen || col.U64[j] < st.u64 {
+					st.u64, st.seen = col.U64[j], true
+				}
+			case AggPlainMax:
+				if !st.seen || col.U64[j] > st.u64 {
+					st.u64, st.seen = col.U64[j], true
+				}
+			case AggOpeMin:
+				if !st.seen || ope.Less(col.Bytes[j], st.ope) {
+					st.ope, st.argID, st.seen = col.Bytes[j], rowID, true
+					st.takeCompanion(b.companions[ai], j)
+				}
+			case AggOpeMax:
+				if !st.seen || ope.Less(st.ope, col.Bytes[j]) {
+					st.ope, st.argID, st.seen = col.Bytes[j], rowID, true
+					st.takeCompanion(b.companions[ai], j)
+				}
+			case AggPlainMedian:
+				st.medU64 = append(st.medU64, col.U64[j])
+			case AggOpeMedian:
+				st.medOpe = append(st.medOpe, col.Bytes[j])
+				st.medIDs = append(st.medIDs, rowID)
+				if comp := b.companions[ai]; comp != nil {
+					st.medComp = append(st.medComp, comp.U64[j])
+				}
+			}
+		}
+	}
+
+	// Worker-side compression of ASHE identifier lists (§4.5): encode here,
+	// inside the measured task, unless the ablation moved it to the driver.
+	if !pl.CompressAtDriver {
+		if res.single != nil {
+			if err := encodePartialIDs(res.single, codec); err != nil {
+				return nil, err
+			}
+		}
+		for _, pg := range res.groups {
+			if err := encodePartialIDs(pg, codec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.elapsed = time.Since(start)
+	res.bytes = pl.partialBytes(res, codec)
+	return res, nil
+}
+
+// encodedIDBytes holds codec output per agg between map and reduce; it rides
+// in the aggState to keep shuffle sizes honest.
+func encodePartialIDs(p *partial, codec idlist.Codec) error {
+	for i := range p.aggs {
+		st := &p.aggs[i]
+		if st.kind != AggAsheSum || st.ids.Empty() {
+			continue
+		}
+		enc, err := codec.Encode(st.ids)
+		if err != nil {
+			return fmt.Errorf("engine: encode id list: %v", err)
+		}
+		// Decode immediately: the reducer must merge raw lists, and a real
+		// deployment pays exactly this decode on the reduce side.
+		dec, err := codec.Decode(enc)
+		if err != nil {
+			return fmt.Errorf("engine: decode id list: %v", err)
+		}
+		st.ids = dec
+		st.encodedLen = len(enc)
+	}
+	return nil
+}
+
+// partialBytes estimates the serialized size of a map task's output.
+func (pl *Plan) partialBytes(res *mapResult, codec idlist.Codec) int {
+	total := 0
+	addPartial := func(key *groupKey, p *partial) {
+		if key != nil {
+			switch key.kind {
+			case store.U64:
+				total += 8
+			default:
+				total += len(key.str)
+			}
+			if key.suffix >= 0 {
+				total += 2
+			}
+		}
+		total += 8 // row count
+		for i := range p.aggs {
+			st := &p.aggs[i]
+			switch st.kind {
+			case AggCount, AggPlainSum, AggPlainSumSq, AggPlainMin, AggPlainMax:
+				total += 8
+			case AggAsheSum:
+				total += 8
+				if pl.CompressAtDriver {
+					total += 16 * st.ids.NumRanges() // raw ranges on the wire
+				} else {
+					total += st.encodedLen
+				}
+			case AggPaillierSum:
+				total += pl.Aggs[i].PK.CiphertextSize()
+			case AggOpeMin, AggOpeMax:
+				total += len(st.ope)
+			case AggPlainMedian:
+				total += 8 * len(st.medU64)
+			case AggOpeMedian:
+				total += len(st.medOpe) * (64 + 16)
+			}
+		}
+	}
+	if res.single != nil {
+		addPartial(nil, res.single)
+	}
+	for key, p := range res.groups {
+		k := key
+		addPartial(&k, p)
+	}
+	for _, row := range res.scan {
+		total += 8
+		for i := range row.U64s {
+			total += 8
+			total += len(row.Bytes[i])
+			total += len(row.Strs[i])
+		}
+	}
+	return total
+}
+
+// takeCompanion records the companion-column value of a new min/max winner.
+func (st *aggState) takeCompanion(comp *store.Column, j int) {
+	if comp == nil {
+		return
+	}
+	if comp.Kind == store.Bytes {
+		st.compBytes = comp.Bytes[j]
+		return
+	}
+	st.u64 = comp.U64[j]
+}

@@ -1,0 +1,282 @@
+// ID-list encodings (§4.5, Table 3). Seabed's default aggregation codec is
+// the composition Range + VB + Diff + Deflate(fast); group-by results use
+// VB + Diff without ranges because their per-group lists are sparse.
+package idlist
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Codec serializes and deserializes identifier lists.
+type Codec interface {
+	// Name identifies the codec in benchmark output, e.g. "ranges+vb+diff".
+	Name() string
+	Encode(l List) ([]byte, error)
+	Decode(data []byte) (List, error)
+}
+
+// Named codecs matching the encoding progression evaluated in Figure 8.
+var (
+	// RangeVB writes ranges with absolute variable-byte bounds ("Ranges & VB").
+	RangeVB Codec = rangeVB{diff: false}
+	// RangeVBDiff adds differential encoding of range bounds ("+Diff").
+	RangeVBDiff Codec = rangeVB{diff: true}
+	// RangeVBDiffDeflateFast adds Deflate optimized for speed ("+Deflate(Fast)").
+	RangeVBDiffDeflateFast Codec = deflated{inner: rangeVB{diff: true}, level: flate.BestSpeed, name: "ranges+vb+diff+deflate(fast)"}
+	// RangeVBDiffDeflateCompact adds Deflate optimized for ratio ("+Deflate(Compact)").
+	RangeVBDiffDeflateCompact Codec = deflated{inner: rangeVB{diff: true}, level: flate.BestCompression, name: "ranges+vb+diff+deflate(compact)"}
+	// VBDiff encodes individual identifiers with differential variable-byte
+	// encoding and no range encoding; Seabed uses it for group-by results
+	// whose sparse lists would bloat under range encoding (§4.5).
+	VBDiff Codec = vbDiff{}
+	// Bitmap is the dense-bitmap baseline that "performed poorly" (§6.4).
+	Bitmap Codec = bitmap{}
+)
+
+// Default is the codec Seabed selects for plain aggregation queries (§6.4):
+// range encoding, VB, differential encoding, and Deflate optimized for speed.
+var Default = RangeVBDiffDeflateFast
+
+// AllCodecs lists every codec in the Figure 8 sweep order.
+func AllCodecs() []Codec {
+	return []Codec{RangeVB, RangeVBDiff, RangeVBDiffDeflateCompact, RangeVBDiffDeflateFast, VBDiff, Bitmap}
+}
+
+type rangeVB struct{ diff bool }
+
+func (c rangeVB) Name() string {
+	if c.diff {
+		return "ranges+vb+diff"
+	}
+	return "ranges+vb"
+}
+
+func (c rangeVB) Encode(l List) ([]byte, error) {
+	buf := make([]byte, 0, 16+10*len(l.ranges))
+	buf = binary.AppendUvarint(buf, uint64(len(l.ranges)))
+	var prevHi uint64
+	for _, r := range l.ranges {
+		if c.diff {
+			// Delta from the previous range's Hi. Out-of-order (overlapping)
+			// ranges can make the delta negative; encode with zig-zag.
+			buf = binary.AppendVarint(buf, int64(r.Lo-prevHi))
+			buf = binary.AppendUvarint(buf, r.Hi-r.Lo)
+			prevHi = r.Hi
+		} else {
+			buf = binary.AppendUvarint(buf, r.Lo)
+			buf = binary.AppendUvarint(buf, r.Hi-r.Lo)
+		}
+	}
+	return buf, nil
+}
+
+func (c rangeVB) Decode(data []byte) (List, error) {
+	var l List
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return l, fmt.Errorf("idlist: %s: bad range count", c.Name())
+	}
+	data = data[k:]
+	l.ranges = make([]Range, 0, n)
+	var prevHi uint64
+	for i := uint64(0); i < n; i++ {
+		var lo uint64
+		if c.diff {
+			d, k := binary.Varint(data)
+			if k <= 0 {
+				return List{}, fmt.Errorf("idlist: %s: truncated lo at range %d", c.Name(), i)
+			}
+			data = data[k:]
+			lo = prevHi + uint64(d)
+		} else {
+			v, k := binary.Uvarint(data)
+			if k <= 0 {
+				return List{}, fmt.Errorf("idlist: %s: truncated lo at range %d", c.Name(), i)
+			}
+			data = data[k:]
+			lo = v
+		}
+		span, k := binary.Uvarint(data)
+		if k <= 0 {
+			return List{}, fmt.Errorf("idlist: %s: truncated span at range %d", c.Name(), i)
+		}
+		data = data[k:]
+		hi := lo + span
+		l.ranges = append(l.ranges, Range{lo, hi})
+		l.n += span + 1
+		prevHi = hi
+	}
+	return l, nil
+}
+
+type vbDiff struct{}
+
+func (vbDiff) Name() string { return "vb+diff" }
+
+func (vbDiff) Encode(l List) ([]byte, error) {
+	buf := make([]byte, 0, 8+int(l.n))
+	buf = binary.AppendUvarint(buf, l.n)
+	var prev uint64
+	for _, r := range l.ranges {
+		for id := r.Lo; ; id++ {
+			buf = binary.AppendVarint(buf, int64(id-prev))
+			prev = id
+			if id == r.Hi {
+				break
+			}
+		}
+	}
+	return buf, nil
+}
+
+func (vbDiff) Decode(data []byte) (List, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return List{}, fmt.Errorf("idlist: vb+diff: bad id count")
+	}
+	data = data[k:]
+	var l List
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		d, k := binary.Varint(data)
+		if k <= 0 {
+			return List{}, fmt.Errorf("idlist: vb+diff: truncated id %d", i)
+		}
+		data = data[k:]
+		id := prev + uint64(d)
+		l.Append(id)
+		prev = id
+	}
+	return l, nil
+}
+
+type bitmap struct{}
+
+func (bitmap) Name() string { return "bitmap" }
+
+func (bitmap) Encode(l List) ([]byte, error) {
+	if l.n == 0 {
+		return binary.AppendUvarint(nil, 0), nil
+	}
+	base := l.ranges[0].Lo
+	var hi uint64
+	for _, r := range l.ranges {
+		if r.Lo < base {
+			base = r.Lo
+		}
+		if r.Hi > hi {
+			hi = r.Hi
+		}
+	}
+	span := hi - base + 1
+	if span > 1<<33 {
+		return nil, fmt.Errorf("idlist: bitmap: span %d too large", span)
+	}
+	words := make([]uint64, (span+63)/64)
+	for _, r := range l.ranges {
+		for id := r.Lo; ; id++ {
+			off := id - base
+			if words[off/64]&(1<<(off%64)) != 0 {
+				return nil, fmt.Errorf("idlist: bitmap: duplicate id %d (bitmaps have set semantics)", id)
+			}
+			words[off/64] |= 1 << (off % 64)
+			if id == r.Hi {
+				break
+			}
+		}
+	}
+	buf := make([]byte, 0, 24+8*len(words))
+	buf = binary.AppendUvarint(buf, 1) // non-empty marker
+	buf = binary.AppendUvarint(buf, base)
+	buf = binary.AppendUvarint(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf, nil
+}
+
+func (bitmap) Decode(data []byte) (List, error) {
+	marker, k := binary.Uvarint(data)
+	if k <= 0 {
+		return List{}, fmt.Errorf("idlist: bitmap: bad marker")
+	}
+	data = data[k:]
+	if marker == 0 {
+		return List{}, nil
+	}
+	base, k := binary.Uvarint(data)
+	if k <= 0 {
+		return List{}, fmt.Errorf("idlist: bitmap: bad base")
+	}
+	data = data[k:]
+	nwords, k := binary.Uvarint(data)
+	if k <= 0 {
+		return List{}, fmt.Errorf("idlist: bitmap: bad word count")
+	}
+	data = data[k:]
+	if uint64(len(data)) < nwords*8 {
+		return List{}, fmt.Errorf("idlist: bitmap: truncated words")
+	}
+	var l List
+	for w := uint64(0); w < nwords; w++ {
+		word := binary.LittleEndian.Uint64(data[w*8:])
+		for word != 0 {
+			bit := uint64(trailingZeros(word))
+			l.Append(base + w*64 + bit)
+			word &= word - 1
+		}
+	}
+	return l, nil
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+type deflated struct {
+	inner Codec
+	level int
+	name  string
+}
+
+func (c deflated) Name() string { return c.name }
+
+func (c deflated) Encode(l List) ([]byte, error) {
+	raw, err := c.inner.Encode(l)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, c.level)
+	if err != nil {
+		return nil, fmt.Errorf("idlist: deflate: %v", err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		return nil, fmt.Errorf("idlist: deflate: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("idlist: deflate: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (c deflated) Decode(data []byte) (List, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return List{}, fmt.Errorf("idlist: inflate: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		return List{}, fmt.Errorf("idlist: inflate: %v", err)
+	}
+	return c.inner.Decode(raw)
+}

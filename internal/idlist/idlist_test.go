@@ -1,0 +1,305 @@
+package idlist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendCoalesces(t *testing.T) {
+	var l List
+	for id := uint64(1); id <= 100; id++ {
+		l.Append(id)
+	}
+	if l.NumRanges() != 1 {
+		t.Fatalf("ascending appends produced %d ranges, want 1", l.NumRanges())
+	}
+	if l.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", l.Len())
+	}
+	if l.Ranges()[0] != (Range{1, 100}) {
+		t.Fatalf("range = %v, want [1,100]", l.Ranges()[0])
+	}
+}
+
+func TestAppendGaps(t *testing.T) {
+	var l List
+	for _, id := range []uint64{2, 3, 4, 9, 23} {
+		l.Append(id)
+	}
+	if got := l.String(); got != "[2-4,9,23]" {
+		t.Fatalf("String = %q", got)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", l.Len())
+	}
+}
+
+func TestAppendRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for lo > hi")
+		}
+	}()
+	var l List
+	l.AppendRange(10, 5)
+}
+
+func TestMergeCoalescesAbutting(t *testing.T) {
+	a := FromRange(1, 50)
+	b := FromRange(51, 100)
+	a.Merge(b)
+	if a.NumRanges() != 1 || a.Len() != 100 {
+		t.Fatalf("merge of abutting ranges: %v (len %d)", a.String(), a.Len())
+	}
+}
+
+func TestMergePreservesDuplicates(t *testing.T) {
+	a := FromRange(1, 10)
+	b := FromRange(5, 15)
+	a.Merge(b)
+	if a.Len() != 21 {
+		t.Fatalf("multiset merge Len = %d, want 21", a.Len())
+	}
+	// IDs 5..10 must appear twice.
+	counts := map[uint64]int{}
+	for _, id := range a.IDs() {
+		counts[id]++
+	}
+	for id := uint64(5); id <= 10; id++ {
+		if counts[id] != 2 {
+			t.Fatalf("id %d count = %d, want 2", id, counts[id])
+		}
+	}
+}
+
+func TestMergeInterleaved(t *testing.T) {
+	var a, b List
+	for id := uint64(1); id <= 1000; id += 2 {
+		a.Append(id)
+	}
+	for id := uint64(2); id <= 1000; id += 2 {
+		b.Append(id)
+	}
+	a.Merge(b)
+	if a.NumRanges() != 1 || a.Len() != 1000 {
+		t.Fatalf("interleaved merge: ranges=%d len=%d, want 1/1000", a.NumRanges(), a.Len())
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	var a List
+	b := FromRange(3, 7)
+	a.Merge(b)
+	if !a.Equal(b) {
+		t.Fatal("merge into empty must equal other")
+	}
+	c := FromRange(3, 7)
+	var empty List
+	c.Merge(empty)
+	if !c.Equal(b) {
+		t.Fatal("merge of empty must be identity")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromRange(1, 10)
+	c := a.Clone()
+	a.Append(11)
+	if c.Len() != 10 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+// randomList builds a pseudo-random list with the given number of runs.
+func randomList(rng *rand.Rand, runs int) List {
+	var l List
+	cur := uint64(rng.Intn(100) + 1)
+	for i := 0; i < runs; i++ {
+		span := uint64(rng.Intn(50))
+		l.AppendRange(cur, cur+span)
+		cur += span + uint64(rng.Intn(100)) + 2 // keep a gap so runs stay distinct
+	}
+	return l
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, codec := range AllCodecs() {
+		t.Run(codec.Name(), func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				l := randomList(rng, rng.Intn(30)+1)
+				data, err := codec.Encode(l)
+				if err != nil {
+					t.Fatalf("encode: %v", err)
+				}
+				got, err := codec.Decode(data)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if !reflect.DeepEqual(got.IDs(), l.IDs()) {
+					t.Fatalf("roundtrip mismatch:\n  in  %s\n  out %s", l, got)
+				}
+			}
+		})
+	}
+}
+
+func TestCodecRoundtripEmpty(t *testing.T) {
+	for _, codec := range AllCodecs() {
+		data, err := codec.Encode(List{})
+		if err != nil {
+			t.Fatalf("%s: encode empty: %v", codec.Name(), err)
+		}
+		got, err := codec.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode empty: %v", codec.Name(), err)
+		}
+		if !got.Empty() {
+			t.Fatalf("%s: decoded non-empty list from empty input", codec.Name())
+		}
+	}
+}
+
+func TestCodecRoundtripProperty(t *testing.T) {
+	f := func(seed int64, runs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomList(rng, int(runs%20)+1)
+		for _, codec := range AllCodecs() {
+			data, err := codec.Encode(l)
+			if err != nil {
+				return false
+			}
+			got, err := codec.Decode(data)
+			if err != nil {
+				return false
+			}
+			if got.Len() != l.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapRejectsDuplicates(t *testing.T) {
+	a := FromRange(1, 10)
+	a.Merge(FromRange(5, 6))
+	if _, err := Bitmap.Encode(a); err == nil {
+		t.Fatal("bitmap must reject multisets with duplicates")
+	}
+}
+
+func TestRangeEncodingBeatsVBDiffOnDenseLists(t *testing.T) {
+	// A fully contiguous selection (selectivity 100%) is the best case for
+	// range encoding (§6.4): constant size vs linear for per-id encodings.
+	l := FromRange(1, 100000)
+	rv, err := RangeVBDiff.Encode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, err := VBDiff.Encode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv) >= len(vd)/100 {
+		t.Fatalf("range encoding (%dB) should be tiny vs vb+diff (%dB) on contiguous lists", len(rv), len(vd))
+	}
+}
+
+func TestDiffEncodingShrinksLargeIDs(t *testing.T) {
+	// Lists with large absolute ids but small gaps shrink under Diff (§4.5).
+	var l List
+	base := uint64(1) << 40
+	for i := uint64(0); i < 1000; i++ {
+		l.Append(base + i*3)
+	}
+	abs, err := RangeVB.Encode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := RangeVBDiff.Encode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) >= len(abs) {
+		t.Fatalf("diff (%dB) should beat absolute (%dB) for large ids with small gaps", len(diff), len(abs))
+	}
+}
+
+func TestEveryOtherRowCompressesWellUnderDeflate(t *testing.T) {
+	// §6.1: selecting all even rows doubles the raw range list, but the
+	// differences are constant so stock compression works very well.
+	var l List
+	for id := uint64(2); id <= 200000; id += 2 {
+		l.Append(id)
+	}
+	raw, err := RangeVBDiff.Encode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := RangeVBDiffDeflateFast.Encode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(raw)/10 {
+		t.Fatalf("deflate (%dB) should compress the regular pattern far below raw (%dB)", len(comp), len(raw))
+	}
+}
+
+func TestTable3Examples(t *testing.T) {
+	// Table 3's running example: [2..14, 19..23].
+	var l List
+	l.AppendRange(2, 14)
+	l.AppendRange(19, 23)
+	if got := l.String(); got != "[2-14,19-23]" {
+		t.Fatalf("String = %q, want [2-14,19-23]", got)
+	}
+	data, err := RangeVBDiff.Encode(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RangeVBDiff.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(l) {
+		t.Fatalf("roundtrip: %s", got)
+	}
+}
+
+func BenchmarkEncodeDefaultDense(b *testing.B) {
+	l := FromRange(1, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Default.Encode(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDefaultSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	l := randomList(rng, 10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Default.Encode(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randomList(rng, 5000)
+	y := randomList(rng, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.Merge(y)
+	}
+}

@@ -1,0 +1,59 @@
+// Package netsim models the network links of Seabed's deployment: the
+// in-cluster links between Spark workers (shuffle traffic) and the link
+// between the cloud and the client proxy (result traffic). The paper's
+// testbed places the client inside the Azure cluster (≈2 Gbps, sub-ms) and
+// then artificially degrades the link to 100 Mbps/10 ms and 10 Mbps/100 ms
+// to measure sensitivity (§6.1, §6.6); the same three operating points are
+// predefined here.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link is a bandwidth/latency pair.
+type Link struct {
+	// BitsPerSecond is the link bandwidth.
+	BitsPerSecond float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+}
+
+// Predefined links matching the paper's evaluation settings.
+var (
+	// InCluster is the default client placement: a node in the same cluster
+	// (TCP throughput ≈ 2 Gbps).
+	InCluster = Link{BitsPerSecond: 2e9, Latency: 500 * time.Microsecond}
+	// WAN100 is the 100 Mbps / 10 ms degraded link of §6.6.
+	WAN100 = Link{BitsPerSecond: 100e6, Latency: 10 * time.Millisecond}
+	// WAN10 is the 10 Mbps / 100 ms degraded link of §6.6.
+	WAN10 = Link{BitsPerSecond: 10e6, Latency: 100 * time.Millisecond}
+	// Shuffle is the per-worker in-cluster link used for map→reduce
+	// traffic.
+	Shuffle = Link{BitsPerSecond: 1e9, Latency: 200 * time.Microsecond}
+)
+
+// TransferTime returns the modeled time to move the given number of bytes
+// across the link: latency plus serialization delay.
+func (l Link) TransferTime(bytes int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if l.BitsPerSecond <= 0 {
+		return l.Latency
+	}
+	sec := float64(bytes) * 8 / l.BitsPerSecond
+	return l.Latency + time.Duration(sec*float64(time.Second))
+}
+
+// String implements fmt.Stringer, e.g. "2.0Gbps/500µs".
+func (l Link) String() string {
+	switch {
+	case l.BitsPerSecond >= 1e9:
+		return fmt.Sprintf("%.1fGbps/%v", l.BitsPerSecond/1e9, l.Latency)
+	case l.BitsPerSecond >= 1e6:
+		return fmt.Sprintf("%.0fMbps/%v", l.BitsPerSecond/1e6, l.Latency)
+	}
+	return fmt.Sprintf("%.0fbps/%v", l.BitsPerSecond, l.Latency)
+}

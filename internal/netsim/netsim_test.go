@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTime(t *testing.T) {
+	l := Link{BitsPerSecond: 8e6, Latency: 10 * time.Millisecond} // 1 MB/s
+	got := l.TransferTime(1 << 20)                                // 1 MiB
+	want := 10*time.Millisecond + time.Duration(float64(1<<20)*8/8e6*float64(time.Second))
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTimeZeroBytes(t *testing.T) {
+	if got := WAN10.TransferTime(0); got != WAN10.Latency {
+		t.Fatalf("zero-byte transfer = %v, want latency %v", got, WAN10.Latency)
+	}
+	if got := WAN10.TransferTime(-5); got != WAN10.Latency {
+		t.Fatalf("negative bytes = %v, want latency", got)
+	}
+}
+
+func TestTransferTimeDegenerateLink(t *testing.T) {
+	l := Link{Latency: time.Millisecond}
+	if got := l.TransferTime(1 << 30); got != time.Millisecond {
+		t.Fatalf("zero-bandwidth link should cost only latency, got %v", got)
+	}
+}
+
+func TestLinkOrdering(t *testing.T) {
+	// The three paper settings must be strictly ordered for any payload.
+	const payload = 100 << 10
+	if !(InCluster.TransferTime(payload) < WAN100.TransferTime(payload)) {
+		t.Fatal("InCluster should beat WAN100")
+	}
+	if !(WAN100.TransferTime(payload) < WAN10.TransferTime(payload)) {
+		t.Fatal("WAN100 should beat WAN10")
+	}
+}
+
+func TestString(t *testing.T) {
+	for link, want := range map[Link]string{
+		InCluster: "2.0Gbps/500µs",
+		WAN100:    "100Mbps/10ms",
+		WAN10:     "10Mbps/100ms",
+	} {
+		if got := link.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}

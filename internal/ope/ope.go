@@ -1,0 +1,116 @@
+// Package ope implements the practical order-revealing encryption scheme of
+// Chenette, Lewi, Weis and Wu (FSE 2016), which Seabed uses for dimensions
+// with range predicates (§4.2, Appendix A.3).
+//
+// For an n-bit message m with bits b1…bn (most significant first), the
+// ciphertext is (u1, …, un) with
+//
+//	u_i = (F(k, (i, b1…b_{i−1} ‖ 0^{n−i})) + b_i) mod 3
+//
+// where F is a PRF. Compare finds the smallest index where two ciphertexts
+// differ; if u_i = (u'_i + 1) mod 3 the first plaintext is larger. The
+// scheme's leakage is precisely quantified: for any pair of ciphertexts it
+// reveals the order and the index of the most significant bit where the
+// plaintexts differ (inddiff), and nothing more. Unlike the mutable OPE
+// used by CryptDB it is stateless and handles dynamic data, which is why
+// Seabed adopts it (§4.2).
+package ope
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// KeySize is the secret key length in bytes.
+const KeySize = 16
+
+// Bits is the plaintext width in bits.
+const Bits = 64
+
+// CiphertextSize is the encoded ciphertext length: one byte per plaintext
+// bit, each holding an element of Z_3.
+const CiphertextSize = Bits
+
+// Key encrypts 64-bit values under the ORE scheme. It is safe for concurrent
+// use: every operation derives fresh AES blocks without shared state.
+type Key struct {
+	block cipher.Block
+}
+
+// NewKey returns a Key for the given 16-byte secret.
+func NewKey(secret []byte) (*Key, error) {
+	if len(secret) != KeySize {
+		return nil, fmt.Errorf("ope: secret must be %d bytes, got %d", KeySize, len(secret))
+	}
+	block, err := aes.NewCipher(secret)
+	if err != nil {
+		return nil, fmt.Errorf("ope: %v", err)
+	}
+	return &Key{block: block}, nil
+}
+
+// MustNewKey is like NewKey but panics on error.
+func MustNewKey(secret []byte) *Key {
+	k, err := NewKey(secret)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Encrypt produces the ORE ciphertext of v: CiphertextSize bytes, each the
+// mod-3 encoding of one plaintext bit position.
+func (k *Key) Encrypt(v uint64) []byte {
+	ct := make([]byte, CiphertextSize)
+	var in, out [aes.BlockSize]byte
+	for i := 0; i < Bits; i++ {
+		// prefix = top i bits of v, remaining bits zeroed.
+		var prefix uint64
+		if i > 0 {
+			prefix = v &^ (^uint64(0) >> uint(i))
+		}
+		in[0] = byte(i + 1) // bit index, 1-based as in the paper
+		binary.BigEndian.PutUint64(in[8:], prefix)
+		k.block.Encrypt(out[:], in[:])
+		f := binary.BigEndian.Uint64(out[:8]) % 3
+		bit := (v >> uint(Bits-1-i)) & 1
+		ct[i] = byte((f + bit) % 3)
+	}
+	return ct
+}
+
+// Compare returns the order of the plaintexts underlying two ciphertexts:
+// -1 if ct1 < ct2, 0 if equal, +1 if ct1 > ct2. This is the keyless
+// comparison the untrusted server evaluates.
+func Compare(ct1, ct2 []byte) int {
+	cmp, _ := CompareLeak(ct1, ct2)
+	return cmp
+}
+
+// CompareLeak is Compare but also returns the scheme's documented leakage:
+// the 1-based index of the most significant bit where the plaintexts differ
+// (0 when equal).
+func CompareLeak(ct1, ct2 []byte) (cmp, inddiff int) {
+	n := len(ct1)
+	if len(ct2) < n {
+		n = len(ct2)
+	}
+	for i := 0; i < n; i++ {
+		if ct1[i] == ct2[i] {
+			continue
+		}
+		if ct1[i] == (ct2[i]+1)%3 {
+			return 1, i + 1
+		}
+		return -1, i + 1
+	}
+	return 0, 0
+}
+
+// Less reports whether ct1's plaintext is strictly smaller than ct2's.
+func Less(ct1, ct2 []byte) bool { return Compare(ct1, ct2) < 0 }
+
+// Leq reports whether ct1's plaintext is ≤ ct2's.
+func Leq(ct1, ct2 []byte) bool { return Compare(ct1, ct2) <= 0 }

@@ -1,0 +1,140 @@
+package ope
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+var testKey = MustNewKey([]byte("0123456789abcdef"))
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareMatchesPlaintextOrder(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ca, cb := testKey.Encrypt(a), testKey.Encrypt(b)
+		return Compare(ca, cb) == cmpU64(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAdjacentValues(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 127, 128, 1 << 32, ^uint64(0) - 1} {
+		ca, cb := testKey.Encrypt(v), testKey.Encrypt(v+1)
+		if Compare(ca, cb) != -1 {
+			t.Fatalf("Compare(Enc(%d), Enc(%d)) != -1", v, v+1)
+		}
+		if Compare(cb, ca) != 1 {
+			t.Fatalf("Compare(Enc(%d), Enc(%d)) != 1", v+1, v)
+		}
+	}
+}
+
+func TestDeterministicEquality(t *testing.T) {
+	a := testKey.Encrypt(12345)
+	b := testKey.Encrypt(12345)
+	if !bytes.Equal(a, b) {
+		t.Fatal("ORE is deterministic; equal plaintexts must produce equal ciphertexts")
+	}
+	if Compare(a, b) != 0 {
+		t.Fatal("Compare of equal ciphertexts must be 0")
+	}
+}
+
+func TestLeakageIsFirstDifferingBit(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		_, inddiff := CompareLeak(testKey.Encrypt(a), testKey.Encrypt(b))
+		want := bits.LeadingZeros64(a^b) + 1 // 1-based index of first differing bit
+		return inddiff == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeqLess(t *testing.T) {
+	c5, c9 := testKey.Encrypt(5), testKey.Encrypt(9)
+	if !Less(c5, c9) || Less(c9, c5) || Less(c5, c5) {
+		t.Fatal("Less misbehaves")
+	}
+	if !Leq(c5, c9) || !Leq(c5, c5) || Leq(c9, c5) {
+		t.Fatal("Leq misbehaves")
+	}
+}
+
+func TestCiphertextSize(t *testing.T) {
+	if n := len(testKey.Encrypt(7)); n != CiphertextSize {
+		t.Fatalf("ciphertext is %d bytes, want %d", n, CiphertextSize)
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	// Sortedness check across a spread of values.
+	values := []uint64{0, 1, 5, 63, 64, 1000, 1 << 20, 1 << 40, ^uint64(0)}
+	cts := make([][]byte, len(values))
+	for i, v := range values {
+		cts[i] = testKey.Encrypt(v)
+	}
+	for i := range values {
+		for j := range values {
+			if Compare(cts[i], cts[j]) != cmpU64(values[i], values[j]) {
+				t.Fatalf("Compare(%d, %d) inconsistent", values[i], values[j])
+			}
+		}
+	}
+}
+
+func TestDifferentKeysProduceDifferentCiphertexts(t *testing.T) {
+	// Sanity check that the key matters: equal plaintexts under different
+	// keys must not compare equal.
+	other := MustNewKey([]byte("fedcba9876543210"))
+	equal := 0
+	for v := uint64(0); v < 64; v++ {
+		if Compare(testKey.Encrypt(v), other.Encrypt(v)) == 0 {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("%d/64 cross-key ciphertext pairs compared equal; key appears unused", equal)
+	}
+}
+
+func TestNewKeyRejectsBadSecret(t *testing.T) {
+	if _, err := NewKey([]byte("short")); err == nil {
+		t.Fatal("want error for short secret")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		testKey.Encrypt(uint64(i))
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	// Random pairs: comparison scans until the first differing bit.
+	cts := make([][]byte, 256)
+	for i := range cts {
+		cts[i] = testKey.Encrypt(uint64(i) * 2654435761)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compare(cts[i%256], cts[(i+1)%256])
+	}
+}

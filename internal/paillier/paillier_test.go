@@ -1,0 +1,173 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testBits keeps unit tests fast; correctness is independent of size.
+const testBits = 256
+
+var testSK = mustKey(testBits)
+
+func mustKey(bits int) *PrivateKey {
+	sk, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+}
+
+func TestRoundtrip(t *testing.T) {
+	f := func(v uint64) bool {
+		c, err := testSK.EncryptU64(rand.Reader, v)
+		if err != nil {
+			return false
+		}
+		return testSK.DecryptU64(c) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilistic(t *testing.T) {
+	a, err := testSK.EncryptU64(rand.Reader, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSK.EncryptU64(rand.Reader, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) == 0 {
+		t.Fatal("two encryptions of the same value coincide; scheme is not randomized")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ca, err := testSK.EncryptU64(rand.Reader, uint64(a))
+		if err != nil {
+			return false
+		}
+		cb, err := testSK.EncryptU64(rand.Reader, uint64(b))
+		if err != nil {
+			return false
+		}
+		sum := testSK.Add(ca, cb)
+		return testSK.DecryptU64(sum) == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateManyValues(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	acc := testSK.EncryptZero()
+	var want uint64
+	for i := 0; i < 200; i++ {
+		v := uint64(rng.Intn(1 << 30))
+		want += v
+		c, err := testSK.EncryptU64(rand.Reader, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testSK.AddInto(acc, c)
+	}
+	if got := testSK.DecryptU64(acc); got != want {
+		t.Fatalf("aggregate = %d, want %d", got, want)
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	if _, err := testSK.Encrypt(rand.Reader, new(big.Int).Neg(big.NewInt(1))); err == nil {
+		t.Fatal("want error for negative message")
+	}
+	if _, err := testSK.Encrypt(rand.Reader, testSK.N); err == nil {
+		t.Fatal("want error for message ≥ N")
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	c, err := testSK.EncryptU64(rand.Reader, 123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testSK.Marshal(c)
+	if len(data) != testSK.CiphertextSize() {
+		t.Fatalf("marshaled size %d, want %d", len(data), testSK.CiphertextSize())
+	}
+	back := testSK.Unmarshal(data)
+	if testSK.DecryptU64(back) != 123456 {
+		t.Fatal("marshal roundtrip changed plaintext")
+	}
+}
+
+func TestMaskPool(t *testing.T) {
+	pool, err := testSK.NewMaskPool(rand.Reader, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	acc := testSK.EncryptZero()
+	for i := uint64(0); i < 50; i++ {
+		want += i * 11
+		testSK.AddInto(acc, pool.EncryptU64(i*11))
+	}
+	if got := testSK.DecryptU64(acc); got != want {
+		t.Fatalf("pool aggregate = %d, want %d", got, want)
+	}
+}
+
+func TestMaskPoolRejectsBadSize(t *testing.T) {
+	if _, err := testSK.NewMaskPool(rand.Reader, 0); err == nil {
+		t.Fatal("want error for zero pool size")
+	}
+}
+
+func TestGenerateKeyRejectsTinyModulus(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 32); err == nil {
+		t.Fatal("want error for tiny modulus")
+	}
+}
+
+func TestCiphertextSize(t *testing.T) {
+	if got := testSK.CiphertextSize(); got != 2*testBits/8 {
+		t.Fatalf("CiphertextSize = %d, want %d", got, 2*testBits/8)
+	}
+}
+
+// Table 1 micro-benchmarks at the paper's key size.
+
+var benchSK = mustKey(DefaultBits)
+
+func BenchmarkEncrypt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSK.EncryptU64(rand.Reader, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	c1, _ := benchSK.EncryptU64(rand.Reader, 1)
+	c2, _ := benchSK.EncryptU64(rand.Reader, 2)
+	acc := new(big.Int).Set(c1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSK.AddInto(acc, c2)
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	c, _ := benchSK.EncryptU64(rand.Reader, 12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSK.Decrypt(c)
+	}
+}

@@ -1,0 +1,69 @@
+package planner
+
+import (
+	"fmt"
+
+	"seabed/internal/sqlparse"
+)
+
+// Category is the §5 / Table 4 support classification of a query.
+type Category int
+
+const (
+	// Server queries run purely on the untrusted server.
+	Server Category = iota
+	// ClientPre queries need client pre-processing at upload time (e.g.
+	// squared columns for variance).
+	ClientPre
+	// ClientPost queries need client post-processing after decryption
+	// (arbitrary functions, sorting on aggregates).
+	ClientPost
+	// TwoRoundTrips queries need the client to compute an intermediate
+	// result, re-encrypt it, and send it back (e.g. iterative regression).
+	TwoRoundTrips
+)
+
+// String implements fmt.Stringer using the paper's Table 6 labels.
+func (c Category) String() string {
+	switch c {
+	case Server:
+		return "S"
+	case ClientPre:
+		return "CPre"
+	case ClientPost:
+		return "CPost"
+	case TwoRoundTrips:
+		return "2R"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// QueryTraits carries the out-of-band properties of a query that the SQL
+// text alone cannot express (user-defined functions, iterative analyses).
+// Workload generators attach these to their query logs.
+type QueryTraits struct {
+	// UDF marks queries applying an arbitrary client-side function to the
+	// result.
+	UDF bool
+	// Iterative marks queries whose analysis feeds intermediate results
+	// back to the server (linear regression and friends).
+	Iterative bool
+}
+
+// Classify assigns a parsed query (plus traits) to its Table 4 category.
+func Classify(q *sqlparse.Query, traits QueryTraits) Category {
+	if traits.Iterative {
+		return TwoRoundTrips
+	}
+	if traits.UDF {
+		return ClientPost
+	}
+	for _, se := range q.Select {
+		switch se.Agg {
+		case sqlparse.AggVar, sqlparse.AggStddev:
+			// Quadratic aggregates need the client-uploaded squared column.
+			return ClientPre
+		}
+	}
+	return Server
+}

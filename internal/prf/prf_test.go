@@ -1,0 +1,158 @@
+package prf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func TestNewRejectsBadKey(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New with %d-byte key: want error", n)
+		}
+	}
+	if _, err := New(testKey); err != nil {
+		t.Fatalf("New with 16-byte key: %v", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := MustNew(testKey)
+	b := MustNew(testKey)
+	for id := uint64(0); id < 1000; id++ {
+		if a.U64(id) != b.U64(id) {
+			t.Fatalf("U64(%d) differs between instances with same key", id)
+		}
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	a := MustNew(testKey)
+	b := MustNew([]byte("fedcba9876543210"))
+	same := 0
+	for id := uint64(0); id < 256; id++ {
+		if a.U64(id) == b.U64(id) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different keys agree on %d/256 outputs; PRF looks key-independent", same)
+	}
+}
+
+func TestCacheConsistency(t *testing.T) {
+	// Random-order access must agree with sequential access.
+	seq := MustNew(testKey)
+	want := make(map[uint64]uint64)
+	for id := uint64(0); id < 512; id++ {
+		want[id] = seq.U64(id)
+	}
+	rnd := MustNew(testKey)
+	order := []uint64{511, 0, 3, 2, 509, 1, 100, 101, 100, 99, 510}
+	for _, id := range order {
+		if got := rnd.U64(id); got != want[id] {
+			t.Fatalf("U64(%d) = %#x out of order, want %#x", id, got, want[id])
+		}
+	}
+}
+
+func TestDeltaMatchesDefinition(t *testing.T) {
+	p := MustNew(testKey)
+	f := func(id uint64) bool {
+		if id == 0 {
+			id = 1
+		}
+		want := p.U64(id) - p.U64(id-1)
+		return p.Delta(id) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeDeltaTelescopes(t *testing.T) {
+	p := MustNew(testKey)
+	f := func(lo uint64, span uint16) bool {
+		if lo == 0 {
+			lo = 1
+		}
+		hi := lo + uint64(span)%256
+		var sum uint64
+		for i := lo; i <= hi; i++ {
+			sum += p.Delta(i)
+		}
+		return p.RangeDelta(lo, hi) == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := MustNew(testKey)
+	_ = a.U64(42)
+	b := a.Clone()
+	if a.U64(7) != b.U64(7) {
+		t.Fatal("clone disagrees with original")
+	}
+	// Interleave accesses in different orders; caches must not interfere.
+	for id := uint64(0); id < 100; id++ {
+		va := a.U64(id)
+		_ = b.U64(99 - id) // perturb b's cache
+		if vb := b.U64(id); va != vb {
+			t.Fatalf("interleaved access disagrees at id %d: %#x vs %#x", id, va, vb)
+		}
+	}
+}
+
+func TestU32QuadMatchesU64(t *testing.T) {
+	p := MustNew(testKey)
+	for ctr := uint64(0); ctr < 64; ctr++ {
+		q := p.U32Quad(ctr)
+		hi := p.U64(2 * ctr)
+		lo := p.U64(2*ctr + 1)
+		if uint64(q[0])<<32|uint64(q[1]) != hi || uint64(q[2])<<32|uint64(q[3]) != lo {
+			t.Fatalf("U32Quad(%d) inconsistent with U64 outputs", ctr)
+		}
+	}
+}
+
+func TestOutputsLookUniform(t *testing.T) {
+	// Crude sanity check: count bits set over many outputs; expect close to half.
+	p := MustNew(testKey)
+	ones := 0
+	const n = 4096
+	for id := uint64(0); id < n; id++ {
+		v := p.U64(id)
+		for ; v != 0; v &= v - 1 {
+			ones++
+		}
+	}
+	total := n * 64
+	frac := float64(ones) / float64(total)
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("bit density %.4f; expected ~0.5", frac)
+	}
+}
+
+func BenchmarkU64Sequential(b *testing.B) {
+	p := MustNew(testKey)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.U64(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkU64Random(b *testing.B) {
+	p := MustNew(testKey)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.U64(uint64(i) * 2654435761)
+	}
+	_ = sink
+}

@@ -1,0 +1,136 @@
+// Package schema models plaintext and encrypted table schemas: the input a
+// user hands to the Seabed planner (§4.2) and the encrypted layout the
+// planner produces.
+//
+// A plaintext column is either an integer measure/dimension or a string
+// dimension. Encrypted columns carry one of Seabed's schemes: ASHE for
+// aggregated measures, SPLASHE (basic or enhanced) for low-cardinality
+// filter dimensions, DET for join/group dimensions, OPE for range
+// dimensions, or Plain for columns the user marked non-sensitive.
+package schema
+
+import "fmt"
+
+// Type is a plaintext column type.
+type Type int
+
+const (
+	// Int64 columns hold 64-bit integers (measures and numeric dimensions).
+	Int64 Type = iota
+	// String columns hold strings (categorical or key dimensions).
+	String
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case String:
+		return "string"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Column describes one plaintext column.
+type Column struct {
+	Name string
+	Type Type
+	// Sensitive marks columns that must be encrypted. The planner chooses
+	// the scheme; non-sensitive columns stay plaintext.
+	Sensitive bool
+	// Cardinality is the number of distinct values a dimension can take
+	// (0 when unknown). Required for SPLASHE.
+	Cardinality int
+	// Freqs optionally gives the expected occurrence count of each value
+	// (indexed by value id). Required for enhanced SPLASHE (§3.4: "we do,
+	// however, need to know the distribution of the values").
+	Freqs []uint64
+	// Values optionally names each value id of a string dimension; the
+	// client-side dictionary maps between strings and ids.
+	Values []string
+}
+
+// Table describes a plaintext table.
+type Table struct {
+	Name    string
+	Columns []Column
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// Scheme identifies an encryption scheme chosen for a column.
+type Scheme int
+
+const (
+	// Plain leaves the column unencrypted.
+	Plain Scheme = iota
+	// ASHE encrypts a measure with additive symmetric homomorphic
+	// encryption (§3.1).
+	ASHE
+	// DET encrypts a dimension deterministically (§2.1), enabling equality
+	// checks, grouping, and joins at the cost of frequency leakage.
+	DET
+	// OPE encrypts a dimension with order-revealing encryption (§4.2),
+	// enabling range predicates.
+	OPE
+	// SplasheBasic splays a dimension into per-value indicator columns
+	// (§3.3).
+	SplasheBasic
+	// SplasheEnhanced splays the common values and balances the rest
+	// behind DET (§3.4).
+	SplasheEnhanced
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Plain:
+		return "plain"
+	case ASHE:
+		return "ashe"
+	case DET:
+		return "det"
+	case OPE:
+		return "ope"
+	case SplasheBasic:
+		return "splashe-basic"
+	case SplasheEnhanced:
+		return "splashe-enhanced"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Role classifies how queries use a column (§4.2).
+type Role int
+
+const (
+	// RoleNone means the sample queries never touch the column.
+	RoleNone Role = 0
+	// RoleMeasure marks columns aggregated by queries.
+	RoleMeasure Role = 1 << iota
+	// RoleDimension marks columns used to filter or group rows.
+	RoleDimension
+	// RoleJoin marks columns used as join keys.
+	RoleJoin
+	// RoleRange marks dimensions compared with <, ≤, >, ≥.
+	RoleRange
+	// RoleGroup marks dimensions used in GROUP BY.
+	RoleGroup
+	// RoleQuadratic marks measures aggregated with quadratic functions
+	// (variance, stddev), which need a client-computed squared column.
+	RoleQuadratic
+	// RoleProjected marks columns returned verbatim by scan queries.
+	RoleProjected
+)
+
+// Has reports whether r includes the given role bit.
+func (r Role) Has(bit Role) bool { return r&bit != 0 }

@@ -1,0 +1,60 @@
+package schema
+
+import "testing"
+
+func TestTableColumnLookup(t *testing.T) {
+	tbl := &Table{Name: "t", Columns: []Column{
+		{Name: "a", Type: Int64},
+		{Name: "b", Type: String},
+	}}
+	if c := tbl.Column("a"); c == nil || c.Type != Int64 {
+		t.Fatalf("Column(a) = %+v", c)
+	}
+	if c := tbl.Column("b"); c == nil || c.Type != String {
+		t.Fatalf("Column(b) = %+v", c)
+	}
+	if tbl.Column("missing") != nil {
+		t.Fatal("Column(missing) should be nil")
+	}
+}
+
+func TestColumnMutableThroughLookup(t *testing.T) {
+	tbl := &Table{Columns: []Column{{Name: "a"}}}
+	tbl.Column("a").Sensitive = true
+	if !tbl.Columns[0].Sensitive {
+		t.Fatal("Column must return a pointer into the table")
+	}
+}
+
+func TestRoleHas(t *testing.T) {
+	r := RoleMeasure | RoleQuadratic
+	if !r.Has(RoleMeasure) || !r.Has(RoleQuadratic) {
+		t.Fatal("Has misses set bits")
+	}
+	if r.Has(RoleJoin) || r.Has(RoleRange) {
+		t.Fatal("Has reports unset bits")
+	}
+	if RoleNone.Has(RoleMeasure) {
+		t.Fatal("RoleNone has no bits")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Int64.String() != "int64" || String.String() != "string" {
+		t.Fatal("Type.String broken")
+	}
+	if Type(99).String() == "" {
+		t.Fatal("unknown Type should still render")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		Plain: "plain", ASHE: "ashe", DET: "det", OPE: "ope",
+		SplasheBasic: "splashe-basic", SplasheEnhanced: "splashe-enhanced",
+	} {
+		if s.String() != want {
+			t.Errorf("Scheme(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package splashe
+
+import "sort"
+
+// FrequencyAttack mounts the Naveed-Kamara-Wright style frequency attack
+// (§3.3, [36]) that SPLASHE is designed to defeat. Given the observed
+// occurrence count of each distinct ciphertext and auxiliary knowledge of
+// each plaintext value's expected count, the attacker matches the frequency
+// ranks: the most common ciphertext is guessed to be the most common value,
+// and so on.
+//
+// observed[c] is the count of the c-th distinct ciphertext; known[v] is the
+// auxiliary count for value v. The result maps each ciphertext index to the
+// guessed value id. The splashe-tour example and the package tests use this
+// to demonstrate that the attack decodes plain DET columns and fails against
+// SPLASHE's balanced columns.
+func FrequencyAttack(observed, known []uint64) []int {
+	obsOrder := rankDesc(observed)
+	knownOrder := rankDesc(known)
+	guess := make([]int, len(observed))
+	for i := range guess {
+		guess[i] = -1
+	}
+	n := len(obsOrder)
+	if len(knownOrder) < n {
+		n = len(knownOrder)
+	}
+	for rank := 0; rank < n; rank++ {
+		guess[obsOrder[rank]] = knownOrder[rank]
+	}
+	return guess
+}
+
+// rankDesc returns indices sorted by value, descending, ties broken by index
+// so the attack is deterministic.
+func rankDesc(v []uint64) []int {
+	order := make([]int, len(v))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return v[order[a]] > v[order[b]] })
+	return order
+}

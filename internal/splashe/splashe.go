@@ -1,0 +1,261 @@
+// Package splashe implements SPLASHE (SPLayed ASHE), Seabed's defense
+// against frequency attacks on deterministically encrypted dimensions
+// (§3.3, §3.4, Appendix A.2).
+//
+// Basic SPLASHE replaces a dimension column that takes d discrete values
+// with d indicator columns, and each measure aggregated under that dimension
+// with d splayed measure columns; everything is ASHE-encrypted, so the
+// server learns nothing (IND-CPA), yet equality-filtered aggregates become
+// plain sums over the splayed columns.
+//
+// Enhanced SPLASHE cuts the d-fold storage cost when the value distribution
+// is skewed: only the k most common values get dedicated columns, the rest
+// share an "others" column plus a deterministically encrypted value column
+// whose frequencies are balanced using dummy entries written into the rows
+// of common values. The adversary then sees every uncommon value at (near)
+// identical frequency, defeating the frequency attack while aggregates stay
+// exact because dummy rows carry ASHE(0) in the others measure column.
+package splashe
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Mode selects between the two SPLASHE variants.
+type Mode int
+
+const (
+	// Basic splays every value into its own column (§3.3).
+	Basic Mode = iota
+	// Enhanced splays only the k most common values and balances the rest
+	// behind deterministic encryption (§3.4).
+	Enhanced
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Basic:
+		return "basic"
+	case Enhanced:
+		return "enhanced"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Layout describes how one dimension is splayed.
+type Layout struct {
+	Mode Mode
+	// D is the dimension's cardinality.
+	D int
+	// K is the number of values with dedicated columns. For Basic layouts
+	// K == D.
+	K int
+	// Threshold is the frequency t every uncommon value is padded to in the
+	// balanced DET column (Enhanced only).
+	Threshold uint64
+	// Common holds the value ids with dedicated columns, most frequent
+	// first (Enhanced only; empty for Basic, where every value has one).
+	Common []int
+	// isCommon indexes by value id (Enhanced only).
+	isCommon []bool
+	// counts are the per-value occurrence counts the layout was planned
+	// from (Enhanced only).
+	counts []uint64
+}
+
+// PlanBasic returns the basic layout for a dimension with cardinality d.
+func PlanBasic(d int) (Layout, error) {
+	if d < 2 {
+		return Layout{}, fmt.Errorf("splashe: cardinality must be ≥ 2, got %d", d)
+	}
+	return Layout{Mode: Basic, D: d, K: d}, nil
+}
+
+// PlanEnhanced returns the enhanced layout for a dimension whose value i
+// occurs counts[i] times. It chooses the minimum k such that
+//
+//	Σ_{i≤k} n_i ≥ Σ_{i>k} (n_{k+1} − n_i)
+//
+// over the counts sorted in non-increasing order (§3.4): the rows of the k
+// most common values provide enough dummy cells to pad every remaining value
+// to the frequency of the most common uncommon value.
+func PlanEnhanced(counts []uint64) (Layout, error) {
+	d := len(counts)
+	if d < 2 {
+		return Layout{}, fmt.Errorf("splashe: cardinality must be ≥ 2, got %d", d)
+	}
+	// Sort value ids by count, descending.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+
+	// Prefix sums over the sorted counts.
+	sorted := make([]uint64, d)
+	for i, v := range order {
+		sorted[i] = counts[v]
+	}
+	var prefix uint64
+	k := -1
+	for cand := 0; cand < d; cand++ {
+		// prefix = Σ_{i≤cand} n_i (0 when cand == 0).
+		if cand == d-1 {
+			k = cand // k = d−1 always satisfies the condition (RHS is 0)
+			break
+		}
+		t := sorted[cand] // n_{k+1} in 1-based paper notation
+		var need uint64
+		for i := cand; i < d; i++ {
+			need += t - sorted[i]
+		}
+		if prefix >= need {
+			k = cand
+			break
+		}
+		prefix += sorted[cand]
+	}
+	l := Layout{
+		Mode:     Enhanced,
+		D:        d,
+		K:        k,
+		Common:   append([]int(nil), order[:k]...),
+		isCommon: make([]bool, d),
+		counts:   append([]uint64(nil), counts...),
+	}
+	if k < d {
+		l.Threshold = sorted[k]
+	}
+	for _, v := range l.Common {
+		l.isCommon[v] = true
+	}
+	return l, nil
+}
+
+// IsCommon reports whether value id v has a dedicated column.
+func (l Layout) IsCommon(v int) bool {
+	if l.Mode == Basic {
+		return true
+	}
+	if v < 0 || v >= l.D {
+		return false
+	}
+	return l.isCommon[v]
+}
+
+// ColumnOf returns the dedicated-column index (0-based) for a common value,
+// or -1 if the value lives in the others column.
+func (l Layout) ColumnOf(v int) int {
+	if l.Mode == Basic {
+		if v < 0 || v >= l.D {
+			return -1
+		}
+		return v
+	}
+	for i, c := range l.Common {
+		if c == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumSplayColumns returns the number of splayed columns per measure: d for
+// Basic, k+1 (dedicated columns plus "others") for Enhanced.
+func (l Layout) NumSplayColumns() int {
+	if l.Mode == Basic {
+		return l.D
+	}
+	return l.K + 1
+}
+
+// NumDimColumns returns the number of columns replacing the dimension
+// itself: d indicators for Basic; k+1 indicators plus one DET column for
+// Enhanced.
+func (l Layout) NumDimColumns() int {
+	if l.Mode == Basic {
+		return l.D
+	}
+	return l.K + 2
+}
+
+// ErrNotEnhanced is returned by BalanceDET on basic layouts.
+var ErrNotEnhanced = errors.New("splashe: balancing applies only to enhanced layouts")
+
+// BalanceDET computes the content of the enhanced layout's deterministic
+// column. values[i] is the dimension value id of row i. The result assigns
+// every row a value id to encrypt deterministically: uncommon rows keep
+// their true value; common rows receive dummy uncommon values chosen so that
+// every uncommon value reaches the threshold frequency, with any surplus
+// rows filled with uniformly random uncommon values (Appendix A.2.1). The
+// rng drives dummy placement; callers seed it from the column key so the
+// layout is reproducible at the client.
+func (l Layout) BalanceDET(values []int, rng *rand.Rand) ([]int, error) {
+	if l.Mode != Enhanced {
+		return nil, ErrNotEnhanced
+	}
+	counts := make([]uint64, l.D)
+	det := make([]int, len(values))
+	var dummySlots []int
+	for i, v := range values {
+		if v < 0 || v >= l.D {
+			return nil, fmt.Errorf("splashe: row %d has value id %d outside [0,%d)", i, v, l.D)
+		}
+		if l.isCommon[v] {
+			det[i] = -1 // placeholder; to be filled with a dummy
+			dummySlots = append(dummySlots, i)
+		} else {
+			det[i] = v
+			counts[v]++
+		}
+	}
+	uncommon := make([]int, 0, l.D-l.K)
+	for v := 0; v < l.D; v++ {
+		if !l.isCommon[v] {
+			uncommon = append(uncommon, v)
+		}
+	}
+	if len(uncommon) == 0 {
+		return nil, errors.New("splashe: enhanced layout with no uncommon values needs no DET column")
+	}
+	// Shuffle dummy slots so the padded entries land at uniformly random
+	// common rows, as the appendix's simulator requires.
+	rng.Shuffle(len(dummySlots), func(a, b int) { dummySlots[a], dummySlots[b] = dummySlots[b], dummySlots[a] })
+	slot := 0
+	for _, v := range uncommon {
+		for counts[v] < l.Threshold {
+			if slot >= len(dummySlots) {
+				return nil, fmt.Errorf("splashe: ran out of dummy slots balancing value %d (threshold %d); distribution drifted from plan", v, l.Threshold)
+			}
+			det[dummySlots[slot]] = v
+			slot++
+			counts[v]++
+		}
+	}
+	// Surplus rows: random uncommon values.
+	for ; slot < len(dummySlots); slot++ {
+		det[dummySlots[slot]] = uncommon[rng.Intn(len(uncommon))]
+	}
+	return det, nil
+}
+
+// SplayRow maps one row (dimension value id v, measure value m) onto the
+// splayed representation: indicators[j] is 1 only for the row's column, and
+// measures[j] carries m only there. For Enhanced layouts column index
+// NumSplayColumns()-1 is the "others" column.
+func (l Layout) SplayRow(v int, m uint64) (indicators []uint64, measures []uint64) {
+	n := l.NumSplayColumns()
+	indicators = make([]uint64, n)
+	measures = make([]uint64, n)
+	col := l.ColumnOf(v)
+	if col < 0 {
+		col = n - 1 // others
+	}
+	indicators[col] = 1
+	measures[col] = m
+	return indicators, measures
+}

@@ -1,0 +1,374 @@
+package splashe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanBasic(t *testing.T) {
+	l, err := PlanBasic(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Mode != Basic || l.D != 5 || l.K != 5 {
+		t.Fatalf("unexpected layout %+v", l)
+	}
+	if l.NumSplayColumns() != 5 || l.NumDimColumns() != 5 {
+		t.Fatalf("basic column counts: splay=%d dim=%d", l.NumSplayColumns(), l.NumDimColumns())
+	}
+	for v := 0; v < 5; v++ {
+		if !l.IsCommon(v) || l.ColumnOf(v) != v {
+			t.Fatalf("basic layout: value %d must own column %d", v, v)
+		}
+	}
+}
+
+func TestPlanBasicRejectsTinyCardinality(t *testing.T) {
+	if _, err := PlanBasic(1); err == nil {
+		t.Fatal("want error for cardinality 1")
+	}
+	if _, err := PlanEnhanced([]uint64{10}); err == nil {
+		t.Fatal("want error for cardinality 1")
+	}
+}
+
+func TestPlanEnhancedPaperExample(t *testing.T) {
+	// §3.4's motivating example: a Canadian company, most employees in USA
+	// or Canada. USA/Canada dominate; the heavy skew should give small k.
+	counts := []uint64{1000, 1000, 30, 40, 25, 35, 45, 20, 50} // USA, Canada, 7 others
+	l, err := PlanEnhanced(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K != 2 {
+		t.Fatalf("k = %d, want 2 (USA and Canada)", l.K)
+	}
+	if !l.IsCommon(0) || !l.IsCommon(1) || l.IsCommon(2) {
+		t.Fatal("common set must be exactly values 0 and 1")
+	}
+	if l.Threshold != 50 {
+		t.Fatalf("threshold = %d, want 50 (largest uncommon count)", l.Threshold)
+	}
+	// k+1 splay columns, k+2 dimension columns (indicators + DET).
+	if l.NumSplayColumns() != 3 || l.NumDimColumns() != 4 {
+		t.Fatalf("column counts: splay=%d dim=%d", l.NumSplayColumns(), l.NumDimColumns())
+	}
+}
+
+func TestChooseKFormula(t *testing.T) {
+	// The chosen k must be the minimum satisfying Σ_{i≤k} n_i ≥
+	// Σ_{i>k}(n_{k+1} − n_i) over sorted counts.
+	check := func(counts []uint64) bool {
+		l, err := PlanEnhanced(counts)
+		if err != nil {
+			return true
+		}
+		sorted := append([]uint64(nil), counts...)
+		for i := range sorted {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] > sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		satisfies := func(k int) bool {
+			if k >= len(sorted)-1 {
+				return true
+			}
+			var lhs, rhs uint64
+			for i := 0; i < k; i++ {
+				lhs += sorted[i]
+			}
+			t := sorted[k]
+			for i := k; i < len(sorted); i++ {
+				rhs += t - sorted[i]
+			}
+			return lhs >= rhs
+		}
+		if !satisfies(l.K) {
+			return false
+		}
+		for k := 0; k < l.K; k++ {
+			if satisfies(k) {
+				return false // not minimal
+			}
+		}
+		return true
+	}
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		counts := make([]uint64, len(raw))
+		for i, v := range raw {
+			counts[i] = uint64(v)
+		}
+		return check(counts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformDistributionNeedsNoCommonColumns(t *testing.T) {
+	// All counts equal: the DET column is already balanced, k = 0.
+	l, err := PlanEnhanced([]uint64{50, 50, 50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K != 0 {
+		t.Fatalf("k = %d, want 0 for uniform distribution", l.K)
+	}
+}
+
+// buildColumn materializes a value column matching counts.
+func buildColumn(counts []uint64, rng *rand.Rand) []int {
+	var col []int
+	for v, c := range counts {
+		for i := uint64(0); i < c; i++ {
+			col = append(col, v)
+		}
+	}
+	rng.Shuffle(len(col), func(a, b int) { col[a], col[b] = col[b], col[a] })
+	return col
+}
+
+func TestBalanceDETEqualizesFrequencies(t *testing.T) {
+	counts := []uint64{1000, 1000, 30, 40, 25, 35, 45, 20, 50}
+	l, err := PlanEnhanced(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	values := buildColumn(counts, rng)
+	det, err := l.BalanceDET(values, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != len(values) {
+		t.Fatalf("det column length %d, want %d", len(det), len(values))
+	}
+	freq := make([]uint64, l.D)
+	for _, v := range det {
+		if l.IsCommon(v) {
+			t.Fatalf("DET column contains common value %d", v)
+		}
+		freq[v]++
+	}
+	for v := 0; v < l.D; v++ {
+		if l.IsCommon(v) {
+			continue
+		}
+		if freq[v] < l.Threshold {
+			t.Fatalf("value %d appears %d times, below threshold %d", v, freq[v], l.Threshold)
+		}
+	}
+	// Uncommon rows must keep their true value.
+	for i, v := range values {
+		if !l.IsCommon(v) && det[i] != v {
+			t.Fatalf("row %d: true uncommon value %d replaced by %d", i, v, det[i])
+		}
+	}
+}
+
+func TestBalanceDETAggregationCorrectness(t *testing.T) {
+	// The core §3.4 invariant: filtering by the balanced DET column and
+	// summing the "others" measure column must equal the true per-value sum,
+	// because dummy rows carry zero.
+	counts := []uint64{500, 400, 30, 20, 25}
+	l, err := PlanEnhanced(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	values := buildColumn(counts, rng)
+	measures := make([]uint64, len(values))
+	for i := range measures {
+		measures[i] = uint64(rng.Intn(1000))
+	}
+	det, err := l.BalanceDET(values, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCols := l.NumSplayColumns()
+	others := nCols - 1
+	for v := 0; v < l.D; v++ {
+		if l.IsCommon(v) {
+			continue
+		}
+		var want, got, wantCount, gotCount uint64
+		for i := range values {
+			if values[i] == v {
+				want += measures[i]
+				wantCount++
+			}
+			if det[i] == v {
+				ind, meas := l.SplayRow(values[i], measures[i])
+				got += meas[others]
+				gotCount += ind[others]
+			}
+		}
+		if got != want {
+			t.Fatalf("value %d: filtered sum %d, want %d", v, got, want)
+		}
+		if gotCount != wantCount {
+			t.Fatalf("value %d: filtered count %d, want %d", v, gotCount, wantCount)
+		}
+	}
+}
+
+func TestBalanceDETRejectsBasic(t *testing.T) {
+	l, _ := PlanBasic(3)
+	if _, err := l.BalanceDET([]int{0, 1, 2}, rand.New(rand.NewSource(1))); err != ErrNotEnhanced {
+		t.Fatalf("err = %v, want ErrNotEnhanced", err)
+	}
+}
+
+func TestBalanceDETRejectsOutOfRangeValue(t *testing.T) {
+	l, err := PlanEnhanced([]uint64{100, 100, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.BalanceDET([]int{0, 99}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("want error for out-of-range value id")
+	}
+}
+
+func TestSplayRowBasic(t *testing.T) {
+	l, _ := PlanBasic(3)
+	ind, meas := l.SplayRow(1, 2000)
+	if ind[0] != 0 || ind[1] != 1 || ind[2] != 0 {
+		t.Fatalf("indicators = %v", ind)
+	}
+	if meas[0] != 0 || meas[1] != 2000 || meas[2] != 0 {
+		t.Fatalf("measures = %v", meas)
+	}
+}
+
+func TestSplayRowFigure3(t *testing.T) {
+	// Figure 3: gender {Male=0, Female=1} with salary.
+	l, _ := PlanBasic(2)
+	ind, meas := l.SplayRow(0, 1000)
+	if ind[0] != 1 || ind[1] != 0 || meas[0] != 1000 || meas[1] != 0 {
+		t.Fatalf("male row: ind=%v meas=%v", ind, meas)
+	}
+	ind, meas = l.SplayRow(1, 2000)
+	if ind[0] != 0 || ind[1] != 1 || meas[0] != 0 || meas[1] != 2000 {
+		t.Fatalf("female row: ind=%v meas=%v", ind, meas)
+	}
+}
+
+func TestOverheadEnhancedBeatsBasicOnSkew(t *testing.T) {
+	counts := make([]uint64, 100)
+	counts[0], counts[1] = 100000, 80000
+	for i := 2; i < 100; i++ {
+		counts[i] = uint64(10 + i)
+	}
+	enh, err := PlanEnhanced(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bas, err := PlanBasic(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enh.OverheadFactor(3) >= bas.OverheadFactor(3) {
+		t.Fatalf("enhanced overhead %.1f must beat basic %.1f on skewed data",
+			enh.OverheadFactor(3), bas.OverheadFactor(3))
+	}
+}
+
+func TestFrequencyAttackDecodesPlainDET(t *testing.T) {
+	// On a plain DET column the rank-matching attack recovers the mapping.
+	counts := []uint64{900, 500, 100, 50, 10}
+	guess := FrequencyAttack(counts, counts)
+	for v := range counts {
+		if guess[v] != v {
+			t.Fatalf("attack failed on plain DET: guess[%d] = %d", v, guess[v])
+		}
+	}
+}
+
+func TestFrequencyAttackFailsOnBalancedColumn(t *testing.T) {
+	// After balancing, all uncommon ciphertext frequencies are ~equal, so
+	// rank matching can do no better than chance.
+	counts := []uint64{10000, 8000, 300, 200, 100, 50, 25}
+	l, err := PlanEnhanced(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	values := buildColumn(counts, rng)
+	det, err := l.BalanceDET(values, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed frequencies of the balanced DET column (uncommon values only).
+	uncommon := []int{}
+	for v := 0; v < l.D; v++ {
+		if !l.IsCommon(v) {
+			uncommon = append(uncommon, v)
+		}
+	}
+	obs := make([]uint64, len(uncommon))
+	known := make([]uint64, len(uncommon))
+	for i, v := range uncommon {
+		known[i] = counts[v]
+		for _, dv := range det {
+			if dv == v {
+				obs[i]++
+			}
+		}
+	}
+	guess := FrequencyAttack(obs, known)
+	correct := 0
+	for i := range guess {
+		if guess[i] == i {
+			correct++
+		}
+	}
+	// With 5 uncommon values at near-identical frequency the attack should
+	// be close to chance; demand it fails on at least half.
+	if correct > len(uncommon)/2 {
+		t.Fatalf("attack recovered %d/%d balanced values; balancing leaks frequencies", correct, len(uncommon))
+	}
+}
+
+func TestBalancedFrequencySpreadIsSmall(t *testing.T) {
+	// The max/min frequency ratio among uncommon values must be near 1
+	// after balancing (vs orders of magnitude before).
+	counts := []uint64{5000, 4000, 600, 300, 150, 75, 40}
+	l, err := PlanEnhanced(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	values := buildColumn(counts, rng)
+	det, err := l.BalanceDET(values, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := map[int]uint64{}
+	for _, v := range det {
+		freq[v]++
+	}
+	var min, max uint64 = ^uint64(0), 0
+	for _, c := range freq {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(min) > 1.5 {
+		t.Fatalf("balanced frequency spread %d..%d too wide", min, max)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Basic.String() != "basic" || Enhanced.String() != "enhanced" {
+		t.Fatal("Mode.String broken")
+	}
+}

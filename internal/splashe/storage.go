@@ -1,0 +1,28 @@
+package splashe
+
+// Storage cost model (§3.4, §6.6, Figure 10b). Costs are expressed in cells
+// per row; the planner multiplies by column widths to obtain bytes.
+
+// CellCost summarizes the per-row cell footprint of a splayed dimension.
+type CellCost struct {
+	// DimCells is the number of cells replacing the dimension column.
+	DimCells int
+	// MeasureCells is the number of cells replacing EACH measure column
+	// that is splayed under this dimension.
+	MeasureCells int
+}
+
+// Cost returns the layout's per-row cell footprint.
+func (l Layout) Cost() CellCost {
+	return CellCost{DimCells: l.NumDimColumns(), MeasureCells: l.NumSplayColumns()}
+}
+
+// OverheadFactor returns the storage expansion of splaying one dimension
+// with numMeasures associated measures, relative to the plaintext cells it
+// replaces (1 dimension cell + numMeasures measure cells per row).
+func (l Layout) OverheadFactor(numMeasures int) float64 {
+	c := l.Cost()
+	plain := 1 + numMeasures
+	enc := c.DimCells + numMeasures*c.MeasureCells
+	return float64(enc) / float64(plain)
+}

@@ -1,0 +1,268 @@
+// Package sqlparse implements the SQL subset Seabed's query translator
+// accepts (§4.4, Table 2): single-table aggregation queries with conjunctive
+// predicates, GROUP BY, equi-joins, and aggregation over subqueries.
+//
+// The grammar, roughly:
+//
+//	query      = SELECT selectList FROM from [WHERE pred {AND pred}] [GROUP BY cols]
+//	selectList = selectExpr {"," selectExpr}
+//	selectExpr = agg "(" (col | "*") ")" [AS ident] | col [AS ident]
+//	agg        = SUM | COUNT | AVG | MIN | MAX | VAR | VARIANCE | STDDEV
+//	from       = table [alias] | "(" query ")" [AS] alias | table JOIN table ON col "=" col
+//	pred       = col op literal
+//	op         = "=" | "<" | ">" | "<=" | ">=" | "<>" | "!="
+//	literal    = integer | "'" string "'"
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+// Aggregate functions Seabed supports server-side or with client help (§5).
+const (
+	AggNone AggFunc = iota
+	AggSum
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+	AggVar
+	AggStddev
+	AggMedian
+)
+
+// String implements fmt.Stringer.
+func (a AggFunc) String() string {
+	switch a {
+	case AggNone:
+		return ""
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggVar:
+		return "VAR"
+	case AggStddev:
+		return "STDDEV"
+	case AggMedian:
+		return "MEDIAN"
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(a))
+}
+
+// ColRef names a column, optionally qualified by a table name or alias.
+type ColRef struct {
+	Table string
+	Name  string
+}
+
+// String implements fmt.Stringer.
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// SelectExpr is one item of the SELECT list.
+type SelectExpr struct {
+	Agg   AggFunc
+	Col   ColRef
+	Star  bool // COUNT(*)
+	Alias string
+}
+
+// String implements fmt.Stringer.
+func (s SelectExpr) String() string {
+	var b strings.Builder
+	if s.Agg != AggNone {
+		b.WriteString(s.Agg.String())
+		b.WriteByte('(')
+		if s.Star {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(s.Col.String())
+		}
+		b.WriteByte(')')
+	} else {
+		b.WriteString(s.Col.String())
+	}
+	if s.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(s.Alias)
+	}
+	return b.String()
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(o))
+}
+
+// IsRange reports whether the operator is an inequality (requires OPE).
+func (o CmpOp) IsRange() bool { return o == OpLt || o == OpLe || o == OpGt || o == OpGe }
+
+// LitKind is a literal's type.
+type LitKind int
+
+// Literal kinds.
+const (
+	LitInt LitKind = iota
+	LitString
+)
+
+// Literal is a constant in a predicate.
+type Literal struct {
+	Kind LitKind
+	Num  int64
+	Str  string
+}
+
+// String implements fmt.Stringer.
+func (l Literal) String() string {
+	if l.Kind == LitString {
+		return "'" + l.Str + "'"
+	}
+	return fmt.Sprintf("%d", l.Num)
+}
+
+// Predicate is one conjunct of the WHERE clause.
+type Predicate struct {
+	Col ColRef
+	Op  CmpOp
+	Lit Literal
+}
+
+// String implements fmt.Stringer.
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Lit)
+}
+
+// Join is an equi-join clause.
+type Join struct {
+	Table    string
+	Alias    string
+	LeftCol  ColRef
+	RightCol ColRef
+}
+
+// From is a query's FROM clause: a base table, a subquery, or a join.
+type From struct {
+	Table string
+	Alias string
+	Sub   *Query
+	Join  *Join
+}
+
+// Query is a parsed SQL statement.
+type Query struct {
+	Select  []SelectExpr
+	From    From
+	Where   []Predicate
+	GroupBy []ColRef
+}
+
+// String renders the query back to SQL.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, s := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString(" FROM ")
+	switch {
+	case q.From.Sub != nil:
+		b.WriteByte('(')
+		b.WriteString(q.From.Sub.String())
+		b.WriteByte(')')
+		if q.From.Alias != "" {
+			b.WriteByte(' ')
+			b.WriteString(q.From.Alias)
+		}
+	default:
+		b.WriteString(q.From.Table)
+		if q.From.Alias != "" {
+			b.WriteByte(' ')
+			b.WriteString(q.From.Alias)
+		}
+		if q.From.Join != nil {
+			j := q.From.Join
+			b.WriteString(" JOIN ")
+			b.WriteString(j.Table)
+			if j.Alias != "" {
+				b.WriteByte(' ')
+				b.WriteString(j.Alias)
+			}
+			fmt.Fprintf(&b, " ON %s = %s", j.LeftCol, j.RightCol)
+		}
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}
+
+// Aggregates reports whether the query computes any aggregate.
+func (q *Query) Aggregates() bool {
+	for _, s := range q.Select {
+		if s.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * = < > <= >= <> !=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokString, s, start)
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.emit(tokNumber, l.lexNumber(), start)
+		case isIdentStart(c):
+			l.emit(tokIdent, l.lexIdent(), start)
+		case strings.ContainsRune("(),.*", rune(c)):
+			l.pos++
+			l.emit(tokSymbol, string(c), start)
+		case c == '=':
+			l.pos++
+			l.emit(tokSymbol, "=", start)
+		case c == '<':
+			l.pos++
+			switch l.peek() {
+			case '=':
+				l.pos++
+				l.emit(tokSymbol, "<=", start)
+			case '>':
+				l.pos++
+				l.emit(tokSymbol, "<>", start)
+			default:
+				l.emit(tokSymbol, "<", start)
+			}
+		case c == '>':
+			l.pos++
+			if l.peek() == '=' {
+				l.pos++
+				l.emit(tokSymbol, ">=", start)
+			} else {
+				l.emit(tokSymbol, ">", start)
+			}
+		case c == '!':
+			l.pos++
+			if l.peek() == '=' {
+				l.pos++
+				l.emit(tokSymbol, "<>", start)
+			} else {
+				return nil, fmt.Errorf("sqlparse: unexpected '!' at position %d", start)
+			}
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at position %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) peek() byte {
+	if l.pos < len(l.src) {
+		return l.src[l.pos]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sqlparse: unterminated string starting at position %d", start)
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,319 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a SQL statement in Seabed's supported subset.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("") && p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and fixtures.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: position %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, got %q", strings.ToUpper(kw), p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) atSymbol(s string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.atSymbol(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"and": true, "as": true, "join": true, "on": true,
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent || reservedWords[strings.ToLower(t.text)] {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+var aggNames = map[string]AggFunc{
+	"sum": AggSum, "count": AggCount, "avg": AggAvg, "min": AggMin,
+	"max": AggMax, "var": AggVar, "variance": AggVar, "stddev": AggStddev,
+	"median": AggMedian,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		se, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, se)
+		if !p.atSymbol(",") {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFrom()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+	if p.atKeyword("where") {
+		p.next()
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if !p.atKeyword("and") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if !p.atSymbol(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectExpr() (SelectExpr, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		if agg, ok := aggNames[strings.ToLower(t.text)]; ok && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+			p.next() // agg name
+			p.next() // (
+			se := SelectExpr{Agg: agg}
+			if p.atSymbol("*") {
+				if agg != AggCount {
+					return SelectExpr{}, p.errf("%s(*) is only valid for COUNT", agg)
+				}
+				se.Star = true
+				p.next()
+			} else {
+				col, err := p.parseColRef()
+				if err != nil {
+					return SelectExpr{}, err
+				}
+				se.Col = col
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectExpr{}, err
+			}
+			alias, err := p.parseOptionalAlias()
+			if err != nil {
+				return SelectExpr{}, err
+			}
+			se.Alias = alias
+			return se, nil
+		}
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	alias, err := p.parseOptionalAlias()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	return SelectExpr{Col: col, Alias: alias}, nil
+}
+
+func (p *parser) parseOptionalAlias() (string, error) {
+	if p.atKeyword("as") {
+		p.next()
+		return p.expectIdent()
+	}
+	return "", nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.atSymbol(".") {
+		p.next()
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: name, Name: col}, nil
+	}
+	return ColRef{Name: name}, nil
+}
+
+func (p *parser) parseFrom() (From, error) {
+	if p.atSymbol("(") {
+		p.next()
+		sub, err := p.parseQuery()
+		if err != nil {
+			return From{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return From{}, err
+		}
+		alias := ""
+		if p.atKeyword("as") {
+			p.next()
+		}
+		if p.cur().kind == tokIdent && !reservedWords[strings.ToLower(p.cur().text)] {
+			alias, _ = p.expectIdent()
+		}
+		return From{Sub: sub, Alias: alias}, nil
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return From{}, err
+	}
+	f := From{Table: table}
+	if p.cur().kind == tokIdent && !reservedWords[strings.ToLower(p.cur().text)] {
+		f.Alias, _ = p.expectIdent()
+	}
+	if p.atKeyword("join") {
+		p.next()
+		j := &Join{}
+		if j.Table, err = p.expectIdent(); err != nil {
+			return From{}, err
+		}
+		if p.cur().kind == tokIdent && !reservedWords[strings.ToLower(p.cur().text)] {
+			j.Alias, _ = p.expectIdent()
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return From{}, err
+		}
+		if j.LeftCol, err = p.parseColRef(); err != nil {
+			return From{}, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return From{}, err
+		}
+		if j.RightCol, err = p.parseColRef(); err != nil {
+			return From{}, err
+		}
+		f.Join = j
+	}
+	return f, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	col, err := p.parseColRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	t := p.cur()
+	if t.kind != tokSymbol {
+		return Predicate{}, p.errf("expected comparison operator, got %q", t.text)
+	}
+	var op CmpOp
+	switch t.text {
+	case "=":
+		op = OpEq
+	case "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return Predicate{}, p.errf("unknown operator %q", t.text)
+	}
+	p.next()
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Col: col, Op: op, Lit: lit}, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, p.errf("bad number %q: %v", t.text, err)
+		}
+		p.next()
+		return Literal{Kind: LitInt, Num: n}, nil
+	case tokString:
+		p.next()
+		return Literal{Kind: LitString, Str: t.text}, nil
+	}
+	return Literal{}, p.errf("expected literal, got %q", t.text)
+}

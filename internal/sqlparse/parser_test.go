@@ -1,0 +1,204 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleAggregate(t *testing.T) {
+	q := MustParse("SELECT SUM(salary) FROM employees")
+	if len(q.Select) != 1 || q.Select[0].Agg != AggSum || q.Select[0].Col.Name != "salary" {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if q.From.Table != "employees" {
+		t.Fatalf("from = %+v", q.From)
+	}
+	if !q.Aggregates() {
+		t.Fatal("Aggregates() must be true")
+	}
+}
+
+func TestParseWhereConjunction(t *testing.T) {
+	q := MustParse("SELECT SUM(revenue) FROM ads WHERE country = 'Canada' AND clicks > 10 AND day <= 31")
+	if len(q.Where) != 3 {
+		t.Fatalf("predicates = %d, want 3", len(q.Where))
+	}
+	p := q.Where[0]
+	if p.Col.Name != "country" || p.Op != OpEq || p.Lit.Kind != LitString || p.Lit.Str != "Canada" {
+		t.Fatalf("pred 0 = %+v", p)
+	}
+	if q.Where[1].Op != OpGt || q.Where[1].Lit.Num != 10 {
+		t.Fatalf("pred 1 = %+v", q.Where[1])
+	}
+	if q.Where[2].Op != OpLe {
+		t.Fatalf("pred 2 = %+v", q.Where[2])
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	q := MustParse("SELECT a, SUM(b) FROM t GROUP BY a")
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Name != "a" {
+		t.Fatalf("group by = %+v", q.GroupBy)
+	}
+	if q.Select[0].Agg != AggNone || q.Select[1].Agg != AggSum {
+		t.Fatalf("select = %+v", q.Select)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM t WHERE a = 10")
+	if !q.Select[0].Star || q.Select[0].Agg != AggCount {
+		t.Fatalf("select = %+v", q.Select[0])
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	// Table 2's ID-preservation example.
+	q := MustParse("SELECT sum(tmp.a) FROM (SELECT a FROM tbl WHERE b > 10) tmp")
+	if q.From.Sub == nil {
+		t.Fatal("subquery not parsed")
+	}
+	if q.From.Alias != "tmp" {
+		t.Fatalf("alias = %q, want tmp", q.From.Alias)
+	}
+	sub := q.From.Sub
+	if sub.From.Table != "tbl" || len(sub.Where) != 1 || sub.Where[0].Op != OpGt {
+		t.Fatalf("subquery = %+v", sub)
+	}
+	if q.Select[0].Col.Table != "tmp" || q.Select[0].Col.Name != "a" {
+		t.Fatalf("outer select = %+v", q.Select[0])
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	q := MustParse("SELECT SUM(uv.adRevenue) FROM rankings r JOIN uservisits uv ON r.pageURL = uv.destURL WHERE r.pageRank > 100")
+	j := q.From.Join
+	if j == nil {
+		t.Fatal("join not parsed")
+	}
+	if q.From.Table != "rankings" || q.From.Alias != "r" || j.Table != "uservisits" || j.Alias != "uv" {
+		t.Fatalf("from = %+v join = %+v", q.From, j)
+	}
+	if j.LeftCol.String() != "r.pageURL" || j.RightCol.String() != "uv.destURL" {
+		t.Fatalf("join cols = %s, %s", j.LeftCol, j.RightCol)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	q := MustParse("SELECT SUM(a) AS total, AVG(b) AS mean FROM t")
+	if q.Select[0].Alias != "total" || q.Select[1].Alias != "mean" {
+		t.Fatalf("aliases = %q, %q", q.Select[0].Alias, q.Select[1].Alias)
+	}
+}
+
+func TestParseAggregateVariants(t *testing.T) {
+	for src, want := range map[string]AggFunc{
+		"SELECT SUM(x) FROM t":      AggSum,
+		"SELECT count(x) FROM t":    AggCount,
+		"SELECT Avg(x) FROM t":      AggAvg,
+		"SELECT MIN(x) FROM t":      AggMin,
+		"SELECT max(x) FROM t":      AggMax,
+		"SELECT VAR(x) FROM t":      AggVar,
+		"SELECT variance(x) FROM t": AggVar,
+		"SELECT STDDEV(x) FROM t":   AggStddev,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if q.Select[0].Agg != want {
+			t.Fatalf("%s: agg = %v, want %v", src, q.Select[0].Agg, want)
+		}
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	q := MustParse("SELECT SUM(x) FROM t WHERE y > -5")
+	if q.Where[0].Lit.Num != -5 {
+		t.Fatalf("lit = %+v", q.Where[0].Lit)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM t WHERE name = 'O''Brien'")
+	if q.Where[0].Lit.Str != "O'Brien" {
+		t.Fatalf("lit = %q", q.Where[0].Lit.Str)
+	}
+}
+
+func TestParseNotEqualForms(t *testing.T) {
+	for _, src := range []string{
+		"SELECT COUNT(*) FROM t WHERE a <> 1",
+		"SELECT COUNT(*) FROM t WHERE a != 1",
+	} {
+		q := MustParse(src)
+		if q.Where[0].Op != OpNe {
+			t.Fatalf("%s: op = %v", src, q.Where[0].Op)
+		}
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	for _, src := range []string{
+		"SELECT SUM(salary) FROM employees",
+		"SELECT a, SUM(b) FROM t GROUP BY a",
+		"SELECT COUNT(*) FROM t WHERE a = 10",
+		"SELECT SUM(tmp.a) FROM (SELECT a FROM tbl WHERE b > 10) tmp",
+		"SELECT SUM(uv.adRevenue) FROM rankings r JOIN uservisits uv ON r.pageURL = uv.destURL",
+		"SELECT AVG(x) AS mean FROM t WHERE c = 'Canada' AND d >= 3 GROUP BY e, f",
+	} {
+		q := MustParse(src)
+		again := MustParse(q.String())
+		if q.String() != again.String() {
+			t.Fatalf("unstable roundtrip:\n  1: %s\n  2: %s", q.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT SUM( FROM t",
+		"SELECT SUM(a FROM t",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE b",
+		"SELECT a FROM t WHERE b ==",
+		"SELECT a FROM t WHERE b = ",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t GROUP BY",
+		"SELECT a FROM t trailing garbage",
+		"SELECT a FROM t WHERE s = 'unterminated",
+		"SELECT a FROM (SELECT b FROM u",
+		"SELECT a FROM t JOIN",
+		"SELECT a FROM t JOIN u ON x",
+		"SELECT a FROM t JOIN u ON x = ",
+		"SELECT a FROM t WHERE b ! 3",
+		"SELECT a FROM t WHERE b = 99999999999999999999999",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		} else if !strings.Contains(err.Error(), "sqlparse") {
+			t.Errorf("Parse(%q): error %v lacks package prefix", src, err)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q := MustParse("select sum(a) from t where b = 1 group by c")
+	if q.Select[0].Agg != AggSum || len(q.GroupBy) != 1 {
+		t.Fatalf("lowercase query misparsed: %+v", q)
+	}
+}
+
+func TestIsRange(t *testing.T) {
+	if OpEq.IsRange() || OpNe.IsRange() {
+		t.Fatal("equality ops are not ranges")
+	}
+	if !OpLt.IsRange() || !OpGe.IsRange() {
+		t.Fatal("inequality ops are ranges")
+	}
+}

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary table serialization. The format plays the role Protobuf-over-HDFS
+// plays in the paper's prototype (§6.1) and defines the "disk size" column
+// of Table 5.
+//
+// Layout (all integers varint unless noted):
+//
+//	magic "SBD1" | name | numParts
+//	per partition: startID | numCols | numRows
+//	  per column: name | kind
+//	    U64:   numRows little-endian 8-byte words
+//	    Bytes: per row: len | bytes
+//	    Str:   per row: len | bytes
+
+const magic = "SBD1"
+
+// WriteTo serializes the table. It returns the number of bytes written.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := bw.Write([]byte(magic)); err != nil {
+		return bw.n, err
+	}
+	writeString(bw, t.Name)
+	writeUvarint(bw, uint64(len(t.Parts)))
+	for _, p := range t.Parts {
+		writeUvarint(bw, p.StartID)
+		writeUvarint(bw, uint64(len(p.Cols)))
+		writeUvarint(bw, uint64(p.NumRows()))
+		for i := range p.Cols {
+			c := &p.Cols[i]
+			writeString(bw, c.Name)
+			writeUvarint(bw, uint64(c.Kind))
+			switch c.Kind {
+			case U64:
+				var buf [8]byte
+				for _, v := range c.U64 {
+					binary.LittleEndian.PutUint64(buf[:], v)
+					if _, err := bw.Write(buf[:]); err != nil {
+						return bw.n, err
+					}
+				}
+			case Bytes:
+				for _, b := range c.Bytes {
+					writeUvarint(bw, uint64(len(b)))
+					if _, err := bw.Write(b); err != nil {
+						return bw.n, err
+					}
+				}
+			case Str:
+				for _, s := range c.Str {
+					writeString(bw, s)
+				}
+			}
+		}
+	}
+	if err := bw.w.(*bufio.Writer).Flush(); err != nil {
+		return bw.n, err
+	}
+	return bw.n, bw.err
+}
+
+// DiskBytes returns the serialized size of the table without materializing
+// the serialization (Table 5's "disk size").
+func (t *Table) DiskBytes() uint64 {
+	n, err := t.WriteTo(io.Discard)
+	if err != nil {
+		return 0
+	}
+	return uint64(n)
+}
+
+// Read deserializes a table written by WriteTo.
+func Read(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: read header: %v", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", head)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	nParts, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: read partition count: %v", err)
+	}
+	t := &Table{Name: name}
+	for pi := uint64(0); pi < nParts; pi++ {
+		startID, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: partition %d: %v", pi, err)
+		}
+		nCols, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: partition %d: %v", pi, err)
+		}
+		nRows, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: partition %d: %v", pi, err)
+		}
+		p := &Partition{StartID: startID}
+		for ci := uint64(0); ci < nCols; ci++ {
+			cname, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			kind, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("store: column %q: %v", cname, err)
+			}
+			c := Column{Name: cname, Kind: Kind(kind)}
+			switch c.Kind {
+			case U64:
+				c.U64 = make([]uint64, nRows)
+				var buf [8]byte
+				for i := range c.U64 {
+					if _, err := io.ReadFull(br, buf[:]); err != nil {
+						return nil, fmt.Errorf("store: column %q row %d: %v", cname, i, err)
+					}
+					c.U64[i] = binary.LittleEndian.Uint64(buf[:])
+				}
+			case Bytes:
+				c.Bytes = make([][]byte, nRows)
+				for i := range c.Bytes {
+					n, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, fmt.Errorf("store: column %q row %d: %v", cname, i, err)
+					}
+					c.Bytes[i] = make([]byte, n)
+					if _, err := io.ReadFull(br, c.Bytes[i]); err != nil {
+						return nil, fmt.Errorf("store: column %q row %d: %v", cname, i, err)
+					}
+				}
+			case Str:
+				c.Str = make([]string, nRows)
+				for i := range c.Str {
+					s, err := readString(br)
+					if err != nil {
+						return nil, fmt.Errorf("store: column %q row %d: %v", cname, i, err)
+					}
+					c.Str[i] = s
+				}
+			default:
+				return nil, fmt.Errorf("store: column %q: unknown kind %d", cname, kind)
+			}
+			p.Cols = append(p.Cols, c)
+		}
+		t.Parts = append(t.Parts, p)
+		t.rows += uint64(p.NumRows())
+	}
+	return t, nil
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // countingWriter latches the error
+}
+
+func writeString(w io.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	io.WriteString(w, s) //nolint:errcheck // countingWriter latches the error
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("store: read string length: %v", err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("store: read string: %v", err)
+	}
+	return string(buf), nil
+}

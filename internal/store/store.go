@@ -1,0 +1,257 @@
+// Package store implements Seabed's columnar table storage: partitioned,
+// in-memory column vectors with a compact binary serialization. It plays the
+// role HDFS + Protobuf serialization play in the paper's prototype (§6.1)
+// and provides the disk/memory accounting behind Table 5.
+//
+// Tables are split into contiguous row partitions. Row identifiers are
+// global, 1-based, and contiguous (partition p covers [StartID, StartID+len)),
+// which is exactly the property ASHE's range encoding exploits (§4.2, §4.5):
+// the identifier never needs to be materialized as a physical column.
+package store
+
+import (
+	"fmt"
+)
+
+// Kind is the physical type of a column vector.
+type Kind int
+
+const (
+	// U64 columns hold 64-bit words: plaintext integers or ASHE ciphertext
+	// bodies.
+	U64 Kind = iota
+	// Bytes columns hold per-row byte strings: DET, OPE, or Paillier
+	// ciphertexts.
+	Bytes
+	// Str columns hold plaintext strings (NoEnc baseline only).
+	Str
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case U64:
+		return "u64"
+	case Bytes:
+		return "bytes"
+	case Str:
+		return "str"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Column is one column vector within a partition. Exactly one of the value
+// slices is populated, matching Kind.
+type Column struct {
+	Name  string
+	Kind  Kind
+	U64   []uint64
+	Bytes [][]byte
+	Str   []string
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case U64:
+		return len(c.U64)
+	case Bytes:
+		return len(c.Bytes)
+	default:
+		return len(c.Str)
+	}
+}
+
+// slice returns the column restricted to rows [lo, hi).
+func (c *Column) slice(lo, hi int) Column {
+	out := Column{Name: c.Name, Kind: c.Kind}
+	switch c.Kind {
+	case U64:
+		out.U64 = c.U64[lo:hi]
+	case Bytes:
+		out.Bytes = c.Bytes[lo:hi]
+	default:
+		out.Str = c.Str[lo:hi]
+	}
+	return out
+}
+
+// memBytes estimates the in-memory footprint of the column.
+func (c *Column) memBytes() uint64 {
+	var n uint64
+	switch c.Kind {
+	case U64:
+		n = uint64(len(c.U64)) * 8
+	case Bytes:
+		for _, b := range c.Bytes {
+			n += uint64(len(b)) + 24 // slice header
+		}
+	default:
+		for _, s := range c.Str {
+			n += uint64(len(s)) + 16 // string header
+		}
+	}
+	return n
+}
+
+// Partition is a contiguous horizontal slice of a table.
+type Partition struct {
+	// StartID is the global 1-based row identifier of the partition's first
+	// row.
+	StartID uint64
+	Cols    []Column
+}
+
+// NumRows returns the number of rows in the partition.
+func (p *Partition) NumRows() int {
+	if len(p.Cols) == 0 {
+		return 0
+	}
+	return p.Cols[0].Len()
+}
+
+// Col returns the named column, or nil.
+func (p *Partition) Col(name string) *Column {
+	for i := range p.Cols {
+		if p.Cols[i].Name == name {
+			return &p.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Table is a partitioned columnar table.
+type Table struct {
+	Name  string
+	Parts []*Partition
+	rows  uint64
+}
+
+// Build splits full-length columns into numParts contiguous partitions with
+// global row identifiers starting at 1. All columns must have equal length;
+// numParts is clamped to [1, rows] (an empty table gets one empty partition).
+func Build(name string, cols []Column, numParts int) (*Table, error) {
+	return BuildFrom(name, cols, numParts, 1)
+}
+
+// BuildFrom is Build with an explicit first global row identifier, used when
+// appending batches to an existing table (§4.1: uploads are "a continuing
+// process"). startID must be ≥ 1.
+func BuildFrom(name string, cols []Column, numParts int, startID uint64) (*Table, error) {
+	if startID == 0 {
+		return nil, fmt.Errorf("store: row identifiers start at 1")
+	}
+	rows := -1
+	for i := range cols {
+		if rows == -1 {
+			rows = cols[i].Len()
+		} else if cols[i].Len() != rows {
+			return nil, fmt.Errorf("store: column %q has %d rows, want %d", cols[i].Name, cols[i].Len(), rows)
+		}
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	if numParts < 1 {
+		numParts = 1
+	}
+	if numParts > rows && rows > 0 {
+		numParts = rows
+	}
+	t := &Table{Name: name, rows: uint64(rows)}
+	if rows == 0 {
+		part := &Partition{StartID: startID}
+		for i := range cols {
+			part.Cols = append(part.Cols, cols[i].slice(0, 0))
+		}
+		t.Parts = []*Partition{part}
+		return t, nil
+	}
+	per := rows / numParts
+	extra := rows % numParts
+	lo := 0
+	for p := 0; p < numParts; p++ {
+		n := per
+		if p < extra {
+			n++
+		}
+		hi := lo + n
+		part := &Partition{StartID: startID + uint64(lo)}
+		for i := range cols {
+			part.Cols = append(part.Cols, cols[i].slice(lo, hi))
+		}
+		t.Parts = append(t.Parts, part)
+		lo = hi
+	}
+	return t, nil
+}
+
+// AppendTable appends another table's partitions to t. The tables must have
+// identical column layouts and the other table's identifiers must continue
+// t's contiguously, preserving the range-compression property (§4.2).
+func (t *Table) AppendTable(other *Table) error {
+	tNames, oNames := t.ColNames(), other.ColNames()
+	if len(tNames) != len(oNames) {
+		return fmt.Errorf("store: append: column counts differ (%d vs %d)", len(tNames), len(oNames))
+	}
+	for i := range tNames {
+		if tNames[i] != oNames[i] {
+			return fmt.Errorf("store: append: column %d is %q, want %q", i, oNames[i], tNames[i])
+		}
+		tk, _ := t.ColKind(tNames[i])
+		ok, _ := other.ColKind(oNames[i])
+		if tk != ok {
+			return fmt.Errorf("store: append: column %q kind mismatch (%v vs %v)", tNames[i], ok, tk)
+		}
+	}
+	if len(other.Parts) > 0 && other.Parts[0].StartID != t.rows+1 {
+		return fmt.Errorf("store: append: batch identifiers start at %d, want %d", other.Parts[0].StartID, t.rows+1)
+	}
+	t.Parts = append(t.Parts, other.Parts...)
+	t.rows += other.rows
+	return nil
+}
+
+// NumRows returns the table's total row count.
+func (t *Table) NumRows() uint64 { return t.rows }
+
+// ColNames returns the table's column names in declaration order.
+func (t *Table) ColNames() []string {
+	if len(t.Parts) == 0 {
+		return nil
+	}
+	names := make([]string, len(t.Parts[0].Cols))
+	for i := range t.Parts[0].Cols {
+		names[i] = t.Parts[0].Cols[i].Name
+	}
+	return names
+}
+
+// HasCol reports whether the table has the named column.
+func (t *Table) HasCol(name string) bool {
+	return len(t.Parts) > 0 && t.Parts[0].Col(name) != nil
+}
+
+// ColKind returns the kind of the named column.
+func (t *Table) ColKind(name string) (Kind, error) {
+	if len(t.Parts) == 0 {
+		return 0, fmt.Errorf("store: table %q is empty", t.Name)
+	}
+	c := t.Parts[0].Col(name)
+	if c == nil {
+		return 0, fmt.Errorf("store: table %q has no column %q", t.Name, name)
+	}
+	return c.Kind, nil
+}
+
+// MemBytes estimates the table's in-memory footprint (Table 5's "memory
+// size").
+func (t *Table) MemBytes() uint64 {
+	var n uint64
+	for _, p := range t.Parts {
+		for i := range p.Cols {
+			n += p.Cols[i].memBytes()
+		}
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func u64Col(name string, vals ...uint64) Column {
+	return Column{Name: name, Kind: U64, U64: vals}
+}
+
+func testTable(t *testing.T, rows, parts int) *Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a := make([]uint64, rows)
+	b := make([][]byte, rows)
+	c := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		a[i] = rng.Uint64()
+		b[i] = []byte(fmt.Sprintf("ct-%d", rng.Intn(100)))
+		c[i] = fmt.Sprintf("url-%d", i)
+	}
+	tbl, err := Build("t", []Column{
+		{Name: "a", Kind: U64, U64: a},
+		{Name: "b", Kind: Bytes, Bytes: b},
+		{Name: "c", Kind: Str, Str: c},
+	}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestBuildPartitioning(t *testing.T) {
+	tbl := testTable(t, 10, 3)
+	if got := len(tbl.Parts); got != 3 {
+		t.Fatalf("partitions = %d, want 3", got)
+	}
+	var total int
+	next := uint64(1)
+	for _, p := range tbl.Parts {
+		if p.StartID != next {
+			t.Fatalf("partition StartID = %d, want %d", p.StartID, next)
+		}
+		next += uint64(p.NumRows())
+		total += p.NumRows()
+	}
+	if total != 10 || tbl.NumRows() != 10 {
+		t.Fatalf("row count mismatch: %d/%d", total, tbl.NumRows())
+	}
+}
+
+func TestBuildClampsPartitions(t *testing.T) {
+	tbl := testTable(t, 2, 50)
+	if len(tbl.Parts) != 2 {
+		t.Fatalf("partitions = %d, want clamp to 2", len(tbl.Parts))
+	}
+	tbl = testTable(t, 5, 0)
+	if len(tbl.Parts) != 1 {
+		t.Fatalf("partitions = %d, want clamp to 1", len(tbl.Parts))
+	}
+}
+
+func TestBuildRejectsRaggedColumns(t *testing.T) {
+	_, err := Build("t", []Column{u64Col("a", 1, 2), u64Col("b", 1)}, 1)
+	if err == nil {
+		t.Fatal("want error for ragged columns")
+	}
+}
+
+func TestBuildEmptyTable(t *testing.T) {
+	tbl, err := Build("t", []Column{u64Col("a")}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 || len(tbl.Parts) != 1 {
+		t.Fatalf("empty table: rows=%d parts=%d", tbl.NumRows(), len(tbl.Parts))
+	}
+}
+
+func TestColLookup(t *testing.T) {
+	tbl := testTable(t, 5, 2)
+	if !tbl.HasCol("a") || tbl.HasCol("zz") {
+		t.Fatal("HasCol misbehaves")
+	}
+	k, err := tbl.ColKind("b")
+	if err != nil || k != Bytes {
+		t.Fatalf("ColKind(b) = %v, %v", k, err)
+	}
+	if _, err := tbl.ColKind("zz"); err == nil {
+		t.Fatal("want error for unknown column")
+	}
+	if got := tbl.ColNames(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("ColNames = %v", got)
+	}
+}
+
+func TestSerializeRoundtrip(t *testing.T) {
+	tbl := testTable(t, 57, 4)
+	var buf bytes.Buffer
+	n, err := tbl.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tbl.Name || back.NumRows() != tbl.NumRows() || len(back.Parts) != len(tbl.Parts) {
+		t.Fatalf("header mismatch: %q %d %d", back.Name, back.NumRows(), len(back.Parts))
+	}
+	for pi, p := range tbl.Parts {
+		q := back.Parts[pi]
+		if q.StartID != p.StartID {
+			t.Fatalf("partition %d StartID %d, want %d", pi, q.StartID, p.StartID)
+		}
+		for ci := range p.Cols {
+			if !reflect.DeepEqual(p.Cols[ci], q.Cols[ci]) {
+				t.Fatalf("partition %d column %q differs", pi, p.Cols[ci].Name)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("want error for empty input")
+	}
+	// Truncated valid prefix.
+	tbl := testTable(t, 20, 2)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("want error for truncated input")
+	}
+}
+
+func TestDiskBytesMatchesWriteTo(t *testing.T) {
+	tbl := testTable(t, 100, 3)
+	var buf bytes.Buffer
+	n, err := tbl.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.DiskBytes(); got != uint64(n) {
+		t.Fatalf("DiskBytes = %d, WriteTo wrote %d", got, n)
+	}
+}
+
+func TestMemBytesScalesWithRows(t *testing.T) {
+	small := testTable(t, 100, 1)
+	large := testTable(t, 1000, 1)
+	if large.MemBytes() <= small.MemBytes() {
+		t.Fatal("MemBytes must grow with rows")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if U64.String() != "u64" || Bytes.String() != "bytes" || Str.String() != "str" {
+		t.Fatal("Kind.String broken")
+	}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seabed/internal/schema"
+	"seabed/internal/store"
+)
+
+// The AmpLab Big Data Benchmark (§6.7): Rankings and UserVisits tables plus
+// the ten queries Q1A–Q4. Substring search (Q2) is handled the way the paper
+// handled it — derived prefix columns matched under deterministic encryption
+// — and Q4's external-script phase is modeled as its phase-2 aggregation
+// table.
+
+// BDB bundles the generated benchmark.
+type BDB struct {
+	Rankings   *store.Table
+	UserVisits *store.Table
+	Q4Phase2   *store.Table
+
+	RankingsSchema   *schema.Table
+	UserVisitsSchema *schema.Table
+	Q4Phase2Schema   *schema.Table
+}
+
+// BDBConfig scales the benchmark.
+type BDBConfig struct {
+	// Pages is the Rankings row count (paper: 90M).
+	Pages int
+	// Visits is the UserVisits row count (paper: 775M).
+	Visits int
+	// Q4Rows is the Q4 phase-2 row count (paper: 194M).
+	Q4Rows int
+	Seed   int64
+}
+
+// GenerateBDB builds the benchmark tables.
+func GenerateBDB(cfg BDBConfig) (*BDB, error) {
+	if cfg.Pages < 1 || cfg.Visits < 1 || cfg.Q4Rows < 1 {
+		return nil, fmt.Errorf("workload: BDB row counts must be positive: %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Rankings: pageURL, pageRank, avgDuration.
+	urls := make([]string, cfg.Pages)
+	ranks := make([]uint64, cfg.Pages)
+	durs := make([]uint64, cfg.Pages)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("url%d.example.com/page", i)
+		// Power-law-ish pageRank in [0, 10000).
+		r := rng.Float64()
+		ranks[i] = uint64(10000 * r * r * r)
+		durs[i] = uint64(rng.Intn(300))
+	}
+	rankings, err := store.Build("rankings", []store.Column{
+		{Name: "pageURL", Kind: store.Str, Str: urls},
+		{Name: "pageRank", Kind: store.U64, U64: ranks},
+		{Name: "avgDuration", Kind: store.U64, U64: durs},
+	}, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// UserVisits: sourceIP (+ derived prefixes), destURL, visitDate,
+	// adRevenue, userAgent, countryCode, languageCode, searchWord, duration.
+	n := cfg.Visits
+	srcIP := make([]string, n)
+	pfx8 := make([]string, n)
+	pfx10 := make([]string, n)
+	pfx12 := make([]string, n)
+	dest := make([]string, n)
+	date := make([]uint64, n)
+	rev := make([]uint64, n)
+	agent := make([]string, n)
+	country := make([]string, n)
+	lang := make([]string, n)
+	word := make([]string, n)
+	dur := make([]uint64, n)
+	agents := []string{"Mozilla", "Chrome", "Safari", "Edge", "curl"}
+	countries := []string{"USA", "IND", "CHN", "BRA", "GBR", "DEU", "JPN", "FRA"}
+	langs := []string{"en", "hi", "zh", "pt", "de", "ja", "fr"}
+	words := []string{"shoes", "phone", "travel", "books", "music", "sports"}
+	for i := 0; i < n; i++ {
+		ip := fmt.Sprintf("%d.%d.%d.%d", rng.Intn(224)+1, rng.Intn(256), rng.Intn(256), rng.Intn(256))
+		srcIP[i] = ip
+		pfx8[i] = prefix(ip, 8)
+		pfx10[i] = prefix(ip, 10)
+		pfx12[i] = prefix(ip, 12)
+		dest[i] = urls[rng.Intn(cfg.Pages)]
+		date[i] = uint64(rng.Intn(365)) // day index within a year
+		rev[i] = uint64(rng.Intn(1000))
+		agent[i] = agents[rng.Intn(len(agents))]
+		country[i] = countries[rng.Intn(len(countries))]
+		lang[i] = langs[rng.Intn(len(langs))]
+		word[i] = words[rng.Intn(len(words))]
+		dur[i] = uint64(rng.Intn(1000))
+	}
+	visits, err := store.Build("uservisits", []store.Column{
+		{Name: "sourceIP", Kind: store.Str, Str: srcIP},
+		{Name: "srcPrefix8", Kind: store.Str, Str: pfx8},
+		{Name: "srcPrefix10", Kind: store.Str, Str: pfx10},
+		{Name: "srcPrefix12", Kind: store.Str, Str: pfx12},
+		{Name: "destURL", Kind: store.Str, Str: dest},
+		{Name: "visitDate", Kind: store.U64, U64: date},
+		{Name: "adRevenue", Kind: store.U64, U64: rev},
+		{Name: "userAgent", Kind: store.Str, Str: agent},
+		{Name: "countryCode", Kind: store.Str, Str: country},
+		{Name: "languageCode", Kind: store.Str, Str: lang},
+		{Name: "searchWord", Kind: store.Str, Str: word},
+		{Name: "duration", Kind: store.U64, U64: dur},
+	}, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Q4 phase 2: (dstKey, hits) pairs emitted by the external script's
+	// first phase; the benchmark aggregates counts per key.
+	keys := make([]string, cfg.Q4Rows)
+	hits := make([]uint64, cfg.Q4Rows)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("url%d.example.com", rng.Intn(cfg.Pages))
+		hits[i] = uint64(rng.Intn(10) + 1)
+	}
+	q4, err := store.Build("q4phase2", []store.Column{
+		{Name: "dstKey", Kind: store.Str, Str: keys},
+		{Name: "hits", Kind: store.U64, U64: hits},
+	}, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	return &BDB{
+		Rankings:   rankings,
+		UserVisits: visits,
+		Q4Phase2:   q4,
+		RankingsSchema: &schema.Table{Name: "rankings", Columns: []schema.Column{
+			{Name: "pageURL", Type: schema.String, Sensitive: true},
+			{Name: "pageRank", Type: schema.Int64, Sensitive: true},
+			{Name: "avgDuration", Type: schema.Int64, Sensitive: true},
+		}},
+		UserVisitsSchema: &schema.Table{Name: "uservisits", Columns: []schema.Column{
+			{Name: "sourceIP", Type: schema.String, Sensitive: true},
+			{Name: "srcPrefix8", Type: schema.String, Sensitive: true},
+			{Name: "srcPrefix10", Type: schema.String, Sensitive: true},
+			{Name: "srcPrefix12", Type: schema.String, Sensitive: true},
+			{Name: "destURL", Type: schema.String, Sensitive: true},
+			{Name: "visitDate", Type: schema.Int64, Sensitive: true},
+			{Name: "adRevenue", Type: schema.Int64, Sensitive: true},
+			{Name: "userAgent", Type: schema.String, Sensitive: false},
+			{Name: "countryCode", Type: schema.String, Sensitive: false},
+			{Name: "languageCode", Type: schema.String, Sensitive: false},
+			{Name: "searchWord", Type: schema.String, Sensitive: false},
+			{Name: "duration", Type: schema.Int64, Sensitive: true},
+		}},
+		Q4Phase2Schema: &schema.Table{Name: "q4phase2", Columns: []schema.Column{
+			{Name: "dstKey", Type: schema.String, Sensitive: true},
+			{Name: "hits", Type: schema.Int64, Sensitive: true},
+		}},
+	}, nil
+}
+
+func prefix(s string, n int) string {
+	if len(s) < n {
+		return s
+	}
+	return s[:n]
+}
+
+// BDBQuery identifies one benchmark query.
+type BDBQuery struct {
+	Name string
+	SQL  string
+	// ExpectedGroups feeds the group-inflation heuristic.
+	ExpectedGroups int
+}
+
+// BDBQueries returns the ten queries (§6.7), with the paper's
+// simplifications already applied.
+func BDBQueries() []BDBQuery {
+	return []BDBQuery{
+		{Name: "Q1A", SQL: "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 1000"},
+		{Name: "Q1B", SQL: "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100"},
+		{Name: "Q1C", SQL: "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 10"},
+		{Name: "Q2A", SQL: "SELECT srcPrefix8, SUM(adRevenue) FROM uservisits GROUP BY srcPrefix8"},
+		{Name: "Q2B", SQL: "SELECT srcPrefix10, SUM(adRevenue) FROM uservisits GROUP BY srcPrefix10"},
+		{Name: "Q2C", SQL: "SELECT srcPrefix12, SUM(adRevenue) FROM uservisits GROUP BY srcPrefix12"},
+		{Name: "Q3A", SQL: "SELECT sourceIP, SUM(adRevenue) FROM uservisits uv JOIN rankings r ON uv.destURL = r.pageURL WHERE visitDate < 30 GROUP BY sourceIP"},
+		{Name: "Q3B", SQL: "SELECT sourceIP, SUM(adRevenue) FROM uservisits uv JOIN rankings r ON uv.destURL = r.pageURL WHERE visitDate < 120 GROUP BY sourceIP"},
+		{Name: "Q3C", SQL: "SELECT sourceIP, SUM(adRevenue) FROM uservisits uv JOIN rankings r ON uv.destURL = r.pageURL WHERE visitDate < 365 GROUP BY sourceIP"},
+		{Name: "Q4", SQL: "SELECT dstKey, COUNT(*) FROM q4phase2 GROUP BY dstKey"},
+	}
+}
+
+// BDBSamples returns the sample query sets per table, for planning.
+func BDBSamples() map[string][]string {
+	rankings := []string{
+		"SELECT pageURL, pageRank FROM rankings WHERE pageRank > 1000",
+		// The Q3 join marks pageURL as a join key in rankings' plan too.
+		"SELECT sourceIP, SUM(adRevenue) FROM uservisits uv JOIN rankings r ON uv.destURL = r.pageURL WHERE visitDate < 30 GROUP BY sourceIP",
+	}
+	visits := []string{
+		"SELECT srcPrefix8, SUM(adRevenue) FROM uservisits GROUP BY srcPrefix8",
+		"SELECT srcPrefix10, SUM(adRevenue) FROM uservisits GROUP BY srcPrefix10",
+		"SELECT srcPrefix12, SUM(adRevenue) FROM uservisits GROUP BY srcPrefix12",
+		"SELECT sourceIP, SUM(adRevenue) FROM uservisits uv JOIN rankings r ON uv.destURL = r.pageURL WHERE visitDate < 30 GROUP BY sourceIP",
+	}
+	q4 := []string{
+		"SELECT dstKey, COUNT(*) FROM q4phase2 GROUP BY dstKey",
+	}
+	return map[string][]string{"rankings": rankings, "uservisits": visits, "q4phase2": q4}
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+
+	"seabed/internal/sqlparse"
+)
+
+func seededRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+var (
+	parseMu    sync.Mutex
+	parseCache = map[string]*sqlparse.Query{}
+)
+
+// parseCached parses SQL with memoization; log classification parses the
+// same few query shapes hundreds of thousands of times.
+func parseCached(src string) (*sqlparse.Query, error) {
+	parseMu.Lock()
+	q, ok := parseCache[src]
+	parseMu.Unlock()
+	if ok {
+		return q, nil
+	}
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	parseMu.Lock()
+	parseCache[src] = q
+	parseMu.Unlock()
+	return q, nil
+}

@@ -1,0 +1,134 @@
+// Package seabed is a from-scratch Go implementation of Seabed (OSDI 2016):
+// big-data analytics over encrypted datasets.
+//
+// Seabed lets an analyst run OLAP-style SQL over data that stays encrypted
+// on an untrusted server. Its core primitive is ASHE, an additively
+// symmetric homomorphic encryption scheme three orders of magnitude faster
+// than Paillier, paired with SPLASHE, a splayed encoding that defeats
+// frequency attacks on deterministically encrypted dimensions.
+//
+// The typical flow mirrors the paper's three client requests (§4.1):
+//
+//	cluster := seabed.NewCluster(seabed.ClusterConfig{Workers: 16})
+//	proxy, _ := seabed.NewProxy(masterSecret, cluster)
+//
+//	// 1. Create Plan: plaintext schema + sample queries → encrypted schema.
+//	proxy.CreatePlan(schema, samples, seabed.PlannerOptions{})
+//
+//	// 2. Upload Data: plaintext rows → encrypted columnar tables.
+//	proxy.Upload("sales", data, seabed.ModeSeabed)
+//
+//	// 3. Query Data: unmodified SQL → decrypted rows + latency breakdown.
+//	res, _ := proxy.Query("SELECT SUM(revenue) FROM sales WHERE country = 'CA'",
+//	    seabed.ModeSeabed, seabed.QueryOptions{})
+//
+// The package re-exports the system's building blocks — the ASHE, SPLASHE,
+// DET, ORE and Paillier schemes, the columnar store, the Spark-like engine,
+// the planner and the query translator — so downstream users can compose
+// them directly; see the examples directory.
+package seabed
+
+import (
+	"seabed/internal/client"
+	"seabed/internal/engine"
+	"seabed/internal/netsim"
+	"seabed/internal/planner"
+	"seabed/internal/schema"
+	"seabed/internal/sqlparse"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+)
+
+// System types.
+type (
+	// Proxy is the trusted client-side proxy: planner, encryption module,
+	// query translator front-end, and decryption module (§4).
+	Proxy = client.Proxy
+	// KeyRing derives every per-column key from one master secret.
+	KeyRing = client.KeyRing
+	// Cluster is the untrusted server: a Spark-like engine over partitioned
+	// columnar tables (§4.5).
+	Cluster = engine.Cluster
+	// ClusterConfig sizes the simulated cluster.
+	ClusterConfig = engine.Config
+	// QueryOptions tunes one query execution.
+	QueryOptions = client.QueryOptions
+	// QueryResult is a decrypted result with its latency breakdown.
+	QueryResult = client.QueryResult
+	// Row is one decrypted result row.
+	Row = client.Row
+	// Value is one result cell.
+	Value = client.Value
+	// Schema describes a plaintext table.
+	Schema = schema.Table
+	// SchemaColumn describes one plaintext column.
+	SchemaColumn = schema.Column
+	// Plan is the encrypted schema the planner produces.
+	Plan = planner.Plan
+	// PlannerOptions tunes the planner (§4.2).
+	PlannerOptions = planner.Options
+	// Mode selects NoEnc, Seabed, or the Paillier baseline.
+	Mode = translate.Mode
+	// Table is a partitioned columnar table.
+	Table = store.Table
+	// Column is one column vector.
+	Column = store.Column
+	// Link is a modeled network link.
+	Link = netsim.Link
+	// Query is a parsed SQL statement.
+	Query = sqlparse.Query
+)
+
+// Modes (§6.1's three systems).
+const (
+	// ModeNoEnc runs queries over unencrypted data.
+	ModeNoEnc = translate.NoEnc
+	// ModeSeabed runs the paper's system: ASHE + SPLASHE + DET + OPE.
+	ModeSeabed = translate.Seabed
+	// ModePaillier runs the CryptDB/Monomi-style baseline.
+	ModePaillier = translate.Paillier
+)
+
+// Column types.
+const (
+	// Int64 marks integer columns.
+	Int64 = schema.Int64
+	// String marks string columns.
+	String = schema.String
+)
+
+// Column kinds for building source tables.
+const (
+	// U64 columns hold integers.
+	U64 = store.U64
+	// Bytes columns hold byte strings.
+	Bytes = store.Bytes
+	// Str columns hold strings.
+	Str = store.Str
+)
+
+// Predefined network links (§6.1, §6.6).
+var (
+	// LinkInCluster is the default 2 Gbps / 0.5 ms placement.
+	LinkInCluster = netsim.InCluster
+	// LinkWAN100 is the degraded 100 Mbps / 10 ms link.
+	LinkWAN100 = netsim.WAN100
+	// LinkWAN10 is the degraded 10 Mbps / 100 ms link.
+	LinkWAN10 = netsim.WAN10
+)
+
+// NewCluster creates the untrusted server with the given configuration.
+func NewCluster(cfg ClusterConfig) *Cluster { return engine.NewCluster(cfg) }
+
+// NewProxy creates the trusted proxy with a master secret (≥ 16 bytes).
+func NewProxy(masterSecret []byte, cluster *Cluster) (*Proxy, error) {
+	return client.NewProxy(masterSecret, cluster)
+}
+
+// BuildTable assembles a plaintext source table from full-length columns.
+func BuildTable(name string, cols []Column, parts int) (*Table, error) {
+	return store.Build(name, cols, parts)
+}
+
+// ParseSQL parses a statement in Seabed's SQL subset (§4.4).
+func ParseSQL(src string) (*Query, error) { return sqlparse.Parse(src) }

@@ -1,0 +1,56 @@
+package seabed
+
+import (
+	"seabed/internal/workload"
+)
+
+// Public access to the evaluation workload generators (§5, §6), so examples
+// and downstream users can regenerate the paper's datasets.
+
+type (
+	// BDB is the generated AmpLab Big Data Benchmark (§6.7).
+	BDB = workload.BDB
+	// BDBConfig scales the benchmark.
+	BDBConfig = workload.BDBConfig
+	// BDBQuery is one of the ten benchmark queries.
+	BDBQuery = workload.BDBQuery
+	// AdA is the generated advertising-analytics workload (§6.6).
+	AdA = workload.AdA
+	// AdAConfig scales it.
+	AdAConfig = workload.AdAConfig
+	// MDXFunction is one row of the Appendix B catalog (Table 6).
+	MDXFunction = workload.MDXFunction
+	// CategoryCounts is a Table 4 classification row.
+	CategoryCounts = workload.CategoryCounts
+)
+
+// GenerateBDB builds the Big Data Benchmark tables at the given scale.
+func GenerateBDB(cfg BDBConfig) (*BDB, error) { return workload.GenerateBDB(cfg) }
+
+// BDBQueries returns the ten benchmark queries with the paper's
+// simplifications applied (§6.7).
+func BDBQueries() []BDBQuery { return workload.BDBQueries() }
+
+// BDBSamples returns per-table sample query sets for planning.
+func BDBSamples() map[string][]string { return workload.BDBSamples() }
+
+// GenerateAdA builds the advertising-analytics workload at the given scale.
+func GenerateAdA(cfg AdAConfig) (*AdA, error) { return workload.GenerateAdA(cfg) }
+
+// AdASamples returns the ad-analytics sample queries for planning.
+func AdASamples() []string { return workload.AdASamples() }
+
+// GenerateSynthetic builds the §6.1 microbenchmark table.
+func GenerateSynthetic(rows, groups int, seed int64) (*Table, error) {
+	return workload.Synthetic(rows, groups, seed)
+}
+
+// SyntheticSchema returns the microbenchmark schema.
+func SyntheticSchema(groups int) *Schema { return workload.SyntheticSchema(groups) }
+
+// SyntheticQueries returns the microbenchmark sample queries.
+func SyntheticQueries() []string { return workload.SyntheticQueries() }
+
+// MDXCatalog returns Table 6: all 38 MDX functions with how Seabed supports
+// each.
+func MDXCatalog() []MDXFunction { return workload.MDXCatalog() }
