@@ -15,17 +15,37 @@ import (
 
 func main() {
 	rows := flag.Int("rows", 50_000, "dataset size")
-	workers := flag.Int("workers", 8, "simulated cluster workers")
+	workers := flag.Int("workers", 8, "simulated cluster workers (embedded mode)")
+	addr := flag.String("addr", "", "address of a running seabed-server; empty runs an embedded cluster")
 	flag.Parse()
-	if err := run(*rows, *workers); err != nil {
+	if err := run(*rows, *workers, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "seabed-demo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, workers int) error {
+func run(rows, workers int, addr string) error {
+	// The engine is either embedded in this process or a seabed-server
+	// daemon reached over TCP — the rest of the demo is identical.
+	var cluster seabed.ClusterBackend
+	if addr == "" {
+		cluster = seabed.NewCluster(seabed.ClusterConfig{Workers: workers})
+	} else {
+		rc, err := seabed.DialCluster(addr)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		cluster = rc
+		workers = rc.Workers()
+	}
+
 	fmt.Println("Seabed demo — big data analytics over encrypted datasets")
-	fmt.Printf("dataset: %d rows, cluster: %d simulated workers\n\n", rows, workers)
+	if addr == "" {
+		fmt.Printf("dataset: %d rows, cluster: %d simulated workers (embedded)\n\n", rows, workers)
+	} else {
+		fmt.Printf("dataset: %d rows, cluster: seabed-server at %s (%d workers)\n\n", rows, addr, workers)
+	}
 
 	// --- 1. Create Plan -------------------------------------------------
 	countries := []string{"USA", "Canada", "India", "Chile", "Japan", "Kenya"}
@@ -62,7 +82,6 @@ func run(rows, workers int) error {
 		"SELECT store, SUM(revenue) FROM sales GROUP BY store",
 	}
 
-	cluster := seabed.NewCluster(seabed.ClusterConfig{Workers: workers})
 	proxy, err := seabed.NewProxy([]byte("demo-master-secret-0123456789ab"), cluster)
 	if err != nil {
 		return err

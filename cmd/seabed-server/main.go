@@ -1,0 +1,65 @@
+// Command seabed-server runs Seabed's untrusted engine as a standalone
+// daemon: an engine.Cluster behind a TCP listener speaking the
+// internal/wire protocol. The trusted proxy (internal/client) connects via
+// internal/remote, uploads encrypted tables, and submits physical plans —
+// the server never sees a key or a plaintext row (§4).
+//
+// Usage:
+//
+//	seabed-server -addr :7687 -workers 16
+//
+// then, from the client side:
+//
+//	seabed-demo -addr localhost:7687
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"seabed/internal/engine"
+	"seabed/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7687", "TCP listen address")
+	workers := flag.Int("workers", 16, "simulated cluster workers (the x-axis of Figure 7)")
+	parallelism := flag.Int("parallelism", 0, "bound on real task goroutines (0 = NumCPU)")
+	seed := flag.Uint64("seed", 0, "seed for straggler injection and group inflation")
+	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
+	flag.Parse()
+
+	cluster := engine.NewCluster(engine.Config{
+		Workers:         *workers,
+		RealParallelism: *parallelism,
+		Seed:            *seed,
+	})
+	srv := server.New(cluster)
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	closed := make(chan struct{})
+	go func() {
+		s := <-sig
+		log.Printf("seabed-server: %v: shutting down", s)
+		srv.Close() //nolint:errcheck // exiting either way
+		close(closed)
+	}()
+
+	log.Printf("seabed-server: listening on %s (%d workers)", *addr, *workers)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "seabed-server:", err)
+		os.Exit(1)
+	}
+	// Serve returns once the listener closes; wait for Close to finish
+	// tearing down the connections before exiting.
+	<-closed
+	log.Printf("seabed-server: bye")
+}

@@ -1,0 +1,3 @@
+module seabed
+
+go 1.24

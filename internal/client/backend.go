@@ -1,0 +1,42 @@
+package client
+
+import (
+	"seabed/internal/engine"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+)
+
+// ClusterBackend abstracts the untrusted engine the proxy drives. The
+// in-process *engine.Cluster satisfies it directly; *remote.RemoteCluster
+// satisfies it across a TCP connection to a seabed-server, so the same proxy
+// code serves both the paper's single-machine evaluation setup and a real
+// client/server deployment (§4).
+type ClusterBackend interface {
+	// Workers returns the cluster's worker count. The proxy uses it to size
+	// uploads and to drive the group-inflation heuristic (§4.5).
+	Workers() int
+	// RegisterTable makes an encrypted physical table addressable by ref on
+	// the engine. The proxy calls it after every Upload; re-registering a
+	// ref replaces its table. The in-process engine resolves tables by
+	// pointer and treats this as a no-op; a remote engine ships the table's
+	// bytes to the server.
+	RegisterTable(ref string, t *store.Table) error
+	// AppendTable extends a registered table with a batch of new rows whose
+	// identifiers continue the table's contiguously (§4.1: uploads are "a
+	// continuing process"). Only the batch crosses to a remote engine; the
+	// in-process engine shares the proxy's table pointer and treats this as
+	// a no-op.
+	AppendTable(ref string, batch *store.Table) error
+	// Run executes a physical plan and returns its result. Implementations
+	// must record the effective identifier-list codec in pl.Codec when the
+	// plan left it nil, so the proxy decodes with the codec the engine used.
+	Run(pl *engine.Plan) (*engine.Result, error)
+}
+
+// TableRef names a physical table on a cluster backend: the logical table
+// name qualified by its encryption mode, e.g. "sales@Seabed". One logical
+// table is uploaded once per mode, and each upload is a distinct physical
+// table on the engine.
+func TableRef(table string, mode translate.Mode) string {
+	return table + "@" + mode.String()
+}

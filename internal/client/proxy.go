@@ -22,7 +22,7 @@ import (
 // a plain Spark SQL endpoint.
 type Proxy struct {
 	ring    *KeyRing
-	cluster *engine.Cluster
+	cluster ClusterBackend
 	// Link models the server↔client connection (§6.6).
 	Link netsim.Link
 	// Parts is the partition count for uploads (defaults to 4× workers).
@@ -38,9 +38,10 @@ type tableEntry struct {
 	enc   map[translate.Mode]*store.Table
 }
 
-// NewProxy creates a proxy bound to a cluster, with the in-cluster client
+// NewProxy creates a proxy bound to a cluster backend — the in-process
+// *engine.Cluster or a *remote.RemoteCluster — with the in-cluster client
 // link of the paper's default setup.
-func NewProxy(master []byte, cluster *engine.Cluster) (*Proxy, error) {
+func NewProxy(master []byte, cluster ClusterBackend) (*Proxy, error) {
 	ring, err := NewKeyRing(master)
 	if err != nil {
 		return nil, err
@@ -108,6 +109,9 @@ func (p *Proxy) Upload(table string, src *store.Table, modes ...translate.Mode) 
 			entry.plain = enc
 		}
 		p.mu.Unlock()
+		if err := p.cluster.RegisterTable(TableRef(table, mode), enc); err != nil {
+			return fmt.Errorf("client: register %q on cluster: %v", TableRef(table, mode), err)
+		}
 	}
 	return nil
 }
@@ -138,11 +142,43 @@ func (p *Proxy) Append(table string, batch *store.Table, modes ...translate.Mode
 		if err != nil {
 			return fmt.Errorf("client: append to %q: %v", table, err)
 		}
+		// Ship only the batch to the cluster (remote backends append it to
+		// their copy) before mutating local state: if the ship fails, the
+		// local table is unchanged and a retried Append re-encrypts from the
+		// same row identifier, keeping both sides in step.
+		if err := p.cluster.AppendTable(TableRef(table, mode), enc); err != nil {
+			return fmt.Errorf("client: append %q on cluster: %v", TableRef(table, mode), err)
+		}
 		p.mu.Lock()
 		err = existing.AppendTable(enc)
 		p.mu.Unlock()
 		if err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// SyncTables registers every uploaded physical table with the proxy's
+// current cluster backend. It is what makes WithCluster work against a
+// remote backend: the tables were encrypted and registered against the
+// original backend, and the new one has never seen them.
+func (p *Proxy) SyncTables() error {
+	p.mu.Lock()
+	type reg struct {
+		ref string
+		t   *store.Table
+	}
+	var regs []reg
+	for name, entry := range p.tables {
+		for mode, t := range entry.enc {
+			regs = append(regs, reg{ref: TableRef(name, mode), t: t})
+		}
+	}
+	p.mu.Unlock()
+	for _, r := range regs {
+		if err := p.cluster.RegisterTable(r.ref, r.t); err != nil {
+			return fmt.Errorf("client: register %q on cluster: %v", r.ref, err)
 		}
 	}
 	return nil
@@ -271,8 +307,9 @@ func (p *Proxy) RunQuery(q *sqlparse.Query, mode translate.Mode, opts QueryOptio
 }
 
 // WithCluster returns a proxy sharing this proxy's key ring and uploaded
-// tables but executing against a different cluster — the Figure 7 worker
-// sweep rebinds one dataset across cluster sizes this way.
-func (p *Proxy) WithCluster(cluster *engine.Cluster) *Proxy {
+// tables but executing against a different cluster backend — the Figure 7
+// worker sweep rebinds one dataset across cluster sizes this way. When the
+// new backend is remote, follow up with SyncTables to ship the tables to it.
+func (p *Proxy) WithCluster(cluster ClusterBackend) *Proxy {
 	return &Proxy{ring: p.ring, cluster: cluster, Link: p.Link, Parts: p.Parts, tables: p.tables}
 }

@@ -74,6 +74,17 @@ func NewCluster(cfg Config) *Cluster {
 // Workers returns the simulated worker count.
 func (c *Cluster) Workers() int { return c.cfg.Workers }
 
+// RegisterTable satisfies the proxy's cluster-backend contract. The
+// in-process engine receives plans that reference tables by pointer, so
+// there is nothing to ship; remote backends (internal/remote) use the same
+// call to upload the table to a seabed-server.
+func (c *Cluster) RegisterTable(ref string, t *store.Table) error { return nil }
+
+// AppendTable satisfies the proxy's cluster-backend contract; like
+// RegisterTable it is a no-op in process, where the proxy's own table
+// pointer already carries the appended rows.
+func (c *Cluster) AppendTable(ref string, batch *store.Table) error { return nil }
+
 // FilterKind selects a predicate evaluation strategy.
 type FilterKind int
 

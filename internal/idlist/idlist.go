@@ -35,6 +35,26 @@ func FromRange(lo, hi uint64) List {
 	return l
 }
 
+// FromRanges reconstructs a list from a previously captured range
+// decomposition (see Ranges), verbatim: no coalescing or re-sorting is
+// applied, so a list survives a Ranges → FromRanges round trip — the wire
+// protocol relies on this. It panics if any range is inverted.
+func FromRanges(rs []Range) List {
+	var l List
+	if len(rs) == 0 {
+		return l
+	}
+	l.ranges = make([]Range, len(rs))
+	for i, r := range rs {
+		if r.Lo > r.Hi {
+			panic(fmt.Sprintf("idlist: FromRanges: range %d [%d, %d] inverted", i, r.Lo, r.Hi))
+		}
+		l.ranges[i] = r
+		l.n += r.Span()
+	}
+	return l
+}
+
 // FromIDs returns a list containing the given identifiers, which must be in
 // non-decreasing order. Consecutive runs collapse into ranges.
 func FromIDs(ids []uint64) List {

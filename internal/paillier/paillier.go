@@ -83,6 +83,12 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 	}
 }
 
+// NewPublicKey reconstructs a public key from its modulus, e.g. one received
+// over the wire. N² and the bit length are recovered from N itself.
+func NewPublicKey(n *big.Int) *PublicKey {
+	return &PublicKey{N: n, NSquared: new(big.Int).Mul(n, n), bits: n.BitLen()}
+}
+
 // L(x) = (x − 1) / N.
 func (sk *PrivateKey) lFunc(x *big.Int) *big.Int {
 	t := new(big.Int).Sub(x, one)

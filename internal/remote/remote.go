@@ -1,0 +1,282 @@
+// Package remote implements the client side of the internal/wire protocol:
+// a RemoteCluster that satisfies the proxy's ClusterBackend interface
+// against a seabed-server daemon, so the trusted proxy can drive an
+// untrusted engine in another process or on another machine (§4) with no
+// change to the query path.
+//
+// A RemoteCluster maintains a pool of TCP connections. Every request checks
+// a connection out for one request/response round trip, so concurrent
+// Proxy.Query calls fan out over parallel connections instead of queueing
+// behind one socket.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"seabed/internal/engine"
+	"seabed/internal/store"
+	"seabed/internal/wire"
+)
+
+// RemoteCluster is a ClusterBackend speaking the wire protocol over TCP.
+type RemoteCluster struct {
+	addr    string
+	workers int
+
+	connMu sync.Mutex
+	idle   []net.Conn
+	closed bool
+
+	// refs maps registered table pointers back to their server-side refs so
+	// plans (which carry pointers) can be rewritten to reference frames.
+	refMu sync.RWMutex
+	refs  map[*store.Table]string
+}
+
+// Dial connects to a seabed-server, performs the version handshake, and
+// learns the server's worker count.
+func Dial(addr string) (*RemoteCluster, error) {
+	r := &RemoteCluster{addr: addr, refs: make(map[*store.Table]string)}
+	conn, workers, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	r.workers = workers
+	r.put(conn)
+	return r, nil
+}
+
+// dial opens and handshakes one connection.
+func (r *RemoteCluster) dial() (net.Conn, int, error) {
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: dial %s: %w", r.addr, err)
+	}
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello()); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	t, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("remote: handshake with %s: %w", r.addr, err)
+	}
+	if t == wire.MsgError {
+		conn.Close()
+		return nil, 0, fmt.Errorf("remote: server %s: %s", r.addr, wire.DecodeError(payload))
+	}
+	if t != wire.MsgWelcome {
+		conn.Close()
+		return nil, 0, fmt.Errorf("remote: handshake with %s: unexpected %v frame", r.addr, t)
+	}
+	version, workers, err := wire.DecodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	if version != wire.Version {
+		conn.Close()
+		return nil, 0, fmt.Errorf("remote: server %s speaks protocol v%d, want v%d", r.addr, version, wire.Version)
+	}
+	return conn, workers, nil
+}
+
+// get checks a connection out of the pool, dialing a fresh one if none is
+// idle. fromPool reports which, so callers know a transport failure may
+// just be a stale pooled socket.
+func (r *RemoteCluster) get() (conn net.Conn, fromPool bool, err error) {
+	r.connMu.Lock()
+	if r.closed {
+		r.connMu.Unlock()
+		return nil, false, errors.New("remote: cluster is closed")
+	}
+	if n := len(r.idle); n > 0 {
+		conn := r.idle[n-1]
+		r.idle = r.idle[:n-1]
+		r.connMu.Unlock()
+		return conn, true, nil
+	}
+	r.connMu.Unlock()
+	conn, _, err = r.dial()
+	return conn, false, err
+}
+
+// put returns a healthy connection to the pool.
+func (r *RemoteCluster) put(conn net.Conn) {
+	r.connMu.Lock()
+	if r.closed {
+		r.connMu.Unlock()
+		conn.Close()
+		return
+	}
+	r.idle = append(r.idle, conn)
+	r.connMu.Unlock()
+}
+
+// roundTrip sends one request frame and reads its response. The connection
+// is returned to the pool on success and discarded on transport errors, so
+// a poisoned socket never serves a second request. A transport failure on a
+// pooled connection — typically a server that restarted while the socket sat
+// idle — is retried once on a freshly dialed one.
+func (r *RemoteCluster) roundTrip(reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
+	for {
+		conn, fromPool, err := r.get()
+		if err != nil {
+			return 0, nil, err
+		}
+		respType, payload, err := r.exchange(conn, reqType, req)
+		if err != nil {
+			if fromPool {
+				continue // stale pooled socket: retry on a fresh dial
+			}
+			return 0, nil, err
+		}
+		if respType == wire.MsgError {
+			return respType, nil, fmt.Errorf("remote: server: %s", wire.DecodeError(payload))
+		}
+		return respType, payload, nil
+	}
+}
+
+// exchange performs one request/response on conn, pooling it on success and
+// closing it on transport errors.
+func (r *RemoteCluster) exchange(conn net.Conn, reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
+	if err := wire.WriteFrame(conn, reqType, req); err != nil {
+		conn.Close()
+		return 0, nil, err
+	}
+	respType, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return 0, nil, fmt.Errorf("remote: read %v response: %w", reqType, err)
+	}
+	r.put(conn)
+	return respType, payload, nil
+}
+
+// Workers implements ClusterBackend with the server's worker count.
+func (r *RemoteCluster) Workers() int { return r.workers }
+
+// RegisterTable implements ClusterBackend: it ships the table to the server
+// and records the pointer→ref binding used to encode later plans.
+func (r *RemoteCluster) RegisterTable(ref string, t *store.Table) error {
+	payload, err := wire.EncodeRegister(ref, t)
+	if err != nil {
+		return err
+	}
+	respType, _, err := r.roundTrip(wire.MsgRegister, payload)
+	if err != nil {
+		return err
+	}
+	if respType != wire.MsgOK {
+		return fmt.Errorf("remote: register %q: unexpected %v response", ref, respType)
+	}
+	r.refMu.Lock()
+	r.refs[t] = ref
+	r.refMu.Unlock()
+	return nil
+}
+
+// AppendTable implements ClusterBackend: only the batch crosses the wire;
+// the server appends it (copy-on-write) to its copy of the table.
+func (r *RemoteCluster) AppendTable(ref string, batch *store.Table) error {
+	payload, err := wire.EncodeAppend(ref, batch)
+	if err != nil {
+		return err
+	}
+	respType, _, err := r.roundTrip(wire.MsgAppend, payload)
+	if err != nil {
+		return err
+	}
+	if respType != wire.MsgOK {
+		return fmt.Errorf("remote: append %q: unexpected %v response", ref, respType)
+	}
+	return nil
+}
+
+// refOf resolves a plan's table pointer to its server-side ref.
+func (r *RemoteCluster) refOf(t *store.Table) (string, error) {
+	r.refMu.RLock()
+	ref, ok := r.refs[t]
+	r.refMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("remote: table %q was never registered with this cluster (call RegisterTable or Proxy.SyncTables)", t.Name)
+	}
+	return ref, nil
+}
+
+// Run implements ClusterBackend: the plan is rewritten to reference tables
+// by ref, executed on the server, and the decoded result returned. Like the
+// in-process engine, Run records the effective identifier-list codec in
+// pl.Codec so the proxy decodes with the codec the server used.
+func (r *RemoteCluster) Run(pl *engine.Plan) (*engine.Result, error) {
+	if pl.Table == nil {
+		return nil, errors.New("engine: plan has no table")
+	}
+	req := wire.PlanRequest{Plan: pl}
+	var err error
+	if req.TableRef, err = r.refOf(pl.Table); err != nil {
+		return nil, err
+	}
+	if pl.Join != nil {
+		if req.JoinRef, err = r.refOf(pl.Join.Right); err != nil {
+			return nil, err
+		}
+	}
+	// Strip the table pointers for transit without disturbing the caller's
+	// plan: the request struct carries a shallow copy.
+	tx := *pl
+	tx.Table = nil
+	if pl.Join != nil {
+		join := *pl.Join
+		join.Right = nil
+		tx.Join = &join
+	}
+	req.Plan = &tx
+
+	payload, err := wire.EncodePlan(&req)
+	if err != nil {
+		return nil, err
+	}
+	respType, resp, err := r.roundTrip(wire.MsgRun, payload)
+	if err != nil {
+		return nil, err
+	}
+	if respType != wire.MsgResult {
+		return nil, fmt.Errorf("remote: run: unexpected %v response", respType)
+	}
+	codecName, res, err := wire.DecodeResult(resp)
+	if err != nil {
+		return nil, err
+	}
+	if pl.Codec == nil {
+		codec, err := wire.CodecByName(codecName)
+		if err != nil {
+			return nil, err
+		}
+		pl.Codec = codec
+	}
+	return res, nil
+}
+
+// Addr returns the server address this cluster dials.
+func (r *RemoteCluster) Addr() string { return r.addr }
+
+// Close releases the connection pool. In-flight requests finish on their
+// checked-out connections, which are then discarded.
+func (r *RemoteCluster) Close() error {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	r.closed = true
+	var first error
+	for _, conn := range r.idle {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.idle = nil
+	return first
+}

@@ -1,0 +1,351 @@
+// Loopback end-to-end tests: the full Create Plan / Upload Data / Query Data
+// flow driven through a RemoteCluster against a live internal/server on a
+// loopback TCP socket, asserting results identical to the in-process engine
+// — including under concurrent queries (run with -race).
+package remote
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"seabed/internal/client"
+	"seabed/internal/engine"
+	"seabed/internal/planner"
+	"seabed/internal/schema"
+	"seabed/internal/server"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+)
+
+// startServer launches a wire-protocol server for a fresh 4-worker cluster
+// on a loopback socket and returns a dialed RemoteCluster.
+func startServer(t *testing.T) *RemoteCluster {
+	t.Helper()
+	srv := server.New(engine.NewCluster(engine.Config{Workers: 4}))
+	srv.Logf = t.Logf
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	rc, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	return rc
+}
+
+// fixtureModes covers the paper's three systems.
+var fixtureModes = []translate.Mode{translate.NoEnc, translate.Seabed, translate.Paillier}
+
+// fixture builds the quickstart-style sales dataset on an in-process proxy.
+// Tables are encrypted exactly once; remote proxies share them via
+// WithCluster + SyncTables, so local and remote engines see identical
+// ciphertext bytes and any result divergence is the wire path's fault.
+func fixture(t *testing.T) *client.Proxy {
+	t.Helper()
+	const rows = 2000
+	rng := rand.New(rand.NewSource(97))
+
+	countries := []string{"USA", "Canada", "India", "Chile", "Japan"}
+	countryFreq := []uint64{900, 750, 125, 125, 100}
+	countryCol := make([]string, 0, rows)
+	for v, c := range countryFreq {
+		for i := uint64(0); i < c; i++ {
+			countryCol = append(countryCol, countries[v])
+		}
+	}
+	rng.Shuffle(len(countryCol), func(a, b int) { countryCol[a], countryCol[b] = countryCol[b], countryCol[a] })
+
+	revenue := make([]uint64, rows)
+	clicks := make([]uint64, rows)
+	day := make([]uint64, rows)
+	hour := make([]uint64, rows)
+	for i := 0; i < rows; i++ {
+		revenue[i] = uint64(rng.Intn(10000))
+		clicks[i] = uint64(rng.Intn(50))
+		day[i] = uint64(rng.Intn(31) + 1)
+		hour[i] = uint64(rng.Intn(6))
+	}
+
+	tbl := &schema.Table{
+		Name: "sales",
+		Columns: []schema.Column{
+			{Name: "revenue", Type: schema.Int64, Sensitive: true},
+			{Name: "clicks", Type: schema.Int64, Sensitive: true},
+			{Name: "country", Type: schema.String, Sensitive: true, Cardinality: 5,
+				Freqs: countryFreq, Values: countries},
+			{Name: "day", Type: schema.Int64, Sensitive: true},
+			{Name: "hour", Type: schema.Int64, Sensitive: true},
+		},
+	}
+	samples := []string{
+		"SELECT SUM(revenue) FROM sales WHERE country = 'India'",
+		"SELECT COUNT(*) FROM sales WHERE country = 'USA'",
+		"SELECT VAR(clicks) FROM sales",
+		"SELECT SUM(revenue) FROM sales WHERE day > 15",
+		"SELECT hour, SUM(revenue) FROM sales GROUP BY hour",
+		"SELECT MIN(revenue) FROM sales",
+	}
+
+	proxy, err := client.NewProxy([]byte("remote-test-master-secret-012345"), engine.NewCluster(engine.Config{Workers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Parts = 8
+	if _, err := proxy.CreatePlan(tbl, samples, planner.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := store.Build("sales", []store.Column{
+		{Name: "revenue", Kind: store.U64, U64: revenue},
+		{Name: "clicks", Kind: store.U64, U64: clicks},
+		{Name: "country", Kind: store.Str, Str: countryCol},
+		{Name: "day", Kind: store.U64, U64: day},
+		{Name: "hour", Kind: store.U64, U64: hour},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Ring().EnsurePaillier(256); err != nil { // small key: test speed
+		t.Fatal(err)
+	}
+	if err := proxy.Upload("sales", src, fixtureModes...); err != nil {
+		t.Fatal(err)
+	}
+	return proxy
+}
+
+// remoteTwin binds the fixture to a loopback server and ships it the tables.
+func remoteTwin(t *testing.T, local *client.Proxy) *client.Proxy {
+	t.Helper()
+	rc := startServer(t)
+	if rc.Workers() != 4 {
+		t.Fatalf("remote workers = %d, want 4", rc.Workers())
+	}
+	rp := local.WithCluster(rc)
+	if err := rp.SyncTables(); err != nil {
+		t.Fatal(err)
+	}
+	return rp
+}
+
+var loopbackQueries = []string{
+	"SELECT SUM(revenue) FROM sales",
+	"SELECT COUNT(*) FROM sales",
+	"SELECT AVG(revenue) FROM sales",
+	"SELECT SUM(revenue) FROM sales WHERE country = 'Canada'",
+	"SELECT SUM(revenue) FROM sales WHERE country = 'India'",
+	"SELECT COUNT(*) FROM sales WHERE country = 'Chile'",
+	"SELECT SUM(revenue) FROM sales WHERE day > 15",
+	"SELECT SUM(revenue) FROM sales WHERE day >= 10 AND day <= 20",
+	"SELECT VAR(clicks) FROM sales",
+	"SELECT STDDEV(clicks) FROM sales",
+	"SELECT hour, SUM(revenue) FROM sales GROUP BY hour",
+	"SELECT hour, AVG(revenue) FROM sales GROUP BY hour",
+	"SELECT MIN(revenue) FROM sales",
+	"SELECT MAX(revenue) FROM sales",
+	"SELECT revenue FROM sales WHERE day > 29",
+}
+
+// mustRows runs a query and returns its decrypted rows.
+func mustRows(t *testing.T, p *client.Proxy, sql string, mode translate.Mode, opts client.QueryOptions) []client.Row {
+	t.Helper()
+	res, err := p.Query(sql, mode, opts)
+	if err != nil {
+		t.Fatalf("%v %q: %v", mode, sql, err)
+	}
+	return res.Rows
+}
+
+// TestLoopbackEndToEnd is the acceptance gate: every query, in every mode,
+// decrypts to rows identical to the in-process backend's.
+func TestLoopbackEndToEnd(t *testing.T) {
+	local := fixture(t)
+	remote := remoteTwin(t, local)
+	for _, sql := range loopbackQueries {
+		for _, mode := range fixtureModes {
+			want := mustRows(t, local, sql, mode, client.QueryOptions{})
+			got := mustRows(t, remote, sql, mode, client.QueryOptions{})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v %q: remote rows differ from in-process\n got %+v\nwant %+v", mode, sql, got, want)
+			}
+		}
+	}
+}
+
+// TestLoopbackGroupInflation forces the §4.5 inflation path, whose suffixed
+// group keys and VB+Diff codec selection both cross the wire.
+func TestLoopbackGroupInflation(t *testing.T) {
+	local := fixture(t)
+	remote := remoteTwin(t, local)
+	sql := "SELECT hour, SUM(revenue) FROM sales GROUP BY hour"
+	opts := client.QueryOptions{ExpectedGroups: 6, ForceInflate: 3}
+	want := mustRows(t, local, sql, translate.Seabed, opts)
+	got := mustRows(t, remote, sql, translate.Seabed, opts)
+	if len(want) != 6 {
+		t.Fatalf("inflated group-by returned %d groups, want 6", len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("inflated group-by diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLoopbackServerOnly exercises the §6.7 server-only path, which returns
+// metrics without decryption.
+func TestLoopbackServerOnly(t *testing.T) {
+	local := fixture(t)
+	remote := remoteTwin(t, local)
+	res, err := remote.Query("SELECT SUM(revenue) FROM sales", translate.Seabed, client.QueryOptions{ServerOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.RowsScanned != 2000 || res.Metrics.MapTasks == 0 {
+		t.Fatalf("server-only metrics not populated: %+v", res.Metrics)
+	}
+}
+
+// TestConcurrentRemoteQueries fans queries out over parallel goroutines so
+// the connection pool, the server's per-connection dispatch, and the shared
+// table registry all run concurrently (the -race gate of the issue).
+func TestConcurrentRemoteQueries(t *testing.T) {
+	local := fixture(t)
+	remote := remoteTwin(t, local)
+
+	// Precompute expected rows serially.
+	type workItem struct {
+		sql  string
+		mode translate.Mode
+		want []client.Row
+	}
+	var work []workItem
+	for _, sql := range loopbackQueries {
+		for _, mode := range []translate.Mode{translate.NoEnc, translate.Seabed} {
+			work = append(work, workItem{sql, mode, mustRows(t, local, sql, mode, client.QueryOptions{})})
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range work {
+				w := work[(i+g)%len(work)]
+				res, err := remote.Query(w.sql, w.mode, client.QueryOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, w.want) {
+					errs <- &divergence{sql: w.sql, mode: w.mode}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type divergence struct {
+	sql  string
+	mode translate.Mode
+}
+
+func (d *divergence) Error() string {
+	return "concurrent query diverged: " + d.mode.String() + " " + d.sql
+}
+
+// TestAppendReachesServer verifies that Append re-registers the grown table,
+// so remote queries see the new rows.
+func TestAppendReachesServer(t *testing.T) {
+	local := fixture(t)
+	remote := remoteTwin(t, local)
+	sql := "SELECT COUNT(*) FROM sales"
+	before := mustRows(t, remote, sql, translate.Seabed, client.QueryOptions{})
+
+	// The batch must roughly match the planned value distribution — and be
+	// large enough that its common rows can donate the dummy slots enhanced
+	// SPLASHE needs to lift every uncommon value to the plan's absolute
+	// threshold — or balancing fails (§3.5). Mirror the fixture's skew at
+	// half its size.
+	const batchRows = 1000
+	country := make([]string, 0, batchRows)
+	for v, c := range []int{450, 375, 63, 62, 50} {
+		for i := 0; i < c; i++ {
+			country = append(country, []string{"USA", "Canada", "India", "Chile", "Japan"}[v])
+		}
+	}
+	rng := rand.New(rand.NewSource(31))
+	rng.Shuffle(len(country), func(a, b int) { country[a], country[b] = country[b], country[a] })
+	u64s := func(f func(i int) uint64) []uint64 {
+		out := make([]uint64, batchRows)
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+	batch, err := store.Build("sales", []store.Column{
+		{Name: "revenue", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(10000)) })},
+		{Name: "clicks", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(50)) })},
+		{Name: "country", Kind: store.Str, Str: country},
+		{Name: "day", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(31) + 1) })},
+		{Name: "hour", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(6)) })},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append through the remote-bound proxy: encrypts locally, re-registers
+	// the grown table on the server.
+	if err := remote.Append("sales", batch, translate.Seabed); err != nil {
+		t.Fatal(err)
+	}
+	after := mustRows(t, remote, sql, translate.Seabed, client.QueryOptions{})
+	if after[0].Values[0].I64 != before[0].Values[0].I64+batchRows {
+		t.Fatalf("count after append = %d, want %d", after[0].Values[0].I64, before[0].Values[0].I64+batchRows)
+	}
+}
+
+// TestUnsyncedTableFails pins the failure mode of forgetting SyncTables: a
+// clear error naming the fix, not a hang or a wrong answer.
+func TestUnsyncedTableFails(t *testing.T) {
+	local := fixture(t)
+	rc := startServer(t)
+	rp := local.WithCluster(rc) // no SyncTables
+	_, err := rp.Query("SELECT COUNT(*) FROM sales", translate.Seabed, client.QueryOptions{})
+	if err == nil || !strings.Contains(err.Error(), "never registered") {
+		t.Fatalf("err = %v, want a never-registered error", err)
+	}
+}
+
+// TestDialRejectsDeadServer pins the dial error path.
+func TestDialRejectsDeadServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dialing a closed listener succeeded")
+	}
+}

@@ -1,0 +1,318 @@
+// Package server hosts an engine.Cluster behind a TCP listener speaking the
+// internal/wire protocol, turning the untrusted engine into a standalone
+// daemon (cmd/seabed-server) the trusted proxy reaches over the network —
+// the deployment split of the paper's §4: the proxy and its keys stay on the
+// client side, the server only ever sees ciphertexts, physical plans, and
+// encrypted results.
+//
+// Each accepted connection is served by its own goroutine; requests on one
+// connection are processed in order, and clients that want parallelism open
+// multiple connections (internal/remote pools them). The table registry is
+// shared across connections and guarded for concurrent registration and
+// plan execution.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"seabed/internal/engine"
+	"seabed/internal/store"
+	"seabed/internal/wire"
+)
+
+// Server owns a cluster, a table registry, and a listener.
+type Server struct {
+	cluster *engine.Cluster
+	// Logf, when non-nil, receives one line per connection event and
+	// request-level failure. Set it before Serve.
+	Logf func(format string, args ...any)
+
+	mu     sync.RWMutex
+	tables map[string]*store.Table
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	active map[net.Conn]struct{}
+	conns  sync.WaitGroup
+}
+
+// New returns a server executing plans on the given cluster.
+func New(cluster *engine.Cluster) *Server {
+	return &Server{
+		cluster: cluster,
+		tables:  make(map[string]*store.Table),
+		active:  make(map[net.Conn]struct{}),
+	}
+}
+
+// RegisterTable adds or replaces a table in the registry. The wire path uses
+// it for MsgRegister frames; embedders can call it directly to preload
+// tables.
+func (s *Server) RegisterTable(ref string, t *store.Table) error {
+	if ref == "" {
+		return errors.New("server: empty table ref")
+	}
+	if t == nil {
+		return errors.New("server: nil table")
+	}
+	s.mu.Lock()
+	s.tables[ref] = t
+	s.mu.Unlock()
+	return nil
+}
+
+// TableRefs returns the registered refs, for monitoring.
+func (s *Server) TableRefs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := make([]string, 0, len(s.tables))
+	for ref := range s.tables {
+		refs = append(refs, ref)
+	}
+	return refs
+}
+
+// lookup resolves a ref to its table.
+func (s *Server) lookup(ref string) (*store.Table, error) {
+	s.mu.RLock()
+	t := s.tables[ref]
+	s.mu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("server: unknown table ref %q (register it first)", ref)
+	}
+	return t, nil
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a clean
+// Close and the accept error otherwise. Close detaches the listener from
+// the server before closing it, so "is this accept failure a clean
+// shutdown" is answered by whether s.ln still points at ln — not by a flag
+// Close could reset before this goroutine gets to look at it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.lnMu.Lock()
+			detached := s.ln != ln
+			s.lnMu.Unlock()
+			if detached {
+				return nil
+			}
+			return err
+		}
+		s.lnMu.Lock()
+		if s.ln != ln { // Close raced the accept; next Accept returns its error
+			s.lnMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.active[conn] = struct{}{}
+		s.conns.Add(1)
+		s.lnMu.Unlock()
+		go func() {
+			defer func() {
+				s.lnMu.Lock()
+				delete(s.active, conn)
+				s.lnMu.Unlock()
+				s.conns.Done()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting connections, closes every open connection (clients
+// keep idle pooled connections open indefinitely, so there is nothing to
+// drain — an in-flight request sees its socket close), and waits for the
+// connection goroutines to exit. Registered tables survive Close; a new
+// Serve continues with the same registry.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	ln := s.ln
+	s.ln = nil
+	for conn := range s.active {
+		conn.Close() //nolint:errcheck // racing the handler's own close
+	}
+	s.lnMu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.conns.Wait()
+	return err
+}
+
+// Addr returns the listener's address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// serveConn runs one connection: handshake, then a request/response loop.
+// Protocol-level failures (bad frames, wrong version) drop the connection;
+// request-level failures (unknown ref, plan errors) answer MsgError and keep
+// it open.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	peer := conn.RemoteAddr()
+
+	t, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		s.logf("server: %v: handshake read: %v", peer, err)
+		return
+	}
+	if t != wire.MsgHello {
+		s.logf("server: %v: expected hello, got %v", peer, t)
+		return
+	}
+	version, err := wire.DecodeHello(payload)
+	if err != nil {
+		s.logf("server: %v: %v", peer, err)
+		return
+	}
+	if version != wire.Version {
+		wire.WriteFrame(conn, wire.MsgError, //nolint:errcheck // closing anyway
+			wire.EncodeError(fmt.Sprintf("server: protocol version %d, want %d", version, wire.Version)))
+		s.logf("server: %v: version mismatch (%d)", peer, version)
+		return
+	}
+	if err := wire.WriteFrame(conn, wire.MsgWelcome, wire.EncodeWelcome(s.cluster.Workers())); err != nil {
+		s.logf("server: %v: handshake write: %v", peer, err)
+		return
+	}
+	s.logf("server: %v: connected (protocol v%d)", peer, version)
+
+	for {
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			s.logf("server: %v: disconnected: %v", peer, err)
+			return
+		}
+		var respType wire.MsgType
+		var resp []byte
+		switch t {
+		case wire.MsgRegister:
+			respType, resp = s.handleRegister(payload)
+		case wire.MsgAppend:
+			respType, resp = s.handleAppend(payload)
+		case wire.MsgRun:
+			respType, resp = s.handleRun(payload)
+		default:
+			respType = wire.MsgError
+			resp = wire.EncodeError(fmt.Sprintf("server: unexpected %v frame", t))
+		}
+		if respType == wire.MsgError {
+			s.logf("server: %v: %v request failed: %s", peer, t, wire.DecodeError(resp))
+		}
+		if err := wire.WriteFrame(conn, respType, resp); err != nil {
+			s.logf("server: %v: write response: %v", peer, err)
+			return
+		}
+	}
+}
+
+func (s *Server) handleRegister(payload []byte) (wire.MsgType, []byte) {
+	ref, t, err := wire.DecodeRegister(payload)
+	if err != nil {
+		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	if err := s.RegisterTable(ref, t); err != nil {
+		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	s.logf("server: registered %q (%d rows, %d partitions)", ref, t.NumRows(), len(t.Parts))
+	return wire.MsgOK, nil
+}
+
+func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
+	ref, batch, err := wire.DecodeAppend(payload)
+	if err != nil {
+		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	// Copy-on-write under the registry lock: queries in flight keep reading
+	// the table they resolved; the grown table replaces it atomically.
+	s.mu.Lock()
+	cur := s.tables[ref]
+	if cur == nil {
+		s.mu.Unlock()
+		return wire.MsgError, wire.EncodeError(fmt.Sprintf("server: unknown table ref %q (register it first)", ref))
+	}
+	// Idempotent replay: a client whose connection died after the append was
+	// applied but before the MsgOK arrived retries the same batch. Its rows
+	// occupy exactly the tail of the table — acknowledge without re-applying
+	// (encryption is deterministic per row identifier, so the retried batch
+	// is the byte-identical one already stored).
+	if n := batch.NumRows(); n > 0 && len(batch.Parts) > 0 &&
+		batch.Parts[0].StartID == cur.NumRows()-n+1 {
+		s.mu.Unlock()
+		s.logf("server: append to %q replayed (rows %d-%d already applied)",
+			ref, batch.Parts[0].StartID, cur.NumRows())
+		return wire.MsgOK, nil
+	}
+	grown, err := cur.WithAppended(batch)
+	if err != nil {
+		s.mu.Unlock()
+		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	s.tables[ref] = grown
+	s.mu.Unlock()
+	s.logf("server: appended %d rows to %q (now %d rows)", batch.NumRows(), ref, grown.NumRows())
+	return wire.MsgOK, nil
+}
+
+func (s *Server) handleRun(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.DecodePlan(payload)
+	if err != nil {
+		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	pl := req.Plan
+	pl.Table, err = s.lookup(req.TableRef)
+	if err != nil {
+		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	if pl.Join != nil {
+		pl.Join.Right, err = s.lookup(req.JoinRef)
+		if err != nil {
+			return wire.MsgError, wire.EncodeError(err.Error())
+		}
+	}
+	res, err := s.cluster.Run(pl)
+	if err != nil {
+		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	// Run resolved the effective codec into pl.Codec; the client needs its
+	// name to decode identifier lists.
+	codecName := ""
+	if pl.Codec != nil {
+		codecName = pl.Codec.Name()
+	}
+	resp, err := wire.EncodeResult(codecName, res)
+	if err != nil {
+		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	return wire.MsgResult, resp
+}

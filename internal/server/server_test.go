@@ -1,0 +1,255 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"seabed/internal/engine"
+	"seabed/internal/store"
+	"seabed/internal/wire"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := New(engine.NewCluster(engine.Config{Workers: 4}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func handshake(t *testing.T, conn net.Conn) {
+	t.Helper()
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello()); err != nil {
+		t.Fatal(err)
+	}
+	mt, _, err := wire.ReadFrame(conn)
+	if err != nil || mt != wire.MsgWelcome {
+		t.Fatalf("handshake: (%v, %v), want welcome", mt, err)
+	}
+}
+
+func TestRejectsWrongProtocolVersion(t *testing.T) {
+	_, addr := startServer(t)
+	conn := dialRaw(t, addr)
+	e := wire.EncodeHello()
+	e[0] = 99 // corrupt the version varint (still a valid varint)
+	if err := wire.WriteFrame(conn, wire.MsgHello, e); err != nil {
+		t.Fatal(err)
+	}
+	mt, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != wire.MsgError || !strings.Contains(wire.DecodeError(payload), "version") {
+		t.Fatalf("got (%v, %q), want a version-mismatch error", mt, wire.DecodeError(payload))
+	}
+}
+
+func TestDropsConnectionOnNonHelloFirstFrame(t *testing.T) {
+	_, addr := startServer(t)
+	conn := dialRaw(t, addr)
+	if err := wire.WriteFrame(conn, wire.MsgRun, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wire.ReadFrame(conn); err == nil {
+		t.Fatal("server answered a connection that skipped the handshake")
+	}
+}
+
+func TestUnknownRequestAnswersErrorAndKeepsConnection(t *testing.T) {
+	_, addr := startServer(t)
+	conn := dialRaw(t, addr)
+	handshake(t, conn)
+	if err := wire.WriteFrame(conn, wire.MsgWelcome, nil); err != nil { // not a request type
+		t.Fatal(err)
+	}
+	mt, _, err := wire.ReadFrame(conn)
+	if err != nil || mt != wire.MsgError {
+		t.Fatalf("got (%v, %v), want an error frame", mt, err)
+	}
+	// The connection must survive a bad request.
+	if err := wire.WriteFrame(conn, wire.MsgRun, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if mt, _, err = wire.ReadFrame(conn); err != nil || mt != wire.MsgError {
+		t.Fatalf("after bad request: (%v, %v), want an error frame", mt, err)
+	}
+}
+
+func TestRunAgainstUnknownRefAnswersError(t *testing.T) {
+	_, addr := startServer(t)
+	conn := dialRaw(t, addr)
+	handshake(t, conn)
+	payload, err := wire.EncodePlan(&wire.PlanRequest{
+		TableRef: "ghost@Seabed",
+		Plan:     &engine.Plan{Aggs: []engine.Agg{{Kind: engine.AggCount}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, wire.MsgRun, payload); err != nil {
+		t.Fatal(err)
+	}
+	mt, resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != wire.MsgError || !strings.Contains(wire.DecodeError(resp), "unknown table") {
+		t.Fatalf("got (%v, %q), want an unknown-table error", mt, wire.DecodeError(resp))
+	}
+}
+
+// TestRegistryConcurrentAccess hammers the table registry from parallel
+// registrations, lookups, and plan runs (meaningful under -race).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	srv, _ := startServer(t)
+	mkTable := func(n uint64) *store.Table {
+		vals := make([]uint64, 100)
+		for i := range vals {
+			vals[i] = n
+		}
+		tbl, err := store.Build("t", []store.Column{{Name: "v", Kind: store.U64, U64: vals}}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ref := fmt.Sprintf("t%d@Seabed", g%4)
+			for i := 0; i < 20; i++ {
+				if err := srv.RegisterTable(ref, mkTable(uint64(g))); err != nil {
+					t.Error(err)
+					return
+				}
+				if tbl, err := srv.lookup(ref); err != nil || tbl.NumRows() != 100 {
+					t.Errorf("lookup %q: (%v, %v)", ref, tbl, err)
+					return
+				}
+				srv.TableRefs()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(srv.TableRefs()); got != 4 {
+		t.Fatalf("registry holds %d refs, want 4", got)
+	}
+}
+
+// TestAppendIdempotentReplay pins the at-most-once contract: a retried
+// append frame whose rows are already the table's tail (the client's
+// connection died after apply, before the MsgOK) is acknowledged without
+// re-applying, while genuinely misplaced batches still fail.
+func TestAppendIdempotentReplay(t *testing.T) {
+	srv := New(engine.NewCluster(engine.Config{Workers: 2}))
+	base, err := store.Build("t", []store.Column{{Name: "v", Kind: store.U64, U64: make([]uint64, 100)}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterTable("t@Seabed", base); err != nil {
+		t.Fatal(err)
+	}
+	mkBatch := func(startID uint64, n int) []byte {
+		batch, err := store.BuildFrom("t", []store.Column{{Name: "v", Kind: store.U64, U64: make([]uint64, n)}}, 1, startID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := wire.EncodeAppend("t@Seabed", batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return payload
+	}
+	rows := func() uint64 {
+		tbl, err := srv.lookup("t@Seabed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.NumRows()
+	}
+
+	payload := mkBatch(101, 10)
+	if mt, resp := srv.handleAppend(payload); mt != wire.MsgOK {
+		t.Fatalf("append: %v %s", mt, wire.DecodeError(resp))
+	}
+	if rows() != 110 {
+		t.Fatalf("rows after append = %d, want 110", rows())
+	}
+	// Replay of the same frame: acknowledged, not re-applied.
+	if mt, resp := srv.handleAppend(payload); mt != wire.MsgOK {
+		t.Fatalf("replay: %v %s", mt, wire.DecodeError(resp))
+	}
+	if rows() != 110 {
+		t.Fatalf("rows after replay = %d, want 110 (double-applied)", rows())
+	}
+	// The next fresh batch continues normally.
+	if mt, resp := srv.handleAppend(mkBatch(111, 5)); mt != wire.MsgOK {
+		t.Fatalf("follow-up append: %v %s", mt, wire.DecodeError(resp))
+	}
+	if rows() != 115 {
+		t.Fatalf("rows after follow-up = %d, want 115", rows())
+	}
+	// A genuinely misplaced batch still fails.
+	if mt, _ := srv.handleAppend(mkBatch(200, 5)); mt != wire.MsgError {
+		t.Fatal("misplaced batch accepted")
+	}
+}
+
+func TestCloseThenServeAgainKeepsRegistry(t *testing.T) {
+	srv := New(engine.NewCluster(engine.Config{Workers: 2}))
+	tbl, err := store.Build("t", []store.Column{{Name: "v", Kind: store.U64, U64: []uint64{1}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterTable("t@NoEnc", tbl); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		conn := dialRaw(t, ln.Addr().String())
+		handshake(t, conn)
+		conn.Close()
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("round %d: serve returned %v", round, err)
+		}
+	}
+	if len(srv.TableRefs()) != 1 {
+		t.Fatal("registry did not survive Close")
+	}
+}

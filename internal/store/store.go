@@ -190,6 +190,32 @@ func BuildFrom(name string, cols []Column, numParts int, startID uint64) (*Table
 // identical column layouts and the other table's identifiers must continue
 // t's contiguously, preserving the range-compression property (§4.2).
 func (t *Table) AppendTable(other *Table) error {
+	if err := t.appendCheck(other); err != nil {
+		return err
+	}
+	t.Parts = append(t.Parts, other.Parts...)
+	t.rows += other.rows
+	return nil
+}
+
+// WithAppended returns a new table holding t's partitions followed by
+// other's, leaving t untouched — copy-on-write append, so readers iterating
+// t's partitions concurrently (e.g. queries in flight on a server) never see
+// a mutating slice. Validation matches AppendTable.
+func (t *Table) WithAppended(other *Table) (*Table, error) {
+	if err := t.appendCheck(other); err != nil {
+		return nil, err
+	}
+	grown := &Table{Name: t.Name, rows: t.rows + other.rows}
+	grown.Parts = make([]*Partition, 0, len(t.Parts)+len(other.Parts))
+	grown.Parts = append(grown.Parts, t.Parts...)
+	grown.Parts = append(grown.Parts, other.Parts...)
+	return grown, nil
+}
+
+// appendCheck validates that other's layout matches t's and that its
+// identifiers continue t's contiguously.
+func (t *Table) appendCheck(other *Table) error {
 	tNames, oNames := t.ColNames(), other.ColNames()
 	if len(tNames) != len(oNames) {
 		return fmt.Errorf("store: append: column counts differ (%d vs %d)", len(tNames), len(oNames))
@@ -207,8 +233,6 @@ func (t *Table) AppendTable(other *Table) error {
 	if len(other.Parts) > 0 && other.Parts[0].StartID != t.rows+1 {
 		return fmt.Errorf("store: append: batch identifiers start at %d, want %d", other.Parts[0].StartID, t.rows+1)
 	}
-	t.Parts = append(t.Parts, other.Parts...)
-	t.rows += other.rows
 	return nil
 }
 

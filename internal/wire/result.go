@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"seabed/internal/engine"
+	"seabed/internal/idlist"
+	"seabed/internal/store"
+)
+
+// EncodeResult serializes a MsgResult payload: the codec the engine actually
+// used (the client must decode identifier lists with the same one — the
+// in-process path communicates it by mutating the plan, the wire path carries
+// it here) followed by the result's groups, scan rows, and metrics.
+func EncodeResult(codecName string, res *engine.Result) ([]byte, error) {
+	e := &enc{}
+	e.str(codecName)
+
+	e.uint(uint64(len(res.Groups)))
+	for i := range res.Groups {
+		g := &res.Groups[i]
+		e.uint(uint64(g.KeyKind))
+		e.uint(g.KeyU64)
+		e.bytes(g.KeyBytes)
+		e.str(g.KeyStr)
+		e.int(int64(g.Suffix))
+		e.uint(g.Rows)
+		e.uint(uint64(len(g.Aggs)))
+		for j := range g.Aggs {
+			encodeAggValue(e, &g.Aggs[j])
+		}
+	}
+
+	e.uint(uint64(len(res.Scan)))
+	for i := range res.Scan {
+		r := &res.Scan[i]
+		e.uint(r.ID)
+		n := len(r.U64s)
+		if len(r.Bytes) != n || len(r.Strs) != n {
+			return nil, fmt.Errorf("wire: encode result: scan row %d has ragged projections (%d/%d/%d)",
+				i, len(r.U64s), len(r.Bytes), len(r.Strs))
+		}
+		e.uint(uint64(n))
+		for j := 0; j < n; j++ {
+			e.uint(r.U64s[j])
+			e.bytes(r.Bytes[j])
+			e.str(r.Strs[j])
+		}
+	}
+
+	encodeMetrics(e, &res.Metrics)
+	return e.buf, nil
+}
+
+// DecodeResult parses a MsgResult payload.
+func DecodeResult(p []byte) (codecName string, res *engine.Result, err error) {
+	d := newDec(p)
+	codecName = d.str()
+	res = &engine.Result{}
+
+	nGroups := d.uint()
+	for i := uint64(0); i < nGroups && d.err == nil; i++ {
+		var g engine.Group
+		g.KeyKind = store.Kind(d.uint())
+		g.KeyU64 = d.uint()
+		g.KeyBytes = d.bytes()
+		g.KeyStr = d.str()
+		g.Suffix = int(d.int())
+		g.Rows = d.uint()
+		nAggs := d.uint()
+		for j := uint64(0); j < nAggs && d.err == nil; j++ {
+			g.Aggs = append(g.Aggs, decodeAggValue(d))
+		}
+		res.Groups = append(res.Groups, g)
+	}
+
+	nScan := d.uint()
+	for i := uint64(0); i < nScan && d.err == nil; i++ {
+		var r engine.ScanRow
+		r.ID = d.uint()
+		n := d.uint()
+		// Each projected cell consumes ≥ 3 payload bytes, bounding the
+		// allocation a hostile count can demand.
+		if !d.checkCount(n, 3, "scan columns") {
+			break
+		}
+		if d.err == nil && n > 0 {
+			r.U64s = make([]uint64, n)
+			r.Bytes = make([][]byte, n)
+			r.Strs = make([]string, n)
+			for j := uint64(0); j < n && d.err == nil; j++ {
+				r.U64s[j] = d.uint()
+				r.Bytes[j] = d.bytes()
+				r.Strs[j] = d.str()
+			}
+		}
+		res.Scan = append(res.Scan, r)
+	}
+
+	decodeMetrics(d, &res.Metrics)
+	if err := d.close("result"); err != nil {
+		return "", nil, err
+	}
+	return codecName, res, nil
+}
+
+func encodeAggValue(e *enc, av *engine.AggValue) {
+	e.uint(uint64(av.Kind))
+	e.uint(av.U64)
+
+	// ASHE: body, the raw identifier-list ranges, and the codec-compressed
+	// encoding. Shipping the ranges too keeps the decoded AggValue equivalent
+	// to the in-process one (deflateGroups and tests inspect them).
+	e.uint(av.Ashe.Body)
+	ranges := av.Ashe.IDs.Ranges()
+	e.uint(uint64(len(ranges)))
+	prev := uint64(0)
+	for _, r := range ranges {
+		// Differential bounds, the same trick the id-list codecs use (§4.5).
+		e.uint(r.Lo - prev)
+		e.uint(r.Hi - r.Lo)
+		prev = r.Lo
+	}
+	e.bytes(av.Ashe.Encoded)
+
+	if av.Pail != nil {
+		e.bool(true)
+		e.bytes(av.Pail.Bytes())
+	} else {
+		e.bool(false)
+	}
+
+	e.bytes(av.Ope)
+	e.uint(av.ArgID)
+	e.bytes(av.CompanionBytes)
+}
+
+func decodeAggValue(d *dec) engine.AggValue {
+	var av engine.AggValue
+	av.Kind = engine.AggKind(d.uint())
+	av.U64 = d.uint()
+
+	av.Ashe.Body = d.uint()
+	nRanges := d.uint()
+	// Each range consumes ≥ 2 payload bytes, bounding the allocation.
+	if d.checkCount(nRanges, 2, "id-list ranges") && nRanges > 0 {
+		ranges := make([]idlist.Range, 0, nRanges)
+		prev := uint64(0)
+		for i := uint64(0); i < nRanges && d.err == nil; i++ {
+			lo := prev + d.uint()
+			hi := lo + d.uint()
+			if hi < lo { // span overflowed: hostile or corrupt frame
+				d.fail("id-list range span")
+				break
+			}
+			ranges = append(ranges, idlist.Range{Lo: lo, Hi: hi})
+			prev = lo
+		}
+		if d.err == nil {
+			av.Ashe.IDs = idlist.FromRanges(ranges)
+		}
+	}
+	av.Ashe.Encoded = d.bytes()
+
+	if d.bool() {
+		av.Pail = new(big.Int).SetBytes(d.bytes())
+	}
+
+	av.Ope = d.bytes()
+	av.ArgID = d.uint()
+	av.CompanionBytes = d.bytes()
+	return av
+}
+
+func encodeMetrics(e *enc, m *engine.Metrics) {
+	e.int(int64(m.ServerTime))
+	e.int(int64(m.MapTime))
+	e.int(int64(m.ReduceTime))
+	e.int(int64(m.ShuffleTime))
+	e.int(int64(m.DriverTime))
+	e.int(int64(m.ShuffleBytes))
+	e.int(int64(m.ResultBytes))
+	e.int(int64(m.MapTasks))
+	e.int(int64(m.ReduceTasks))
+	e.uint(m.RowsScanned)
+	e.uint(m.RowsSelected)
+}
+
+func decodeMetrics(d *dec, m *engine.Metrics) {
+	m.ServerTime = time.Duration(d.int())
+	m.MapTime = time.Duration(d.int())
+	m.ReduceTime = time.Duration(d.int())
+	m.ShuffleTime = time.Duration(d.int())
+	m.DriverTime = time.Duration(d.int())
+	m.ShuffleBytes = int(d.int())
+	m.ResultBytes = int(d.int())
+	m.MapTasks = int(d.int())
+	m.ReduceTasks = int(d.int())
+	m.RowsScanned = d.uint()
+	m.RowsSelected = d.uint()
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+
+	"seabed/internal/store"
+)
+
+// EncodeRegister builds a MsgRegister payload: the ref the table will be
+// addressable by in later plan frames, followed by the table in store's
+// serialization format (the same bytes an HDFS upload would carry in the
+// paper's prototype, §6.1). The table bytes run to the end of the payload —
+// the frame header already carries the length, and skipping an inner prefix
+// lets the table serialize straight into the payload buffer instead of
+// being materialized twice (these are the protocol's largest frames).
+func EncodeRegister(ref string, t *store.Table) ([]byte, error) {
+	if ref == "" {
+		return nil, fmt.Errorf("wire: encode register: empty table ref")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("wire: encode register: nil table")
+	}
+	e := &enc{}
+	e.str(ref)
+	buf := bytes.NewBuffer(e.buf)
+	if _, err := t.WriteTo(buf); err != nil {
+		return nil, fmt.Errorf("wire: encode register: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeAppend builds a MsgAppend payload: the target table's ref and the
+// batch of new rows. The layout is identical to a register frame.
+func EncodeAppend(ref string, batch *store.Table) ([]byte, error) {
+	return EncodeRegister(ref, batch)
+}
+
+// DecodeAppend parses a MsgAppend payload.
+func DecodeAppend(p []byte) (ref string, batch *store.Table, err error) {
+	return DecodeRegister(p)
+}
+
+// DecodeRegister parses a MsgRegister payload.
+func DecodeRegister(p []byte) (ref string, t *store.Table, err error) {
+	d := newDec(p)
+	ref = d.str()
+	if d.err != nil {
+		return "", nil, fmt.Errorf("wire: decode register: %v", d.err)
+	}
+	t, err = store.Read(bytes.NewReader(d.buf[d.off:]))
+	if err != nil {
+		return "", nil, fmt.Errorf("wire: decode register: %v", err)
+	}
+	return ref, t, nil
+}

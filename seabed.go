@@ -33,7 +33,9 @@ import (
 	"seabed/internal/engine"
 	"seabed/internal/netsim"
 	"seabed/internal/planner"
+	"seabed/internal/remote"
 	"seabed/internal/schema"
+	"seabed/internal/server"
 	"seabed/internal/sqlparse"
 	"seabed/internal/store"
 	"seabed/internal/translate"
@@ -51,6 +53,15 @@ type (
 	Cluster = engine.Cluster
 	// ClusterConfig sizes the simulated cluster.
 	ClusterConfig = engine.Config
+	// ClusterBackend abstracts the engine the proxy drives: an in-process
+	// *Cluster or a *RemoteCluster reaching a seabed-server over TCP.
+	ClusterBackend = client.ClusterBackend
+	// RemoteCluster is a ClusterBackend speaking the wire protocol to a
+	// seabed-server daemon.
+	RemoteCluster = remote.RemoteCluster
+	// Server hosts a Cluster behind a TCP listener (cmd/seabed-server wraps
+	// it; embed it to serve from your own process).
+	Server = server.Server
 	// QueryOptions tunes one query execution.
 	QueryOptions = client.QueryOptions
 	// QueryResult is a decrypted result with its latency breakdown.
@@ -120,8 +131,17 @@ var (
 // NewCluster creates the untrusted server with the given configuration.
 func NewCluster(cfg ClusterConfig) *Cluster { return engine.NewCluster(cfg) }
 
+// NewServer wraps a cluster in a wire-protocol TCP server; call
+// ListenAndServe (or Serve) on the result.
+func NewServer(cluster *Cluster) *Server { return server.New(cluster) }
+
+// DialCluster connects to a running seabed-server and returns a backend
+// usable wherever an in-process *Cluster is: pass it to NewProxy to run the
+// whole Create Plan / Upload Data / Query Data flow against a remote engine.
+func DialCluster(addr string) (*RemoteCluster, error) { return remote.Dial(addr) }
+
 // NewProxy creates the trusted proxy with a master secret (≥ 16 bytes).
-func NewProxy(masterSecret []byte, cluster *Cluster) (*Proxy, error) {
+func NewProxy(masterSecret []byte, cluster ClusterBackend) (*Proxy, error) {
 	return client.NewProxy(masterSecret, cluster)
 }
 
