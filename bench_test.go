@@ -11,9 +11,11 @@ import (
 	"seabed/internal/bench"
 )
 
-// benchCfg keeps each iteration around a second.
+// benchCfg keeps each iteration around a second. Workers is left unset so
+// Quick runs inherit engine.DefaultWorkers — benchmarks and an unconfigured
+// engine simulate the same machine.
 func benchCfg() bench.Config {
-	return bench.Config{Quick: true, Scale: 50_000, Workers: 16, Trials: 1, Seed: 42}
+	return bench.Config{Quick: true, Scale: 50_000, Trials: 1, Seed: 42}
 }
 
 func runExperiment(b *testing.B, name string) {

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output into the repository's
+// BENCH_<sha>.json artifact format, so CI can archive one machine-readable
+// performance snapshot per commit and the perf trajectory across commits can
+// be diffed mechanically.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem ./... | benchjson -commit $SHA > BENCH_$SHA.json
+//
+// It exits non-zero if the stream contains test failures or no benchmark
+// lines at all, so a silently broken bench run fails the CI job instead of
+// archiving an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -procs suffix stripped.
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS during the run (the -N name suffix; 1 if absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp mirror the standard -benchmem metrics.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH_<sha>.json document.
+type Report struct {
+	Commit     string      `json:"commit,omitempty"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBench parses one "Benchmark..." output line; ok is false for lines
+// that are not benchmark results.
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(fields[0], "-"); i > 0 {
+		if procs, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			b.Name, b.Procs = fields[0][:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if b.NsPerOp, err = strconv.ParseFloat(val, 64); err == nil {
+				seen = true
+			}
+		case "B/op":
+			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return b, seen
+}
+
+// convert reads bench output from r and writes the JSON report to w.
+func convert(r io.Reader, w io.Writer, commit string) error {
+	report := Report{
+		Commit:    commit,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	failed := false
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseBench(line); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+		if strings.HasPrefix(line, "--- FAIL") || strings.HasPrefix(line, "FAIL") {
+			failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if failed {
+		return fmt.Errorf("bench stream contains failures")
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit SHA recorded in the report")
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := convert(os.Stdin, w, *commit); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: seabed
+cpu: Test CPU
+BenchmarkTable1_OperationCosts-8   	       1	 123456789 ns/op	  4096 B/op	      42 allocs/op
+BenchmarkFig6_LatencyVsRows-8      	       2	  98765432 ns/op
+PASS
+ok  	seabed	12.345s
+`
+
+func TestConvert(t *testing.T) {
+	var out strings.Builder
+	if err := convert(strings.NewReader(sample), &out, "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Commit != "abc123" || len(rep.Benchmarks) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkTable1_OperationCosts" || b.Procs != 8 ||
+		b.Iterations != 1 || b.NsPerOp != 123456789 || b.BytesPerOp != 4096 || b.AllocsPerOp != 42 {
+		t.Fatalf("benchmark 0 = %+v", b)
+	}
+	if rep.Benchmarks[1].BytesPerOp != 0 {
+		t.Fatalf("benchmark 1 = %+v", rep.Benchmarks[1])
+	}
+}
+
+func TestConvertRejectsEmptyAndFailed(t *testing.T) {
+	var out strings.Builder
+	if err := convert(strings.NewReader("PASS\n"), &out, ""); err == nil {
+		t.Fatal("empty bench stream accepted")
+	}
+	failed := sample + "--- FAIL: TestSomething (0.00s)\nFAIL\n"
+	if err := convert(strings.NewReader(failed), &out, ""); err == nil {
+		t.Fatal("failed bench stream accepted")
+	}
+}

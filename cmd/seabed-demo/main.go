@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"seabed"
 )
@@ -17,20 +18,41 @@ func main() {
 	rows := flag.Int("rows", 50_000, "dataset size")
 	workers := flag.Int("workers", 8, "simulated cluster workers (embedded mode)")
 	addr := flag.String("addr", "", "address of a running seabed-server; empty runs an embedded cluster")
+	addrs := flag.String("addrs", "", "comma-separated addresses of N seabed-server shards (scatter-gather mode)")
 	flag.Parse()
-	if err := run(*rows, *workers, *addr); err != nil {
+	if *addr != "" && *addrs != "" {
+		fmt.Fprintln(os.Stderr, "seabed-demo: -addr and -addrs are mutually exclusive")
+		os.Exit(2)
+	}
+	if err := run(*rows, *workers, *addr, *addrs); err != nil {
 		fmt.Fprintln(os.Stderr, "seabed-demo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, workers int, addr string) error {
-	// The engine is either embedded in this process or a seabed-server
-	// daemon reached over TCP — the rest of the demo is identical.
+func run(rows, workers int, addr, addrs string) error {
+	// The engine is embedded in this process, one seabed-server daemon
+	// reached over TCP, or a sharded fleet of daemons — the rest of the demo
+	// is identical.
 	var cluster seabed.ClusterBackend
-	if addr == "" {
-		cluster = seabed.NewCluster(seabed.ClusterConfig{Workers: workers})
-	} else {
+	var where string
+	switch {
+	case addrs != "":
+		var list []string
+		for _, a := range strings.Split(addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				list = append(list, a)
+			}
+		}
+		sc, err := seabed.DialShardedCluster(list...)
+		if err != nil {
+			return err
+		}
+		defer sc.Close()
+		cluster = sc
+		workers = sc.Workers()
+		where = fmt.Sprintf("%d seabed-server shards at %s (%d workers total)", sc.NumShards(), addrs, workers)
+	case addr != "":
 		rc, err := seabed.DialCluster(addr)
 		if err != nil {
 			return err
@@ -38,14 +60,14 @@ func run(rows, workers int, addr string) error {
 		defer rc.Close()
 		cluster = rc
 		workers = rc.Workers()
+		where = fmt.Sprintf("seabed-server at %s (%d workers)", addr, workers)
+	default:
+		cluster = seabed.NewCluster(seabed.ClusterConfig{Workers: workers})
+		where = fmt.Sprintf("%d simulated workers (embedded)", workers)
 	}
 
 	fmt.Println("Seabed demo — big data analytics over encrypted datasets")
-	if addr == "" {
-		fmt.Printf("dataset: %d rows, cluster: %d simulated workers (embedded)\n\n", rows, workers)
-	} else {
-		fmt.Printf("dataset: %d rows, cluster: seabed-server at %s (%d workers)\n\n", rows, addr, workers)
-	}
+	fmt.Printf("dataset: %d rows, cluster: %s\n\n", rows, where)
 
 	// --- 1. Create Plan -------------------------------------------------
 	countries := []string{"USA", "Canada", "India", "Chile", "Japan", "Kenya"}

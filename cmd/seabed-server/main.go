@@ -11,6 +11,18 @@
 // then, from the client side:
 //
 //	seabed-demo -addr localhost:7687
+//
+// A sharded deployment runs one daemon per shard, each declaring its
+// identity, and the client scatter-gathers across all of them:
+//
+//	seabed-server -addr :7687 -shard 0/3 &
+//	seabed-server -addr :7688 -shard 1/3 &
+//	seabed-server -addr :7689 -shard 2/3 &
+//	seabed-demo -addrs localhost:7687,localhost:7688,localhost:7689
+//
+// With -metrics, the daemon prints per-connection and per-table statistics
+// on SIGUSR1 — `kill -USR1 $(pidof seabed-server)` shows whether shards
+// stayed balanced.
 package main
 
 import (
@@ -19,19 +31,54 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"seabed/internal/engine"
 	"seabed/internal/server"
 )
 
+// parseShard validates an "i/n" shard identity.
+func parseShard(s string) (i, n int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if ok {
+		var err1, err2 error
+		i, err1 = strconv.Atoi(is)
+		n, err2 = strconv.Atoi(ns)
+		ok = err1 == nil && err2 == nil
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard %q: want i/n, e.g. 0/3", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard %q: shard index must be in [0, %d)", s, n)
+	}
+	return i, n, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":7687", "TCP listen address")
-	workers := flag.Int("workers", 16, "simulated cluster workers (the x-axis of Figure 7)")
+	workers := flag.Int("workers", engine.DefaultWorkers, "simulated cluster workers (the x-axis of Figure 7)")
 	parallelism := flag.Int("parallelism", 0, "bound on real task goroutines (0 = NumCPU)")
 	seed := flag.Uint64("seed", 0, "seed for straggler injection and group inflation")
+	shard := flag.String("shard", "", "shard identity i/n in a sharded deployment (e.g. 0/3)")
+	metrics := flag.Bool("metrics", false, "print per-connection/table stats on SIGUSR1")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
 	flag.Parse()
+
+	shardIdx, shardCount, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seabed-server:", err)
+		os.Exit(2)
+	}
+	label := "seabed-server"
+	if shardCount > 1 {
+		label = fmt.Sprintf("seabed-server[%d/%d]", shardIdx, shardCount)
+	}
 
 	cluster := engine.NewCluster(engine.Config{
 		Workers:         *workers,
@@ -39,8 +86,16 @@ func main() {
 		Seed:            *seed,
 	})
 	srv := server.New(cluster)
+	if shardCount > 1 {
+		srv.ShardIndex, srv.ShardCount = shardIdx, shardCount
+	}
 	if !*quiet {
-		srv.Logf = log.Printf
+		srv.Logf = func(format string, args ...any) {
+			log.Printf(label+": "+format, args...)
+		}
+	}
+	if *metrics {
+		watchMetrics(srv, label)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -48,18 +103,18 @@ func main() {
 	closed := make(chan struct{})
 	go func() {
 		s := <-sig
-		log.Printf("seabed-server: %v: shutting down", s)
+		log.Printf("%s: %v: shutting down", label, s)
 		srv.Close() //nolint:errcheck // exiting either way
 		close(closed)
 	}()
 
-	log.Printf("seabed-server: listening on %s (%d workers)", *addr, *workers)
+	log.Printf("%s: listening on %s (%d workers)", label, *addr, *workers)
 	if err := srv.ListenAndServe(*addr); err != nil {
-		fmt.Fprintln(os.Stderr, "seabed-server:", err)
+		fmt.Fprintln(os.Stderr, label+":", err)
 		os.Exit(1)
 	}
 	// Serve returns once the listener closes; wait for Close to finish
 	// tearing down the connections before exiting.
 	<-closed
-	log.Printf("seabed-server: bye")
+	log.Printf("%s: bye", label)
 }

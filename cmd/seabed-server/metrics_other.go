@@ -1,0 +1,14 @@
+//go:build !unix
+
+package main
+
+import (
+	"log"
+
+	"seabed/internal/server"
+)
+
+// watchMetrics is a no-op where SIGUSR1 does not exist.
+func watchMetrics(_ *server.Server, label string) {
+	log.Printf("%s: -metrics requires a unix platform (SIGUSR1); ignoring", label)
+}

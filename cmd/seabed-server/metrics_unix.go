@@ -1,0 +1,24 @@
+//go:build unix
+
+package main
+
+import (
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"seabed/internal/server"
+)
+
+// watchMetrics prints a stats snapshot to the log whenever the daemon
+// receives SIGUSR1 (the -metrics flag).
+func watchMetrics(srv *server.Server, label string) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGUSR1)
+	go func() {
+		for range sig {
+			log.Printf("%s: stats: %s", label, srv.Stats())
+		}
+	}()
+}

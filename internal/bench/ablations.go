@@ -121,7 +121,7 @@ func Ablations(cfg Config, w io.Writer) error {
 		})
 		var ds []time.Duration
 		var tasks int
-		for t := 0; t < maxTrials(cfg.Trials, 3); t++ {
+		for t := 0; t < max(cfg.Trials, 3); t++ {
 			res, err := cl.Run(&engine.Plan{Table: src, Aggs: []engine.Agg{{Kind: engine.AggAsheSum, Col: "v_ashe"}}})
 			if err != nil {
 				return err
@@ -134,11 +134,4 @@ func Ablations(cfg Config, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "  (paper §6.2: stragglers — usually GC — hurt short Seabed/NoEnc jobs most)")
 	return nil
-}
-
-func maxTrials(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

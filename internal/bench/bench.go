@@ -28,7 +28,9 @@ type Config struct {
 	// 175 k rows). Smaller values mean bigger datasets.
 	Scale uint64
 	// Workers is the simulated cluster size for experiments that do not
-	// sweep it (paper default: 100 cores).
+	// sweep it. Defaults to the paper's 100-core cluster for full runs and to
+	// engine.DefaultWorkers under Quick, so `go test -bench` exercises the
+	// same machine an unconfigured engine.Config simulates.
 	Workers int
 	// Quick shrinks sweeps for use under `go test`.
 	Quick bool
@@ -44,7 +46,11 @@ func (c Config) withDefaults() Config {
 		c.Scale = 10_000
 	}
 	if c.Workers == 0 {
-		c.Workers = 100 // the paper's default cluster size
+		if c.Quick {
+			c.Workers = engine.DefaultWorkers
+		} else {
+			c.Workers = 100 // the paper's default cluster size
+		}
 	}
 	if c.Trials == 0 {
 		if c.Quick {
@@ -147,7 +153,7 @@ func syntheticProxy(cfg Config, rows, groups int, modes ...translate.Mode) (*cli
 	// One partition per worker keeps per-task fixed costs (bind, slice
 	// allocation, GC) small relative to real per-row work at laptop scale.
 	proxy.Parts = cfg.Workers
-	if _, err := proxy.CreatePlan(workload.SyntheticSchema(maxInt(groups, 2)), workload.SyntheticQueries(), planner.Options{}); err != nil {
+	if _, err := proxy.CreatePlan(workload.SyntheticSchema(max(groups, 2)), workload.SyntheticQueries(), planner.Options{}); err != nil {
 		return nil, err
 	}
 	src, err := workload.Synthetic(rows, groups, cfg.Seed)
@@ -161,13 +167,6 @@ func syntheticProxy(cfg Config, rows, groups int, modes ...translate.Mode) (*cli
 	synthCache[key] = proxy
 	fixMu.Unlock()
 	return proxy, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ResetCaches clears cached fixtures (tests use it to bound memory).

@@ -8,9 +8,11 @@ import (
 
 // ClusterBackend abstracts the untrusted engine the proxy drives. The
 // in-process *engine.Cluster satisfies it directly; *remote.RemoteCluster
-// satisfies it across a TCP connection to a seabed-server, so the same proxy
-// code serves both the paper's single-machine evaluation setup and a real
-// client/server deployment (§4).
+// satisfies it across a TCP connection to a seabed-server; *shard.Cluster
+// satisfies it across N seabed-servers, range-partitioning tables by row
+// identifier and scatter-gathering queries. The same proxy code therefore
+// serves the paper's single-machine evaluation setup, a real client/server
+// deployment, and a horizontally sharded one (§4, §4.5).
 type ClusterBackend interface {
 	// Workers returns the cluster's worker count. The proxy uses it to size
 	// uploads and to drive the group-inflation heuristic (§4.5).
@@ -19,13 +21,15 @@ type ClusterBackend interface {
 	// the engine. The proxy calls it after every Upload; re-registering a
 	// ref replaces its table. The in-process engine resolves tables by
 	// pointer and treats this as a no-op; a remote engine ships the table's
-	// bytes to the server.
+	// bytes to the server; a sharded engine range-partitions the table by
+	// row identifier and ships each daemon only its slice.
 	RegisterTable(ref string, t *store.Table) error
 	// AppendTable extends a registered table with a batch of new rows whose
 	// identifiers continue the table's contiguously (§4.1: uploads are "a
-	// continuing process"). Only the batch crosses to a remote engine; the
-	// in-process engine shares the proxy's table pointer and treats this as
-	// a no-op.
+	// continuing process"). Only the batch crosses to a remote engine (a
+	// sharded engine routes each daemon its identifier slice of the batch);
+	// the in-process engine shares the proxy's table pointer and treats this
+	// as a no-op.
 	AppendTable(ref string, batch *store.Table) error
 	// Run executes a physical plan and returns its result. Implementations
 	// must record the effective identifier-list codec in pl.Codec when the

@@ -138,7 +138,7 @@ func (p *Proxy) Append(table string, batch *store.Table, modes ...translate.Mode
 		if existing == nil {
 			return fmt.Errorf("client: table %q has no %v upload to append to", table, mode)
 		}
-		enc, err := EncryptFrom(entry.plan, p.ring, batch, mode, 1, existing.NumRows()+1)
+		enc, err := EncryptFrom(entry.plan, p.ring, batch, mode, 1, existing.EndID()+1)
 		if err != nil {
 			return fmt.Errorf("client: append to %q: %v", table, err)
 		}

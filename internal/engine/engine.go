@@ -31,7 +31,7 @@ import (
 // Config describes the simulated cluster.
 type Config struct {
 	// Workers is the number of simulated worker cores (the x-axis of
-	// Figure 7). Defaults to 4.
+	// Figure 7). Defaults to DefaultWorkers.
 	Workers int
 	// RealParallelism bounds the goroutines that actually execute tasks.
 	// Defaults to runtime.NumCPU().
@@ -49,6 +49,12 @@ type Config struct {
 	Seed uint64
 }
 
+// DefaultWorkers is the worker count used when Config.Workers is unset. It is
+// the single source of truth shared by cmd/seabed-server's -workers default
+// and internal/bench's Quick configuration, so an unconfigured daemon, an
+// embedded cluster, and a `go test -bench` run all simulate the same machine.
+const DefaultWorkers = 16
+
 // Cluster executes plans under a Config.
 type Cluster struct {
 	cfg Config
@@ -57,7 +63,7 @@ type Cluster struct {
 // NewCluster returns a Cluster, applying Config defaults.
 func NewCluster(cfg Config) *Cluster {
 	if cfg.Workers <= 0 {
-		cfg.Workers = 4
+		cfg.Workers = DefaultWorkers
 	}
 	if cfg.RealParallelism <= 0 {
 		cfg.RealParallelism = 0 // resolved at run time
@@ -188,6 +194,15 @@ type Join struct {
 	RightCols []string
 }
 
+// IDRange scopes a plan to the rows whose global identifiers fall in the
+// inclusive interval [Lo, Hi]. A sharded deployment uses it to address one
+// shard's rows: the coordinating proxy stamps each shard's plan with that
+// shard's identifier range, so a plan is explicit about which slice of the
+// logical table it aggregates even when a daemon's registry holds more.
+type IDRange struct {
+	Lo, Hi uint64
+}
+
 // Plan is a physical query plan.
 type Plan struct {
 	Table   *store.Table
@@ -195,6 +210,15 @@ type Plan struct {
 	Filters []Filter
 	Aggs    []Agg
 	GroupBy *GroupBy
+	// Range, when non-nil, restricts the plan to rows with identifiers in
+	// [Range.Lo, Range.Hi] — the shard-scoping frame of a scatter-gather
+	// deployment. Nil means every row of Table.
+	Range *IDRange
+	// Partial marks the plan as one shard's slice of a scatter-gather query:
+	// collection-valued aggregates (medians) return their collected inputs in
+	// the result instead of collapsing them, so the coordinator can merge
+	// partial results from disjoint row ranges exactly (see MergeResults).
+	Partial bool
 	// Project switches the plan to scan mode: matching rows are returned
 	// with their global identifiers and these columns' values.
 	Project []string
@@ -219,6 +243,15 @@ type AggValue struct {
 	Ope            []byte
 	ArgID          uint64
 	CompanionBytes []byte
+	// MedU64 (AggPlainMedian) and MedOpe/MedIDs/MedComp (AggOpeMedian) carry
+	// the uncollapsed median inputs of a Partial plan: a median cannot be
+	// computed from per-shard medians, so shards return what they collected
+	// and the coordinator selects over the concatenation (MergeResults).
+	// Empty on non-Partial plans, where finishPartial collapses in place.
+	MedU64  []uint64
+	MedOpe  [][]byte
+	MedIDs  []uint64
+	MedComp []uint64
 }
 
 // AsheAgg is an aggregated ASHE ciphertext with its encoded identifier list.

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"seabed/internal/idlist"
+	"seabed/internal/store"
+)
+
+// This file exports the partial-merge step of a scatter-gather deployment:
+// a coordinating proxy fans a Plan out to N shards (each holding a disjoint
+// row range of the logical table), collects one Result per shard, and folds
+// them into the Result a single engine over the whole table would have
+// produced. Shard groups are converted back into the engine's own partial
+// accumulators and folded with the same mergePartial/finishPartial the
+// in-process shuffle+reduce uses, so proxy-side reduce never re-implements
+// aggregation semantics.
+//
+// Every merge is exact because Seabed's aggregates are shard-decomposable:
+//
+//   - ASHE sums commute: an ASHE ciphertext is (Σ values mod 2^64, id-list),
+//     and addition unions identifier multisets, so summing per-shard bodies
+//     and merging per-shard id-lists equals encrypting the global sum (§4.2).
+//   - Paillier sums commute: E(a)·E(b) mod N² = E(a+b), and modular
+//     multiplication is associative, so the product of per-shard products is
+//     the product over all rows.
+//   - Counts, plain sums, and sums of squares are ordinary integer sums.
+//   - Min/max take the extreme of per-shard extremes (OPE comparison needs
+//     no key); shards that selected no rows are skipped.
+//   - Medians do NOT decompose, so Partial plans ship each shard's collected
+//     inputs and the coordinator selects over the concatenation.
+//
+// Group-by results concatenate per-shard partial groups and reduce them by
+// key, exactly the shuffle+reduce the engine performs between its own map
+// tasks (§4.5).
+
+// MergeResults folds per-shard partial results (in shard order) into the
+// result a single engine over the union of the shards' rows would produce.
+// pl is the original, unscoped plan: its Aggs supply Paillier public keys
+// and merge kinds, and its Codec — which must be the codec the shards
+// actually used — re-encodes merged identifier lists. Shard results must
+// come from Partial plan executions (or be median-free). Metrics are
+// combined scatter-gather style: stage times take the slowest shard (shards
+// run in parallel), byte/task/row counts sum, and the measured merge time is
+// added to DriverTime.
+func MergeResults(pl *Plan, partials []*Result) (*Result, error) {
+	start := time.Now()
+	codec := pl.Codec
+	if codec == nil {
+		if pl.GroupBy != nil {
+			codec = idlist.VBDiff
+		} else {
+			codec = idlist.Default
+		}
+	}
+
+	out := &Result{}
+	for i, r := range partials {
+		mergeMetrics(&out.Metrics, &r.Metrics, i == 0)
+	}
+	if len(pl.Project) > 0 {
+		total := 0
+		for _, r := range partials {
+			total += len(r.Scan)
+		}
+		out.Scan = make([]ScanRow, 0, total)
+		for _, r := range partials {
+			out.Scan = append(out.Scan, r.Scan...)
+		}
+		// Shards hold ascending identifier runs, but appended batches
+		// interleave across shards; re-sorting by identifier restores the
+		// single-engine scan order.
+		sort.Slice(out.Scan, func(a, b int) bool { return out.Scan[a].ID < out.Scan[b].ID })
+	} else {
+		groups, bytes, err := mergeGroups(pl, partials, codec)
+		if err != nil {
+			return nil, err
+		}
+		out.Groups = groups
+		out.Metrics.ResultBytes = bytes
+	}
+
+	out.Metrics.DriverTime += time.Since(start)
+	out.Metrics.ServerTime = out.Metrics.MapTime + out.Metrics.ShuffleTime +
+		out.Metrics.ReduceTime + out.Metrics.DriverTime
+	return out, nil
+}
+
+// mergeGroups buckets every shard's groups by key and folds same-key groups
+// through the engine's own reduce path: each shard group converts back into
+// a partial accumulator, mergePartial folds it, and finishPartial finalizes
+// (encodes merged id-lists, collapses medians) exactly as the in-process
+// reduce does. It returns the merged groups (sorted) with their serialized
+// size.
+func mergeGroups(pl *Plan, partials []*Result, codec idlist.Codec) ([]Group, int, error) {
+	for i, a := range pl.Aggs {
+		if a.Kind == AggPaillierSum && a.PK == nil {
+			return nil, 0, fmt.Errorf("engine: merge: Paillier aggregate %d without public key", i)
+		}
+	}
+	merged := make(map[groupKey]*partial)
+	var order []groupKey
+	for _, r := range partials {
+		for gi := range r.Groups {
+			g := &r.Groups[gi]
+			key := groupKey{kind: g.KeyKind, u64: g.KeyU64, suffix: g.Suffix}
+			switch g.KeyKind {
+			case store.Bytes:
+				key.str = string(g.KeyBytes)
+			case store.Str:
+				key.str = g.KeyStr
+			}
+			src, err := partialFromGroup(pl, g)
+			if err != nil {
+				return nil, 0, err
+			}
+			acc := merged[key]
+			if acc == nil {
+				acc = newPartial(pl.Aggs)
+				merged[key] = acc
+				order = append(order, key)
+			}
+			mergePartial(pl, acc, src)
+		}
+	}
+
+	out := make([]Group, 0, len(merged))
+	total := 0
+	for _, key := range order {
+		group, bytes, err := pl.finishPartial(merged[key], key, codec)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, group)
+		total += bytes
+	}
+	sort.Slice(out, func(a, b int) bool { return lessGroup(out[a], out[b]) })
+	return out, total, nil
+}
+
+// partialFromGroup converts one shard's result group back into the engine's
+// in-flight accumulator representation — the inverse of finishPartial for a
+// Partial plan — so the coordinator's reduce runs through mergePartial
+// unchanged. Field copies only; no aggregation semantics live here.
+func partialFromGroup(pl *Plan, g *Group) (*partial, error) {
+	if len(g.Aggs) != len(pl.Aggs) {
+		return nil, fmt.Errorf("engine: merge: shard group has %d aggregates, want %d", len(g.Aggs), len(pl.Aggs))
+	}
+	p := &partial{rows: g.Rows, aggs: make([]aggState, len(g.Aggs))}
+	for i := range g.Aggs {
+		av, st := &g.Aggs[i], &p.aggs[i]
+		st.kind = av.Kind
+		if st.kind != pl.Aggs[i].Kind {
+			return nil, fmt.Errorf("engine: merge: aggregate %d kind mismatch (%d vs %d)", i, av.Kind, pl.Aggs[i].Kind)
+		}
+		switch av.Kind {
+		case AggCount, AggPlainSum, AggPlainSumSq:
+			st.u64 = av.U64
+		case AggAsheSum:
+			st.u64 = av.Ashe.Body
+			st.ids = av.Ashe.IDs
+		case AggPaillierSum:
+			if av.Pail == nil {
+				return nil, fmt.Errorf("engine: merge: shard group missing Paillier ciphertext for aggregate %d", i)
+			}
+			st.pail = av.Pail
+		case AggPlainMin, AggPlainMax:
+			st.u64 = av.U64
+			st.seen = g.Rows > 0
+		case AggOpeMin, AggOpeMax:
+			st.ope = av.Ope
+			st.argID = av.ArgID
+			st.u64 = av.U64
+			st.compBytes = av.CompanionBytes
+			st.seen = g.Rows > 0 && len(av.Ope) > 0
+		case AggPlainMedian:
+			st.medU64 = av.MedU64
+		case AggOpeMedian:
+			st.medOpe = av.MedOpe
+			st.medIDs = av.MedIDs
+			st.medComp = av.MedComp
+		default:
+			return nil, fmt.Errorf("engine: merge: unknown aggregate kind %d", av.Kind)
+		}
+	}
+	return p, nil
+}
+
+// mergeMetrics combines one shard's metrics into the accumulator: stage
+// times take the maximum (shards execute concurrently, so the gather waits
+// for the slowest), sizes and counts sum. ResultBytes is summed here for
+// scan results and recomputed from the merged groups otherwise.
+func mergeMetrics(dst, src *Metrics, first bool) {
+	maxDur := func(d *time.Duration, s time.Duration) {
+		if first || s > *d {
+			*d = s
+		}
+	}
+	maxDur(&dst.MapTime, src.MapTime)
+	maxDur(&dst.ReduceTime, src.ReduceTime)
+	maxDur(&dst.ShuffleTime, src.ShuffleTime)
+	maxDur(&dst.DriverTime, src.DriverTime)
+	dst.ShuffleBytes += src.ShuffleBytes
+	dst.ResultBytes += src.ResultBytes
+	dst.MapTasks += src.MapTasks
+	dst.ReduceTasks += src.ReduceTasks
+	dst.RowsScanned += src.RowsScanned
+	dst.RowsSelected += src.RowsSelected
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"seabed/internal/sqlparse"
+	"seabed/internal/store"
+)
+
+// shardSplit runs the same plan once over the whole table and once as three
+// Partial, range-scoped shard slices merged with MergeResults, and asserts
+// identical groups and scan rows — the unit-level version of the loopback
+// acceptance test in internal/shard.
+func shardSplit(t *testing.T, tbl *store.Table, mkPlan func(tbl *store.Table) *Plan) (*Result, *Result) {
+	t.Helper()
+	cl := NewCluster(Config{Workers: 4})
+
+	whole := mkPlan(tbl)
+	want, err := cl.Run(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	subs := tbl.SplitRanges(3)
+	partials := make([]*Result, len(subs))
+	merged := mkPlan(tbl)
+	for i, sub := range subs {
+		pl := mkPlan(sub)
+		pl.Partial = true
+		if sub.NumRows() > 0 {
+			pl.Range = &IDRange{Lo: sub.Parts[0].StartID, Hi: sub.EndID()}
+		}
+		if partials[i], err = cl.Run(pl); err != nil {
+			t.Fatal(err)
+		}
+		// Every shard resolves the same effective codec; the merge reuses it.
+		merged.Codec = pl.Codec
+	}
+	got, err := MergeResults(merged, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, want
+}
+
+func TestMergeResultsMatchesSingleRun(t *testing.T) {
+	const rows = 999
+	vals := make([]uint64, rows)
+	grp := make([]uint64, rows)
+	idx := make([]uint64, rows)
+	for i := range vals {
+		vals[i] = uint64(i*i%1000 + 1)
+		grp[i] = uint64(i % 5)
+		idx[i] = uint64(i + 1)
+	}
+	tbl, err := store.Build("t", []store.Column{
+		{Name: "v", Kind: store.U64, U64: vals},
+		{Name: "g", Kind: store.U64, U64: grp},
+		{Name: "idx", Kind: store.U64, U64: idx},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func(tbl *store.Table) *Plan{
+		"sum-count-minmax": func(tbl *store.Table) *Plan {
+			return &Plan{Table: tbl, Aggs: []Agg{
+				{Kind: AggPlainSum, Col: "v"},
+				{Kind: AggCount},
+				{Kind: AggPlainMin, Col: "v"},
+				{Kind: AggPlainMax, Col: "v"},
+			}}
+		},
+		"ashe-sum": func(tbl *store.Table) *Plan {
+			return &Plan{Table: tbl, Aggs: []Agg{{Kind: AggAsheSum, Col: "v"}}}
+		},
+		"median": func(tbl *store.Table) *Plan {
+			return &Plan{Table: tbl, Aggs: []Agg{{Kind: AggPlainMedian, Col: "v"}}}
+		},
+		"group-by": func(tbl *store.Table) *Plan {
+			return &Plan{Table: tbl,
+				Aggs:    []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggAsheSum, Col: "v"}},
+				GroupBy: &GroupBy{Col: "g"}}
+		},
+		"filtered-empty-shards": func(tbl *store.Table) *Plan {
+			// Only rows 1..3 match: the later shards select nothing, so the
+			// merge must honor the "seen" semantics for min/max.
+			return &Plan{Table: tbl,
+				Filters: []Filter{{Kind: FilterPlainCmp, Col: "idx", Op: sqlparse.OpLe, U64: 3}},
+				Aggs:    []Agg{{Kind: AggPlainMin, Col: "v"}, {Kind: AggPlainMax, Col: "v"}, {Kind: AggCount}}}
+		},
+		"filtered-no-match": func(tbl *store.Table) *Plan {
+			return &Plan{Table: tbl,
+				Filters: []Filter{{Kind: FilterPlainCmp, Col: "v", Op: sqlparse.OpGt, U64: 1_000_000}},
+				Aggs:    []Agg{{Kind: AggPlainMin, Col: "v"}, {Kind: AggCount}}}
+		},
+		"scan": func(tbl *store.Table) *Plan {
+			return &Plan{Table: tbl,
+				Filters: []Filter{{Kind: FilterPlainCmp, Col: "g", Op: sqlparse.OpEq, U64: 2}},
+				Project: []string{"v"}}
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			got, want := shardSplit(t, tbl, mk)
+			if !reflect.DeepEqual(got.Groups, want.Groups) {
+				t.Errorf("merged groups differ:\n got %+v\nwant %+v", got.Groups, want.Groups)
+			}
+			if !reflect.DeepEqual(got.Scan, want.Scan) {
+				t.Errorf("merged scan differs:\n got %+v\nwant %+v", got.Scan, want.Scan)
+			}
+			if got.Metrics.RowsScanned != want.Metrics.RowsScanned {
+				t.Errorf("rows scanned = %d, want %d", got.Metrics.RowsScanned, want.Metrics.RowsScanned)
+			}
+		})
+	}
+}
+
+// TestIDRangeScoping pins the shard frame: a range-scoped plan aggregates
+// only the rows inside [Lo, Hi], skipping partitions wholly outside.
+func TestIDRangeScoping(t *testing.T) {
+	vals := make([]uint64, 100)
+	for i := range vals {
+		vals[i] = 1
+	}
+	tbl, err := store.Build("t", []store.Column{{Name: "v", Kind: store.U64, U64: vals}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewCluster(Config{Workers: 2})
+	res, err := cl.Run(&Plan{Table: tbl,
+		Range: &IDRange{Lo: 11, Hi: 40},
+		Aggs:  []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Groups[0].Aggs[0].U64; got != 30 {
+		t.Fatalf("scoped sum = %d, want 30", got)
+	}
+	if res.Metrics.RowsScanned != 30 {
+		t.Fatalf("scoped rows scanned = %d, want 30", res.Metrics.RowsScanned)
+	}
+	// An inverted range selects nothing but still yields the zero group.
+	res, err = cl.Run(&Plan{Table: tbl,
+		Range: &IDRange{Lo: 50, Hi: 10},
+		Aggs:  []Agg{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups[0].Aggs[0].U64 != 0 || res.Metrics.RowsScanned != 0 {
+		t.Fatalf("inverted range scanned %d rows, counted %d", res.Metrics.RowsScanned, res.Groups[0].Aggs[0].U64)
+	}
+}

@@ -336,32 +336,54 @@ func (pl *Plan) finishPartial(p *partial, key groupKey, codec idlist.Codec) (Gro
 			av.CompanionBytes = st.compBytes
 			bytes += len(st.ope) + 16 + len(st.compBytes)
 		case AggPlainMedian:
+			if pl.Partial {
+				// Shard slice: a global median needs every shard's inputs, so
+				// ship the collection and let MergeResults collapse it.
+				av.MedU64 = st.medU64
+				bytes += 8 * len(st.medU64)
+				break
+			}
 			if n := len(st.medU64); n > 0 {
 				sort.Slice(st.medU64, func(a, b int) bool { return st.medU64[a] < st.medU64[b] })
 				av.U64 = st.medU64[n/2]
 			}
 			bytes += 8
 		case AggOpeMedian:
-			if n := len(st.medOpe); n > 0 {
-				// Sort indices by order-revealing comparison; the server can
-				// do this without any key.
-				idx := make([]int, n)
-				for i := range idx {
-					idx[i] = i
-				}
-				sort.Slice(idx, func(a, b int) bool { return ope.Less(st.medOpe[idx[a]], st.medOpe[idx[b]]) })
-				mid := idx[n/2]
-				av.Ope = st.medOpe[mid]
-				av.ArgID = st.medIDs[mid]
-				if len(st.medComp) == n {
-					av.U64 = st.medComp[mid]
-				}
+			if pl.Partial {
+				av.MedOpe = st.medOpe
+				av.MedIDs = st.medIDs
+				av.MedComp = st.medComp
+				bytes += len(st.medOpe) * (64 + 16)
+				break
 			}
+			av.Ope, av.ArgID, av.U64 = collapseOpeMedian(st.medOpe, st.medIDs, st.medComp)
 			bytes += 64 + 16
 		}
 		g.Aggs[i] = av
 	}
 	return g, bytes, nil
+}
+
+// collapseOpeMedian selects the middle element of an OPE-encrypted value
+// collection by order-revealing comparison (Table 6: "Median … Using OPE") —
+// the server needs no key. It returns the winning ciphertext, its row
+// identifier, and its companion value (0 when no companions were collected).
+func collapseOpeMedian(medOpe [][]byte, medIDs, medComp []uint64) (opeVal []byte, argID, comp uint64) {
+	n := len(medOpe)
+	if n == 0 {
+		return nil, 0, 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ope.Less(medOpe[idx[a]], medOpe[idx[b]]) })
+	mid := idx[n/2]
+	opeVal, argID = medOpe[mid], medIDs[mid]
+	if len(medComp) == n {
+		comp = medComp[mid]
+	}
+	return opeVal, argID, comp
 }
 
 // makespan list-schedules the given task durations onto w workers (FIFO,

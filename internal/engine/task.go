@@ -268,7 +268,26 @@ func (pl *Plan) runMapTask(c *Cluster, part *store.Partition, right map[string]*
 	}
 	res := &mapResult{}
 	n := part.NumRows()
-	res.rowsScanned = uint64(n)
+
+	// Shard scoping (§4.5 scatter-gather): restrict the task to the rows of
+	// this partition whose global identifiers fall inside pl.Range. Row
+	// identifiers are contiguous within a partition, so the scope is a simple
+	// index interval [i0, i1]; a partition wholly outside scans nothing.
+	i0, i1 := 0, n-1
+	if pl.Range != nil && n > 0 {
+		first, last := part.StartID, part.StartID+uint64(n)-1
+		if pl.Range.Lo > last || pl.Range.Hi < first || pl.Range.Lo > pl.Range.Hi {
+			i0, i1 = 0, -1
+		} else {
+			if pl.Range.Lo > first {
+				i0 = int(pl.Range.Lo - first)
+			}
+			if pl.Range.Hi < last {
+				i1 = int(pl.Range.Hi - first)
+			}
+		}
+	}
+	res.rowsScanned = uint64(i1 - i0 + 1)
 
 	start := time.Now()
 	if pl.GroupBy == nil && len(pl.Project) == 0 {
@@ -282,7 +301,7 @@ func (pl *Plan) runMapTask(c *Cluster, part *store.Partition, right map[string]*
 		inflate = pl.GroupBy.Inflate
 	}
 
-	for i := 0; i < n; i++ {
+	for i := i0; i <= i1; i++ {
 		rowID := part.StartID + uint64(i)
 		joinIdx := -1
 		if b.leftKey != nil {

@@ -1,0 +1,203 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"seabed/internal/wire"
+)
+
+// Pool is a per-endpoint TCP connection pool speaking the wire protocol: it
+// dials, handshakes, and recycles connections to one seabed-server, and runs
+// single request/response round trips over them. RemoteCluster composes one
+// Pool per endpoint; a sharded deployment (internal/shard) composes N
+// RemoteClusters and therefore N independent pools, so scatter requests to
+// different shards never queue behind one socket or one lock.
+//
+// Every round trip checks a connection out for exclusive use, returns it on
+// success, and discards it on transport errors, so a poisoned socket never
+// serves a second request. A transport failure on a pooled connection —
+// typically a server that restarted while the socket sat idle — is retried
+// once on a freshly dialed one.
+type Pool struct {
+	addr    string
+	workers int
+	// shardIndex/shardCount hold the shard identity the server declared at
+	// handshake (count 0 = none declared).
+	shardIndex, shardCount int
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// DialPool connects to a seabed-server, performs the version handshake, and
+// returns a pool primed with the handshaked connection.
+func DialPool(addr string) (*Pool, error) {
+	p := &Pool{addr: addr}
+	conn, err := p.dialFirst()
+	if err != nil {
+		return nil, err
+	}
+	p.put(conn)
+	return p, nil
+}
+
+// Addr returns the server address this pool dials.
+func (p *Pool) Addr() string { return p.addr }
+
+// Workers returns the worker count the server reported at handshake.
+func (p *Pool) Workers() int { return p.workers }
+
+// Shard returns the shard identity the server declared at handshake; count
+// is 0 for a server that declared none.
+func (p *Pool) Shard() (index, count int) { return p.shardIndex, p.shardCount }
+
+// dialFirst opens the pool's first connection and records the handshake
+// metadata (worker count, shard identity). Later dials from the request path
+// only validate the handshake, so the recorded fields stay immutable — and
+// therefore readable without a lock — after DialPool returns.
+func (p *Pool) dialFirst() (net.Conn, error) {
+	conn, workers, shardIndex, shardCount, err := p.handshake()
+	if err != nil {
+		return nil, err
+	}
+	p.workers, p.shardIndex, p.shardCount = workers, shardIndex, shardCount
+	return conn, nil
+}
+
+// dial opens and handshakes one connection.
+func (p *Pool) dial() (net.Conn, error) {
+	conn, _, _, _, err := p.handshake()
+	return conn, err
+}
+
+// handshake opens one connection and performs the Hello/Welcome exchange.
+func (p *Pool) handshake() (net.Conn, int, int, int, error) {
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("remote: dial %s: %w", p.addr, err)
+	}
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello()); err != nil {
+		conn.Close()
+		return nil, 0, 0, 0, err
+	}
+	t, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, 0, 0, fmt.Errorf("remote: handshake with %s: %w", p.addr, err)
+	}
+	if t == wire.MsgError {
+		conn.Close()
+		return nil, 0, 0, 0, fmt.Errorf("remote: server %s: %s", p.addr, wire.DecodeError(payload))
+	}
+	if t != wire.MsgWelcome {
+		conn.Close()
+		return nil, 0, 0, 0, fmt.Errorf("remote: handshake with %s: unexpected %v frame", p.addr, t)
+	}
+	version, workers, shardIndex, shardCount, err := wire.DecodeWelcome(payload)
+	if version != wire.Version {
+		// Checked before the decode error so an older server — whose shorter
+		// Welcome fails to decode — gets the actionable "speaks protocol vN"
+		// diagnosis instead of the truncated-payload symptom. A version-0
+		// decode failure really is a malformed frame; report it as such.
+		if version != 0 || err == nil {
+			conn.Close()
+			return nil, 0, 0, 0, fmt.Errorf("remote: server %s speaks protocol v%d, want v%d", p.addr, version, wire.Version)
+		}
+	}
+	if err != nil {
+		conn.Close()
+		return nil, 0, 0, 0, err
+	}
+	return conn, workers, shardIndex, shardCount, nil
+}
+
+// get checks a connection out of the pool, dialing a fresh one if none is
+// idle. fromPool reports which, so callers know a transport failure may just
+// be a stale pooled socket.
+func (p *Pool) get() (conn net.Conn, fromPool bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, errors.New("remote: cluster is closed")
+	}
+	if n := len(p.idle); n > 0 {
+		conn := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return conn, true, nil
+	}
+	p.mu.Unlock()
+	conn, err = p.dial()
+	return conn, false, err
+}
+
+// put returns a healthy connection to the pool.
+func (p *Pool) put(conn net.Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.idle = append(p.idle, conn)
+	p.mu.Unlock()
+}
+
+// RoundTrip sends one request frame and reads its response. Server-reported
+// failures surface as errors with the server's message; the response type is
+// returned for the caller to validate.
+func (p *Pool) RoundTrip(reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
+	for {
+		conn, fromPool, err := p.get()
+		if err != nil {
+			return 0, nil, err
+		}
+		respType, payload, err := p.exchange(conn, reqType, req)
+		if err != nil {
+			if fromPool {
+				continue // stale pooled socket: retry on a fresh dial
+			}
+			return 0, nil, err
+		}
+		if respType == wire.MsgError {
+			return respType, nil, fmt.Errorf("remote: server: %s", wire.DecodeError(payload))
+		}
+		return respType, payload, nil
+	}
+}
+
+// exchange performs one request/response on conn, pooling it on success and
+// closing it on transport errors.
+func (p *Pool) exchange(conn net.Conn, reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
+	if err := wire.WriteFrame(conn, reqType, req); err != nil {
+		conn.Close()
+		return 0, nil, err
+	}
+	respType, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return 0, nil, fmt.Errorf("remote: read %v response: %w", reqType, err)
+	}
+	p.put(conn)
+	return respType, payload, nil
+}
+
+// Close releases the pool. In-flight requests finish on their checked-out
+// connections, which are then discarded.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	var first error
+	for _, conn := range p.idle {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.idle = nil
+	return first
+}

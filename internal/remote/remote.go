@@ -4,16 +4,16 @@
 // untrusted engine in another process or on another machine (§4) with no
 // change to the query path.
 //
-// A RemoteCluster maintains a pool of TCP connections. Every request checks
+// A RemoteCluster composes a Pool of TCP connections. Every request checks
 // a connection out for one request/response round trip, so concurrent
 // Proxy.Query calls fan out over parallel connections instead of queueing
-// behind one socket.
+// behind one socket. A sharded deployment (internal/shard) composes one
+// RemoteCluster — and therefore one independent pool — per shard endpoint.
 package remote
 
 import (
 	"errors"
 	"fmt"
-	"net"
 	"sync"
 
 	"seabed/internal/engine"
@@ -23,12 +23,7 @@ import (
 
 // RemoteCluster is a ClusterBackend speaking the wire protocol over TCP.
 type RemoteCluster struct {
-	addr    string
-	workers int
-
-	connMu sync.Mutex
-	idle   []net.Conn
-	closed bool
+	pool *Pool
 
 	// refs maps registered table pointers back to their server-side refs so
 	// plans (which carry pointers) can be rewritten to reference frames.
@@ -39,126 +34,21 @@ type RemoteCluster struct {
 // Dial connects to a seabed-server, performs the version handshake, and
 // learns the server's worker count.
 func Dial(addr string) (*RemoteCluster, error) {
-	r := &RemoteCluster{addr: addr, refs: make(map[*store.Table]string)}
-	conn, workers, err := r.dial()
+	pool, err := DialPool(addr)
 	if err != nil {
 		return nil, err
 	}
-	r.workers = workers
-	r.put(conn)
-	return r, nil
-}
-
-// dial opens and handshakes one connection.
-func (r *RemoteCluster) dial() (net.Conn, int, error) {
-	conn, err := net.Dial("tcp", r.addr)
-	if err != nil {
-		return nil, 0, fmt.Errorf("remote: dial %s: %w", r.addr, err)
-	}
-	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello()); err != nil {
-		conn.Close()
-		return nil, 0, err
-	}
-	t, payload, err := wire.ReadFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, 0, fmt.Errorf("remote: handshake with %s: %w", r.addr, err)
-	}
-	if t == wire.MsgError {
-		conn.Close()
-		return nil, 0, fmt.Errorf("remote: server %s: %s", r.addr, wire.DecodeError(payload))
-	}
-	if t != wire.MsgWelcome {
-		conn.Close()
-		return nil, 0, fmt.Errorf("remote: handshake with %s: unexpected %v frame", r.addr, t)
-	}
-	version, workers, err := wire.DecodeWelcome(payload)
-	if err != nil {
-		conn.Close()
-		return nil, 0, err
-	}
-	if version != wire.Version {
-		conn.Close()
-		return nil, 0, fmt.Errorf("remote: server %s speaks protocol v%d, want v%d", r.addr, version, wire.Version)
-	}
-	return conn, workers, nil
-}
-
-// get checks a connection out of the pool, dialing a fresh one if none is
-// idle. fromPool reports which, so callers know a transport failure may
-// just be a stale pooled socket.
-func (r *RemoteCluster) get() (conn net.Conn, fromPool bool, err error) {
-	r.connMu.Lock()
-	if r.closed {
-		r.connMu.Unlock()
-		return nil, false, errors.New("remote: cluster is closed")
-	}
-	if n := len(r.idle); n > 0 {
-		conn := r.idle[n-1]
-		r.idle = r.idle[:n-1]
-		r.connMu.Unlock()
-		return conn, true, nil
-	}
-	r.connMu.Unlock()
-	conn, _, err = r.dial()
-	return conn, false, err
-}
-
-// put returns a healthy connection to the pool.
-func (r *RemoteCluster) put(conn net.Conn) {
-	r.connMu.Lock()
-	if r.closed {
-		r.connMu.Unlock()
-		conn.Close()
-		return
-	}
-	r.idle = append(r.idle, conn)
-	r.connMu.Unlock()
-}
-
-// roundTrip sends one request frame and reads its response. The connection
-// is returned to the pool on success and discarded on transport errors, so
-// a poisoned socket never serves a second request. A transport failure on a
-// pooled connection — typically a server that restarted while the socket sat
-// idle — is retried once on a freshly dialed one.
-func (r *RemoteCluster) roundTrip(reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
-	for {
-		conn, fromPool, err := r.get()
-		if err != nil {
-			return 0, nil, err
-		}
-		respType, payload, err := r.exchange(conn, reqType, req)
-		if err != nil {
-			if fromPool {
-				continue // stale pooled socket: retry on a fresh dial
-			}
-			return 0, nil, err
-		}
-		if respType == wire.MsgError {
-			return respType, nil, fmt.Errorf("remote: server: %s", wire.DecodeError(payload))
-		}
-		return respType, payload, nil
-	}
-}
-
-// exchange performs one request/response on conn, pooling it on success and
-// closing it on transport errors.
-func (r *RemoteCluster) exchange(conn net.Conn, reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
-	if err := wire.WriteFrame(conn, reqType, req); err != nil {
-		conn.Close()
-		return 0, nil, err
-	}
-	respType, payload, err := wire.ReadFrame(conn)
-	if err != nil {
-		conn.Close()
-		return 0, nil, fmt.Errorf("remote: read %v response: %w", reqType, err)
-	}
-	r.put(conn)
-	return respType, payload, nil
+	return &RemoteCluster{pool: pool, refs: make(map[*store.Table]string)}, nil
 }
 
 // Workers implements ClusterBackend with the server's worker count.
-func (r *RemoteCluster) Workers() int { return r.workers }
+func (r *RemoteCluster) Workers() int { return r.pool.Workers() }
+
+// Shard returns the shard identity the server declared at handshake (its
+// -shard i/n flag); count is 0 for a server that declared none. Sharded
+// coordinators use it to verify their address list against the fleet's
+// actual layout.
+func (r *RemoteCluster) Shard() (index, count int) { return r.pool.Shard() }
 
 // RegisterTable implements ClusterBackend: it ships the table to the server
 // and records the pointer→ref binding used to encode later plans.
@@ -167,7 +57,7 @@ func (r *RemoteCluster) RegisterTable(ref string, t *store.Table) error {
 	if err != nil {
 		return err
 	}
-	respType, _, err := r.roundTrip(wire.MsgRegister, payload)
+	respType, _, err := r.pool.RoundTrip(wire.MsgRegister, payload)
 	if err != nil {
 		return err
 	}
@@ -187,7 +77,7 @@ func (r *RemoteCluster) AppendTable(ref string, batch *store.Table) error {
 	if err != nil {
 		return err
 	}
-	respType, _, err := r.roundTrip(wire.MsgAppend, payload)
+	respType, _, err := r.pool.RoundTrip(wire.MsgAppend, payload)
 	if err != nil {
 		return err
 	}
@@ -208,6 +98,39 @@ func (r *RemoteCluster) refOf(t *store.Table) (string, error) {
 	return ref, nil
 }
 
+// RunRequest executes a ref-addressed plan request on the server and returns
+// the decoded result. The request's plan must carry nil Table/Join.Right
+// pointers — tables travel by ref. Like the in-process engine, it records
+// the codec the server actually used in req.Plan.Codec when the request left
+// it nil, so the caller decodes identifier lists with the same one. It is
+// the building block shard coordinators use to address one shard's rows
+// without any pointer bookkeeping on the endpoint.
+func (r *RemoteCluster) RunRequest(req *wire.PlanRequest) (*engine.Result, error) {
+	payload, err := wire.EncodePlan(req)
+	if err != nil {
+		return nil, err
+	}
+	respType, resp, err := r.pool.RoundTrip(wire.MsgRun, payload)
+	if err != nil {
+		return nil, err
+	}
+	if respType != wire.MsgResult {
+		return nil, fmt.Errorf("remote: run: unexpected %v response", respType)
+	}
+	codecName, res, err := wire.DecodeResult(resp)
+	if err != nil {
+		return nil, err
+	}
+	if req.Plan.Codec == nil {
+		codec, err := wire.CodecByName(codecName)
+		if err != nil {
+			return nil, err
+		}
+		req.Plan.Codec = codec
+	}
+	return res, nil
+}
+
 // Run implements ClusterBackend: the plan is rewritten to reference tables
 // by ref, executed on the server, and the decoded result returned. Like the
 // in-process engine, Run records the effective identifier-list codec in
@@ -216,7 +139,7 @@ func (r *RemoteCluster) Run(pl *engine.Plan) (*engine.Result, error) {
 	if pl.Table == nil {
 		return nil, errors.New("engine: plan has no table")
 	}
-	req := wire.PlanRequest{Plan: pl}
+	req := wire.PlanRequest{}
 	var err error
 	if req.TableRef, err = r.refOf(pl.Table); err != nil {
 		return nil, err
@@ -237,46 +160,19 @@ func (r *RemoteCluster) Run(pl *engine.Plan) (*engine.Result, error) {
 	}
 	req.Plan = &tx
 
-	payload, err := wire.EncodePlan(&req)
-	if err != nil {
-		return nil, err
-	}
-	respType, resp, err := r.roundTrip(wire.MsgRun, payload)
-	if err != nil {
-		return nil, err
-	}
-	if respType != wire.MsgResult {
-		return nil, fmt.Errorf("remote: run: unexpected %v response", respType)
-	}
-	codecName, res, err := wire.DecodeResult(resp)
+	res, err := r.RunRequest(&req)
 	if err != nil {
 		return nil, err
 	}
 	if pl.Codec == nil {
-		codec, err := wire.CodecByName(codecName)
-		if err != nil {
-			return nil, err
-		}
-		pl.Codec = codec
+		pl.Codec = req.Plan.Codec
 	}
 	return res, nil
 }
 
 // Addr returns the server address this cluster dials.
-func (r *RemoteCluster) Addr() string { return r.addr }
+func (r *RemoteCluster) Addr() string { return r.pool.Addr() }
 
 // Close releases the connection pool. In-flight requests finish on their
 // checked-out connections, which are then discarded.
-func (r *RemoteCluster) Close() error {
-	r.connMu.Lock()
-	defer r.connMu.Unlock()
-	r.closed = true
-	var first error
-	for _, conn := range r.idle {
-		if err := conn.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	r.idle = nil
-	return first
-}
+func (r *RemoteCluster) Close() error { return r.pool.Close() }

@@ -19,6 +19,7 @@ import (
 	"seabed/internal/server"
 	"seabed/internal/store"
 	"seabed/internal/translate"
+	"seabed/internal/wire"
 )
 
 // startServer launches a wire-protocol server for a fresh 4-worker cluster
@@ -334,6 +335,34 @@ func TestUnsyncedTableFails(t *testing.T) {
 	_, err := rp.Query("SELECT COUNT(*) FROM sales", translate.Seabed, client.QueryOptions{})
 	if err == nil || !strings.Contains(err.Error(), "never registered") {
 		t.Fatalf("err = %v, want a never-registered error", err)
+	}
+}
+
+// TestDialDiagnosesOldProtocol pins the rolling-upgrade error path: a
+// server speaking an older protocol whose Welcome lacks the newer fields
+// must be reported as a version mismatch, not a truncated-payload decode
+// error.
+func TestDialDiagnosesOldProtocol(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, _, err := wire.ReadFrame(conn); err != nil { // consume the Hello
+			return
+		}
+		// A v1 Welcome: version varint 1, workers varint 4, nothing else.
+		wire.WriteFrame(conn, wire.MsgWelcome, []byte{1, 4}) //nolint:errcheck // test peer
+	}()
+	_, err = Dial(ln.Addr().String())
+	if err == nil || !strings.Contains(err.Error(), "speaks protocol v1") {
+		t.Fatalf("err = %v, want a protocol-version diagnosis", err)
 	}
 }
 

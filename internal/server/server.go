@@ -16,7 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"seabed/internal/engine"
 	"seabed/internal/store"
@@ -29,6 +32,11 @@ type Server struct {
 	// Logf, when non-nil, receives one line per connection event and
 	// request-level failure. Set it before Serve.
 	Logf func(format string, args ...any)
+	// ShardIndex/ShardCount declare this daemon's identity in a sharded
+	// deployment (the -shard i/n flag); they cross in the Welcome frame so
+	// clients can verify their address list matches the fleet's layout at
+	// connect time. ShardCount 0 declares none. Set them before Serve.
+	ShardIndex, ShardCount int
 
 	mu     sync.RWMutex
 	tables map[string]*store.Table
@@ -37,6 +45,68 @@ type Server struct {
 	ln     net.Listener
 	active map[net.Conn]struct{}
 	conns  sync.WaitGroup
+
+	// counters behind Stats (cmd/seabed-server's -metrics flag and the shard
+	// balance assertions of the loopback tests).
+	connsTotal atomic.Uint64
+	registers  atomic.Uint64
+	appends    atomic.Uint64
+	runs       atomic.Uint64
+	reqErrors  atomic.Uint64
+}
+
+// TableStat describes one registered table for monitoring.
+type TableStat struct {
+	Ref   string
+	Rows  uint64
+	Parts int
+}
+
+// Stats is a point-in-time snapshot of a server's activity: connection and
+// per-request counters plus the size of every registered table. A sharded
+// deployment compares Rows across daemons to check shard balance.
+type Stats struct {
+	ConnsTotal  uint64
+	ConnsActive int
+	Registers   uint64
+	Appends     uint64
+	Runs        uint64
+	Errors      uint64
+	Tables      []TableStat
+}
+
+// Stats returns a snapshot of the server's counters and table registry,
+// with tables sorted by ref.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		ConnsTotal: s.connsTotal.Load(),
+		Registers:  s.registers.Load(),
+		Appends:    s.appends.Load(),
+		Runs:       s.runs.Load(),
+		Errors:     s.reqErrors.Load(),
+	}
+	s.lnMu.Lock()
+	st.ConnsActive = len(s.active)
+	s.lnMu.Unlock()
+	s.mu.RLock()
+	for ref, t := range s.tables {
+		st.Tables = append(st.Tables, TableStat{Ref: ref, Rows: t.NumRows(), Parts: len(t.Parts)})
+	}
+	s.mu.RUnlock()
+	sort.Slice(st.Tables, func(a, b int) bool { return st.Tables[a].Ref < st.Tables[b].Ref })
+	return st
+}
+
+// String renders the snapshot as one human-readable block, the format the
+// -metrics flag prints on SIGUSR1.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conns=%d active=%d registers=%d appends=%d runs=%d errors=%d",
+		st.ConnsTotal, st.ConnsActive, st.Registers, st.Appends, st.Runs, st.Errors)
+	for _, t := range st.Tables {
+		fmt.Fprintf(&b, "\n  table %q: %d rows, %d partitions", t.Ref, t.Rows, t.Parts)
+	}
+	return b.String()
 }
 
 // New returns a server executing plans on the given cluster.
@@ -123,6 +193,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.active[conn] = struct{}{}
 		s.conns.Add(1)
+		s.connsTotal.Add(1)
 		s.lnMu.Unlock()
 		go func() {
 			defer func() {
@@ -183,54 +254,58 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	t, payload, err := wire.ReadFrame(conn)
 	if err != nil {
-		s.logf("server: %v: handshake read: %v", peer, err)
+		s.logf("%v: handshake read: %v", peer, err)
 		return
 	}
 	if t != wire.MsgHello {
-		s.logf("server: %v: expected hello, got %v", peer, t)
+		s.logf("%v: expected hello, got %v", peer, t)
 		return
 	}
 	version, err := wire.DecodeHello(payload)
 	if err != nil {
-		s.logf("server: %v: %v", peer, err)
+		s.logf("%v: %v", peer, err)
 		return
 	}
 	if version != wire.Version {
 		wire.WriteFrame(conn, wire.MsgError, //nolint:errcheck // closing anyway
 			wire.EncodeError(fmt.Sprintf("server: protocol version %d, want %d", version, wire.Version)))
-		s.logf("server: %v: version mismatch (%d)", peer, version)
+		s.logf("%v: version mismatch (%d)", peer, version)
 		return
 	}
-	if err := wire.WriteFrame(conn, wire.MsgWelcome, wire.EncodeWelcome(s.cluster.Workers())); err != nil {
-		s.logf("server: %v: handshake write: %v", peer, err)
+	if err := wire.WriteFrame(conn, wire.MsgWelcome, wire.EncodeWelcome(s.cluster.Workers(), s.ShardIndex, s.ShardCount)); err != nil {
+		s.logf("%v: handshake write: %v", peer, err)
 		return
 	}
-	s.logf("server: %v: connected (protocol v%d)", peer, version)
+	s.logf("%v: connected (protocol v%d)", peer, version)
 
 	for {
 		t, payload, err := wire.ReadFrame(conn)
 		if err != nil {
-			s.logf("server: %v: disconnected: %v", peer, err)
+			s.logf("%v: disconnected: %v", peer, err)
 			return
 		}
 		var respType wire.MsgType
 		var resp []byte
 		switch t {
 		case wire.MsgRegister:
+			s.registers.Add(1)
 			respType, resp = s.handleRegister(payload)
 		case wire.MsgAppend:
+			s.appends.Add(1)
 			respType, resp = s.handleAppend(payload)
 		case wire.MsgRun:
+			s.runs.Add(1)
 			respType, resp = s.handleRun(payload)
 		default:
 			respType = wire.MsgError
 			resp = wire.EncodeError(fmt.Sprintf("server: unexpected %v frame", t))
 		}
 		if respType == wire.MsgError {
-			s.logf("server: %v: %v request failed: %s", peer, t, wire.DecodeError(resp))
+			s.reqErrors.Add(1)
+			s.logf("%v: %v request failed: %s", peer, t, wire.DecodeError(resp))
 		}
 		if err := wire.WriteFrame(conn, respType, resp); err != nil {
-			s.logf("server: %v: write response: %v", peer, err)
+			s.logf("%v: write response: %v", peer, err)
 			return
 		}
 	}
@@ -244,7 +319,7 @@ func (s *Server) handleRegister(payload []byte) (wire.MsgType, []byte) {
 	if err := s.RegisterTable(ref, t); err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}
-	s.logf("server: registered %q (%d rows, %d partitions)", ref, t.NumRows(), len(t.Parts))
+	s.logf("registered %q (%d rows, %d partitions)", ref, t.NumRows(), len(t.Parts))
 	return wire.MsgOK, nil
 }
 
@@ -262,15 +337,18 @@ func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
 		return wire.MsgError, wire.EncodeError(fmt.Sprintf("server: unknown table ref %q (register it first)", ref))
 	}
 	// Idempotent replay: a client whose connection died after the append was
-	// applied but before the MsgOK arrived retries the same batch. Its rows
-	// occupy exactly the tail of the table — acknowledge without re-applying
-	// (encryption is deterministic per row identifier, so the retried batch
-	// is the byte-identical one already stored).
-	if n := batch.NumRows(); n > 0 && len(batch.Parts) > 0 &&
-		batch.Parts[0].StartID == cur.NumRows()-n+1 {
+	// applied but before the MsgOK arrived retries the same batch. A batch
+	// whose identifiers all exist in the table already was applied —
+	// acknowledge without re-applying (encryption is deterministic per row
+	// identifier, so the retried batch is the byte-identical one already
+	// stored). Checking identifier coverage, not row counts, keeps the check
+	// correct for shard tables, whose identifier sequences carry gaps — and
+	// a batch falling inside such a gap (identifiers this shard never held)
+	// is NOT a replay; it falls through and fails the append check below.
+	if batch.NumRows() > 0 && cur.Covers(batch.Parts[0].StartID, batch.EndID()) {
 		s.mu.Unlock()
-		s.logf("server: append to %q replayed (rows %d-%d already applied)",
-			ref, batch.Parts[0].StartID, cur.NumRows())
+		s.logf("append to %q replayed (rows %d-%d already applied)",
+			ref, batch.Parts[0].StartID, batch.EndID())
 		return wire.MsgOK, nil
 	}
 	grown, err := cur.WithAppended(batch)
@@ -280,7 +358,7 @@ func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
 	}
 	s.tables[ref] = grown
 	s.mu.Unlock()
-	s.logf("server: appended %d rows to %q (now %d rows)", batch.NumRows(), ref, grown.NumRows())
+	s.logf("appended %d rows to %q (now %d rows)", batch.NumRows(), ref, grown.NumRows())
 	return wire.MsgOK, nil
 }
 

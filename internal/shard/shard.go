@@ -1,0 +1,387 @@
+// Package shard implements Seabed's horizontally sharded engine: a Cluster
+// that satisfies the proxy's ClusterBackend interface over N seabed-server
+// daemons, scattering every query to all shards and gathering their partial
+// results at the trusted proxy — the role the Spark driver plays across the
+// paper's physical workers (§4.5, Figures 6–7), lifted one level up so the
+// simulated `Workers` knob becomes real horizontal capacity.
+//
+// # Data placement
+//
+// Tables are range-partitioned by global row identifier. Upload splits the
+// encrypted table into N contiguous, balanced identifier ranges
+// (store.Table.SplitRanges); each daemon registers only its shard, keeping
+// per-daemon memory at 1/N of the dataset. Append batches are split the same
+// way, so growth stays balanced; shard tables tolerate the resulting
+// identifier gaps because ASHE's range encoding only needs contiguity within
+// a partition (§4.2).
+//
+// Broadcast-join right tables are the exception: an inner join drops
+// unmatched left rows, so every shard needs the whole right side. The
+// cluster lazily replicates a join table's full contents to all shards under
+// a derived ref the first time a join plan references it (and again after it
+// grows), mirroring Spark's broadcast of the smaller relation.
+//
+// # Query execution
+//
+// Run fans the plan out to every shard concurrently. Each shard's plan frame
+// is scoped to that shard's identifier range (engine.IDRange) and marked
+// Partial, so collection-valued aggregates (medians) return their inputs
+// rather than collapsing locally. The proxy-side gather is
+// engine.MergeResults, which reuses the engine's own aggregation semantics:
+// ASHE bodies sum and identifier lists merge (idlist), Paillier ciphertexts
+// multiply mod N², group-by partials concatenate and reduce by key, scan
+// rows re-sort by identifier, and per-shard metrics combine (max of stage
+// latencies, sum of bytes). See merge.go in internal/engine for why each
+// merge is exact.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"seabed/internal/engine"
+	"seabed/internal/remote"
+	"seabed/internal/store"
+	"seabed/internal/wire"
+)
+
+// Backend is one shard endpoint: the subset of a seabed-server the
+// coordinator drives, addressed by table ref so no pointer bookkeeping leaks
+// to the endpoint. *remote.RemoteCluster implements it.
+type Backend interface {
+	// Workers returns the shard's worker count.
+	Workers() int
+	// RegisterTable makes a table addressable by ref on the shard.
+	RegisterTable(ref string, t *store.Table) error
+	// AppendTable extends a registered table with a batch of later rows.
+	AppendTable(ref string, batch *store.Table) error
+	// RunRequest executes a ref-addressed plan and records the effective
+	// identifier-list codec in req.Plan.Codec when the request left it nil.
+	RunRequest(req *wire.PlanRequest) (*engine.Result, error)
+}
+
+var _ Backend = (*remote.RemoteCluster)(nil)
+
+// fullSuffix derives the ref under which a join table's unsharded contents
+// are replicated to every shard.
+const fullSuffix = "#all"
+
+// tableState tracks one sharded table at the coordinator.
+type tableState struct {
+	// full is the coordinator's snapshot of the whole table, grown
+	// copy-on-write as batches are appended (guarded by Cluster.mu). It is
+	// the replication source for join broadcasts: a snapshot, not the
+	// proxy's own table, because the proxy grows its table in place and a
+	// query-time replication must never read a table mid-append.
+	full *store.Table
+	// ranges holds each shard's identifier envelope [Lo, Hi] (Hi < Lo for a
+	// shard that has never held a row). The envelope spans the shard's upload
+	// range and every batch slice appended since; envelopes of different
+	// shards interleave after appends, but each shard's table contains only
+	// its own rows, so scoping a shard's plan to its envelope is exact.
+	ranges []engine.IDRange
+	// shipped is the snapshot replicated to every shard at the last join
+	// broadcast (nil = never replicated). Snapshots grow copy-on-write, so
+	// the shipped snapshot's partitions are always a prefix of the current
+	// one and only the tail needs to cross the wire. Guarded by shipMu.
+	shipMu  sync.Mutex
+	shipped *store.Table
+}
+
+// Cluster is a sharded ClusterBackend over N shard endpoints.
+type Cluster struct {
+	shards  []Backend
+	workers int
+
+	mu     sync.RWMutex
+	refs   map[*store.Table]string
+	tables map[string]*tableState
+}
+
+// New builds a sharded cluster over the given endpoints, in shard order
+// (shard i of n serves the i-th identifier range of every table).
+func New(backends ...Backend) (*Cluster, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("shard: cluster needs at least one backend")
+	}
+	c := &Cluster{
+		shards: backends,
+		refs:   make(map[*store.Table]string),
+		tables: make(map[string]*tableState),
+	}
+	for _, b := range backends {
+		c.workers += b.Workers()
+	}
+	return c, nil
+}
+
+// Dial connects to every address and builds a sharded cluster over the
+// resulting endpoints. Daemons that declare a shard identity (their -shard
+// i/n flag, carried in the Welcome frame) are verified against their
+// position in addrs — a duplicated address or a reordered list fails at
+// connect time instead of silently querying misplaced rows. Daemons that
+// declare no identity are accepted anywhere. On any failure the
+// already-dialed endpoints are closed.
+func Dial(addrs []string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("shard: no addresses")
+	}
+	backends := make([]Backend, 0, len(addrs))
+	fail := func(err error) (*Cluster, error) {
+		for _, b := range backends {
+			b.(*remote.RemoteCluster).Close() //nolint:errcheck // already failing
+		}
+		return nil, err
+	}
+	for i, addr := range addrs {
+		rc, err := remote.Dial(addr)
+		if err != nil {
+			return fail(err)
+		}
+		backends = append(backends, rc)
+		if idx, count := rc.Shard(); count != 0 && (count != len(addrs) || idx != i) {
+			return fail(fmt.Errorf("shard: server %s declares shard %d/%d, but is listed at position %d of %d addresses",
+				addr, idx, count, i, len(addrs)))
+		}
+	}
+	return New(backends...)
+}
+
+// Workers implements ClusterBackend: the cluster's capacity is the sum of
+// its shards' workers, which is what the proxy's partitioning and
+// group-inflation heuristics should size against.
+func (c *Cluster) Workers() int { return c.workers }
+
+// NumShards returns the number of shard endpoints.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// eachShard runs f once per shard concurrently and returns the first error,
+// prefixed with the failing shard's index.
+func (c *Cluster) eachShard(f func(i int, b Backend) error) error {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, b := range c.shards {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			if err := f(i, b); err != nil {
+				errs[i] = fmt.Errorf("shard: shard %d/%d: %w", i, len(c.shards), err)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterTable implements ClusterBackend: the table is range-partitioned by
+// row identifier into one balanced slice per shard, and each shard registers
+// only its slice. Re-registering a ref replaces the placement, resetting any
+// join replication of the previous contents.
+func (c *Cluster) RegisterTable(ref string, t *store.Table) error {
+	subs := t.SplitRanges(len(c.shards))
+	if err := c.eachShard(func(i int, b Backend) error {
+		return b.RegisterTable(ref, subs[i])
+	}); err != nil {
+		return err
+	}
+	st := &tableState{full: t.Snapshot(), ranges: make([]engine.IDRange, len(subs))}
+	for i, sub := range subs {
+		if sub.NumRows() == 0 {
+			st.ranges[i] = engine.IDRange{Lo: 1, Hi: 0} // empty envelope
+			continue
+		}
+		st.ranges[i] = engine.IDRange{Lo: sub.Parts[0].StartID, Hi: sub.EndID()}
+	}
+	c.mu.Lock()
+	c.refs[t] = ref
+	c.tables[ref] = st
+	c.mu.Unlock()
+	return nil
+}
+
+// AppendTable implements ClusterBackend: the batch is split into the same
+// per-shard identifier ranges as an upload, and each shard appends only its
+// slice, preserving balance as the table grows (§4.1: uploads are "a
+// continuing process"). Shards whose slice is empty are skipped. A batch
+// replayed after a lost acknowledgement re-splits identically, and each
+// daemon acknowledges already-applied slices idempotently.
+func (c *Cluster) AppendTable(ref string, batch *store.Table) error {
+	c.mu.RLock()
+	st := c.tables[ref]
+	c.mu.RUnlock()
+	if st == nil {
+		return fmt.Errorf("shard: table ref %q was never registered with this cluster (call RegisterTable or Proxy.SyncTables)", ref)
+	}
+	subs := batch.SplitRanges(len(c.shards))
+	if err := c.eachShard(func(i int, b Backend) error {
+		if subs[i].NumRows() == 0 {
+			return nil
+		}
+		return b.AppendTable(ref, subs[i])
+	}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, sub := range subs {
+		if sub.NumRows() == 0 {
+			continue
+		}
+		if st.ranges[i].Hi < st.ranges[i].Lo { // first rows this shard has seen
+			st.ranges[i].Lo = sub.Parts[0].StartID
+		}
+		st.ranges[i].Hi = sub.EndID()
+	}
+	// Grow the coordinator's snapshot copy-on-write, mirroring what the
+	// daemons just applied; join replication reads this snapshot, never the
+	// proxy's in-place-growing table. On a replayed batch (a retry after a
+	// lost acknowledgement) the snapshot has the rows already — skip.
+	if batch.NumRows() > 0 && !st.full.Covers(batch.Parts[0].StartID, batch.EndID()) {
+		grown, err := st.full.WithAppended(batch)
+		if err != nil {
+			return fmt.Errorf("shard: grow snapshot of %q: %w", ref, err)
+		}
+		st.full = grown
+	}
+	return nil
+}
+
+// shipJoinTable replicates a join table's full contents to every shard under
+// its derived ref, if the shipped copy is missing or stale (the table grew
+// since). The first replication ships the whole snapshot; later ones ship
+// only the appended tail, since copy-on-write growth leaves the shipped
+// partitions an immutable prefix of the current snapshot. Replication is
+// idempotent and guarded, so concurrent queries ship at most once.
+func (c *Cluster) shipJoinTable(ref string, st *tableState) (string, error) {
+	fullRef := ref + fullSuffix
+	st.shipMu.Lock()
+	defer st.shipMu.Unlock()
+	// The snapshot pointer is replaced copy-on-write under c.mu; the
+	// snapshot itself is immutable, so serializing it races nothing.
+	c.mu.RLock()
+	full := st.full
+	c.mu.RUnlock()
+	switch {
+	case st.shipped == full:
+		// Up to date.
+	case st.shipped != nil && len(st.shipped.Parts) > 0 && len(st.shipped.Parts) <= len(full.Parts) &&
+		st.shipped.Parts[len(st.shipped.Parts)-1] == full.Parts[len(st.shipped.Parts)-1]:
+		// Grown copy of what was shipped: append only the delta.
+		delta := full.TailParts(len(st.shipped.Parts))
+		if delta.NumRows() > 0 {
+			if err := c.eachShard(func(i int, b Backend) error {
+				return b.AppendTable(fullRef, delta)
+			}); err != nil {
+				return "", err
+			}
+		}
+		st.shipped = full
+	default:
+		if err := c.eachShard(func(i int, b Backend) error {
+			return b.RegisterTable(fullRef, full)
+		}); err != nil {
+			return "", err
+		}
+		st.shipped = full
+	}
+	return fullRef, nil
+}
+
+// Run implements ClusterBackend: the plan is scattered to every shard —
+// scoped to that shard's identifier range and marked Partial — and the
+// per-shard results are gathered with engine.MergeResults. Like the other
+// backends, Run records the effective identifier-list codec in pl.Codec when
+// the plan left it nil.
+func (c *Cluster) Run(pl *engine.Plan) (*engine.Result, error) {
+	if pl.Table == nil {
+		return nil, errors.New("engine: plan has no table")
+	}
+	c.mu.RLock()
+	ref, okTable := c.refs[pl.Table]
+	st := c.tables[ref]
+	var joinRef string
+	var joinSt *tableState
+	if pl.Join != nil {
+		joinRef = c.refs[pl.Join.Right]
+		joinSt = c.tables[joinRef]
+	}
+	ranges := make([]engine.IDRange, 0, len(c.shards))
+	if st != nil {
+		ranges = append(ranges, st.ranges...)
+	}
+	c.mu.RUnlock()
+	if !okTable || st == nil {
+		return nil, fmt.Errorf("shard: table %q was never registered with this cluster (call RegisterTable or Proxy.SyncTables)", pl.Table.Name)
+	}
+	if pl.Join != nil && joinSt == nil {
+		return nil, fmt.Errorf("shard: join table %q was never registered with this cluster (call RegisterTable or Proxy.SyncTables)", pl.Join.Right.Name)
+	}
+
+	// Broadcast-join right side: every shard needs the whole relation.
+	var fullJoinRef string
+	if pl.Join != nil {
+		var err error
+		if fullJoinRef, err = c.shipJoinTable(joinRef, joinSt); err != nil {
+			return nil, err
+		}
+	}
+
+	// Scatter: one scoped, Partial plan frame per shard.
+	reqs := make([]*wire.PlanRequest, len(c.shards))
+	for i := range c.shards {
+		tx := *pl
+		tx.Table = nil
+		tx.Partial = true
+		// Every shard plan carries its envelope, including the inverted
+		// (empty) one — which the engine treats as "scan nothing" — so a
+		// query never implicitly widens to rows the coordinator has not yet
+		// recorded for that shard.
+		scope := ranges[i]
+		tx.Range = &scope
+		if pl.Join != nil {
+			join := *pl.Join
+			join.Right = nil
+			tx.Join = &join
+		}
+		reqs[i] = &wire.PlanRequest{TableRef: ref, JoinRef: fullJoinRef, Plan: &tx}
+	}
+	results := make([]*engine.Result, len(c.shards))
+	if err := c.eachShard(func(i int, b Backend) error {
+		res, err := b.RunRequest(reqs[i])
+		results[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// All shards resolve the same effective codec from the same plan shape;
+	// record it so the proxy decodes identifier lists with the codec the
+	// shards encoded with.
+	if pl.Codec == nil {
+		pl.Codec = reqs[0].Plan.Codec
+	}
+
+	// Gather: fold the partial results exactly as a single engine would.
+	return engine.MergeResults(pl, results)
+}
+
+// Close closes every endpoint that supports closing and returns the first
+// error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, b := range c.shards {
+		if closer, ok := b.(io.Closer); ok {
+			if err := closer.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

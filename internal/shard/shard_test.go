@@ -1,0 +1,664 @@
+// Sharded loopback end-to-end tests: the full Create Plan / Upload Data /
+// Query Data flow driven through a shard.Cluster against three live
+// internal/server daemons on loopback TCP sockets, asserting results
+// identical to a single in-process engine of the same total capacity — for
+// every translate.Mode, including under concurrent queries (run with -race).
+package shard_test
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"seabed/internal/client"
+	"seabed/internal/engine"
+	"seabed/internal/planner"
+	"seabed/internal/schema"
+	"seabed/internal/server"
+	"seabed/internal/shard"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+)
+
+const (
+	numShards       = 3
+	workersPerShard = 4
+	fixtureRows     = 2000
+)
+
+// startShards launches n wire-protocol servers on loopback sockets and
+// returns a sharded cluster dialed across all of them, plus the servers for
+// stats inspection.
+func startShards(t *testing.T, n int) (*shard.Cluster, []*server.Server) {
+	t.Helper()
+	servers := make([]*server.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(engine.NewCluster(engine.Config{Workers: workersPerShard}))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		t.Cleanup(func() {
+			if err := srv.Close(); err != nil {
+				t.Errorf("server close: %v", err)
+			}
+			if err := <-done; err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		})
+		servers[i] = srv
+		addrs[i] = ln.Addr().String()
+	}
+	sc, err := shard.Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return sc, servers
+}
+
+// fixtureModes covers the paper's three systems.
+var fixtureModes = []translate.Mode{translate.NoEnc, translate.Seabed, translate.Paillier}
+
+// fixture builds a sales fact table plus a stores dimension table (for
+// broadcast joins) on an in-process proxy whose cluster matches the sharded
+// deployment's total capacity, so both paths translate queries identically.
+// Tables are encrypted exactly once; the sharded twin shares them via
+// WithCluster + SyncTables, so any result divergence is the scatter-gather
+// path's fault.
+func fixture(t *testing.T) *client.Proxy {
+	t.Helper()
+	rng := rand.New(rand.NewSource(97))
+
+	countries := []string{"USA", "Canada", "India", "Chile", "Japan"}
+	countryFreq := []uint64{900, 750, 125, 125, 100}
+	countryCol := make([]string, 0, fixtureRows)
+	for v, c := range countryFreq {
+		for i := uint64(0); i < c; i++ {
+			countryCol = append(countryCol, countries[v])
+		}
+	}
+	rng.Shuffle(len(countryCol), func(a, b int) { countryCol[a], countryCol[b] = countryCol[b], countryCol[a] })
+
+	revenue := make([]uint64, fixtureRows)
+	clicks := make([]uint64, fixtureRows)
+	day := make([]uint64, fixtureRows)
+	hour := make([]uint64, fixtureRows)
+	storeID := make([]uint64, fixtureRows)
+	for i := 0; i < fixtureRows; i++ {
+		revenue[i] = uint64(rng.Intn(10000))
+		clicks[i] = uint64(rng.Intn(50))
+		day[i] = uint64(rng.Intn(31) + 1)
+		hour[i] = uint64(rng.Intn(6))
+		storeID[i] = uint64(rng.Intn(8))
+	}
+
+	sales := &schema.Table{
+		Name: "sales",
+		Columns: []schema.Column{
+			{Name: "revenue", Type: schema.Int64, Sensitive: true},
+			{Name: "clicks", Type: schema.Int64, Sensitive: true},
+			{Name: "country", Type: schema.String, Sensitive: true, Cardinality: 5,
+				Freqs: countryFreq, Values: countries},
+			{Name: "day", Type: schema.Int64, Sensitive: true},
+			{Name: "hour", Type: schema.Int64, Sensitive: true},
+			{Name: "store", Type: schema.Int64},
+		},
+	}
+	salesSamples := []string{
+		"SELECT SUM(revenue) FROM sales WHERE country = 'India'",
+		"SELECT COUNT(*) FROM sales WHERE country = 'USA'",
+		"SELECT VAR(clicks) FROM sales",
+		"SELECT SUM(revenue) FROM sales WHERE day > 15",
+		"SELECT hour, SUM(revenue) FROM sales GROUP BY hour",
+		"SELECT country, COUNT(*) FROM sales GROUP BY country",
+		"SELECT MIN(revenue) FROM sales",
+		"SELECT MEDIAN(revenue) FROM sales",
+	}
+
+	cluster := engine.NewCluster(engine.Config{Workers: numShards * workersPerShard})
+	proxy, err := client.NewProxy([]byte("shard-test-master-secret-0123456"), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Parts = 9
+	if _, err := proxy.CreatePlan(sales, salesSamples, planner.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := store.Build("sales", []store.Column{
+		{Name: "revenue", Kind: store.U64, U64: revenue},
+		{Name: "clicks", Kind: store.U64, U64: clicks},
+		{Name: "country", Kind: store.Str, Str: countryCol},
+		{Name: "day", Kind: store.U64, U64: day},
+		{Name: "hour", Kind: store.U64, U64: hour},
+		{Name: "store", Kind: store.U64, U64: storeID},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Ring().EnsurePaillier(256); err != nil { // small key: test speed
+		t.Fatal(err)
+	}
+	if err := proxy.Upload("sales", src, fixtureModes...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Broadcast-join dimension: store id → region, plaintext in every mode.
+	stores := &schema.Table{
+		Name: "stores",
+		Columns: []schema.Column{
+			{Name: "sid", Type: schema.Int64},
+			{Name: "region", Type: schema.String},
+		},
+	}
+	if _, err := proxy.CreatePlan(stores, []string{"SELECT COUNT(*) FROM stores"}, planner.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"west", "east", "west", "north", "east", "west", "south", "north"}
+	sids := make([]uint64, len(regions))
+	for i := range sids {
+		sids[i] = uint64(i)
+	}
+	dim, err := store.Build("stores", []store.Column{
+		{Name: "sid", Kind: store.U64, U64: sids},
+		{Name: "region", Kind: store.Str, Str: regions},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Upload("stores", dim, fixtureModes...); err != nil {
+		t.Fatal(err)
+	}
+	return proxy
+}
+
+// shardTwin binds the fixture to a 3-shard loopback deployment and ships it
+// the tables.
+func shardTwin(t *testing.T, local *client.Proxy) (*client.Proxy, []*server.Server) {
+	t.Helper()
+	sc, servers := startShards(t, numShards)
+	if sc.Workers() != numShards*workersPerShard {
+		t.Fatalf("sharded workers = %d, want %d", sc.Workers(), numShards*workersPerShard)
+	}
+	sp := local.WithCluster(sc)
+	if err := sp.SyncTables(); err != nil {
+		t.Fatal(err)
+	}
+	return sp, servers
+}
+
+// shardQueries is the acceptance query set: plain and filtered aggregates,
+// variance, group-by (U64 and DET string keys), min/max, median, a broadcast
+// join, and a scan.
+var shardQueries = []struct {
+	sql   string
+	modes []translate.Mode // nil = all fixture modes
+}{
+	{"SELECT SUM(revenue) FROM sales", nil},
+	{"SELECT COUNT(*) FROM sales", nil},
+	{"SELECT AVG(revenue) FROM sales", nil},
+	{"SELECT SUM(revenue) FROM sales WHERE country = 'Canada'", nil},
+	{"SELECT SUM(revenue) FROM sales WHERE country = 'India'", nil},
+	{"SELECT COUNT(*) FROM sales WHERE country = 'Chile'", nil},
+	{"SELECT SUM(revenue) FROM sales WHERE day > 15", nil},
+	{"SELECT SUM(revenue) FROM sales WHERE day >= 10 AND day <= 20", nil},
+	{"SELECT VAR(clicks) FROM sales", nil},
+	{"SELECT STDDEV(clicks) FROM sales", nil},
+	{"SELECT hour, SUM(revenue) FROM sales GROUP BY hour", nil},
+	{"SELECT hour, AVG(revenue) FROM sales GROUP BY hour", nil},
+	{"SELECT country, COUNT(*) FROM sales GROUP BY country", nil},
+	{"SELECT MIN(revenue) FROM sales", nil},
+	{"SELECT MAX(revenue) FROM sales", nil},
+	// MEDIAN is supported in NoEnc and Seabed modes (the OPE+ASHE path).
+	{"SELECT MEDIAN(revenue) FROM sales", []translate.Mode{translate.NoEnc, translate.Seabed}},
+	// Broadcast join: every shard needs the whole stores relation.
+	{"SELECT SUM(revenue) FROM sales JOIN stores ON store = sid WHERE region = 'west'", nil},
+	{"SELECT COUNT(*) FROM sales JOIN stores ON store = sid WHERE region = 'east'", nil},
+	// Scan: rows re-sort by identifier at the gather.
+	{"SELECT revenue FROM sales WHERE day > 29", nil},
+}
+
+// mustRows runs a query and returns its decrypted rows.
+func mustRows(t *testing.T, p *client.Proxy, sql string, mode translate.Mode, opts client.QueryOptions) []client.Row {
+	t.Helper()
+	res, err := p.Query(sql, mode, opts)
+	if err != nil {
+		t.Fatalf("%v %q: %v", mode, sql, err)
+	}
+	return res.Rows
+}
+
+// TestShardedEndToEnd is the acceptance gate: every query, in every mode,
+// decrypts to rows identical to the single in-process engine's.
+func TestShardedEndToEnd(t *testing.T) {
+	local := fixture(t)
+	sharded, _ := shardTwin(t, local)
+	for _, q := range shardQueries {
+		modes := q.modes
+		if modes == nil {
+			modes = fixtureModes
+		}
+		for _, mode := range modes {
+			want := mustRows(t, local, q.sql, mode, client.QueryOptions{})
+			got := mustRows(t, sharded, q.sql, mode, client.QueryOptions{})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v %q: sharded rows differ from in-process\n got %+v\nwant %+v", mode, q.sql, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedBalance asserts the range partitioner spreads uploads evenly:
+// every daemon holds one balanced slice of every mode's physical table, and
+// every daemon executes every scattered query.
+func TestShardedBalance(t *testing.T) {
+	local := fixture(t)
+	sharded, servers := shardTwin(t, local)
+	mustRows(t, sharded, "SELECT COUNT(*) FROM sales", translate.Seabed, client.QueryOptions{})
+
+	for _, mode := range fixtureModes {
+		ref := client.TableRef("sales", mode)
+		var total uint64
+		for i, srv := range servers {
+			var rows uint64
+			for _, ts := range srv.Stats().Tables {
+				if ts.Ref == ref {
+					rows = ts.Rows
+				}
+			}
+			// 2000 rows over 3 shards: 667/667/666.
+			if lo, hi := uint64(fixtureRows/numShards), uint64(fixtureRows/numShards+1); rows < lo || rows > hi {
+				t.Errorf("shard %d holds %d rows of %q, want %d or %d", i, rows, ref, lo, hi)
+			}
+			total += rows
+		}
+		if total != fixtureRows {
+			t.Errorf("%q rows across shards = %d, want %d", ref, total, fixtureRows)
+		}
+	}
+	for i, srv := range servers {
+		if st := srv.Stats(); st.Runs == 0 {
+			t.Errorf("shard %d executed no plans; scatter is not reaching it", i)
+		} else if st.Errors != 0 {
+			t.Errorf("shard %d reported %d request errors", i, st.Errors)
+		}
+	}
+}
+
+// TestShardedConcurrentQueries fans queries out over parallel goroutines so
+// the per-endpoint pools, the scatter fan-out, and the proxy-side merge all
+// run concurrently (the -race gate of the issue).
+func TestShardedConcurrentQueries(t *testing.T) {
+	local := fixture(t)
+	sharded, _ := shardTwin(t, local)
+
+	type workItem struct {
+		sql  string
+		mode translate.Mode
+		want []client.Row
+	}
+	var work []workItem
+	for _, q := range shardQueries {
+		for _, mode := range []translate.Mode{translate.NoEnc, translate.Seabed} {
+			skip := q.modes != nil
+			for _, m := range q.modes {
+				if m == mode {
+					skip = false
+				}
+			}
+			if skip {
+				continue
+			}
+			work = append(work, workItem{q.sql, mode, mustRows(t, local, q.sql, mode, client.QueryOptions{})})
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range work {
+				w := work[(i+g)%len(work)]
+				res, err := sharded.Query(w.sql, w.mode, client.QueryOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, w.want) {
+					errs <- &divergence{sql: w.sql, mode: w.mode}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type divergence struct {
+	sql  string
+	mode translate.Mode
+}
+
+func (d *divergence) Error() string {
+	return "concurrent sharded query diverged: " + d.mode.String() + " " + d.sql
+}
+
+// TestShardedAppendRouting verifies append batches split across shards:
+// results stay identical to in-process, and every daemon's slice grows.
+func TestShardedAppendRouting(t *testing.T) {
+	local := fixture(t)
+	sharded, servers := shardTwin(t, local)
+
+	// The batch must roughly match the planned value distribution so
+	// enhanced SPLASHE balancing has dummy rows to work with (§3.5); mirror
+	// the fixture's skew at half its size.
+	const batchRows = 1000
+	country := make([]string, 0, batchRows)
+	for v, c := range []int{450, 375, 63, 62, 50} {
+		for i := 0; i < c; i++ {
+			country = append(country, []string{"USA", "Canada", "India", "Chile", "Japan"}[v])
+		}
+	}
+	rng := rand.New(rand.NewSource(31))
+	rng.Shuffle(len(country), func(a, b int) { country[a], country[b] = country[b], country[a] })
+	u64s := func(f func(i int) uint64) []uint64 {
+		out := make([]uint64, batchRows)
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+	batch, err := store.Build("sales", []store.Column{
+		{Name: "revenue", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(10000)) })},
+		{Name: "clicks", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(50)) })},
+		{Name: "country", Kind: store.Str, Str: country},
+		{Name: "day", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(31) + 1) })},
+		{Name: "hour", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(6)) })},
+		{Name: "store", Kind: store.U64, U64: u64s(func(i int) uint64 { return uint64(rng.Intn(8)) })},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append through the shard-bound proxy: the encrypted batch splits into
+	// per-shard identifier slices on the wire and also grows the shared
+	// local tables, so the in-process twin sees the same data.
+	if err := sharded.Append("sales", batch, translate.Seabed, translate.NoEnc); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM sales",
+		"SELECT SUM(revenue) FROM sales",
+		"SELECT hour, SUM(revenue) FROM sales GROUP BY hour",
+		"SELECT revenue FROM sales WHERE day > 29",
+	} {
+		for _, mode := range []translate.Mode{translate.NoEnc, translate.Seabed} {
+			want := mustRows(t, local, sql, mode, client.QueryOptions{})
+			got := mustRows(t, sharded, sql, mode, client.QueryOptions{})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v %q after append: sharded rows differ\n got %+v\nwant %+v", mode, sql, got, want)
+			}
+		}
+	}
+
+	// Every shard's Seabed slice must have grown by a balanced share of the
+	// batch (the encrypted batch may exceed batchRows if SPLASHE balancing
+	// added dummy rows, so compare against the actual encrypted growth).
+	enc, err := local.Table("sales", translate.Seabed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := client.TableRef("sales", translate.Seabed)
+	var total uint64
+	for i, srv := range servers {
+		if st := srv.Stats(); st.Appends == 0 {
+			t.Errorf("shard %d received no append frames", i)
+		}
+		for _, ts := range srv.Stats().Tables {
+			if ts.Ref == ref {
+				total += ts.Rows
+				if ts.Rows <= uint64(fixtureRows/numShards) {
+					t.Errorf("shard %d did not grow: %d rows of %q", i, ts.Rows, ref)
+				}
+			}
+		}
+	}
+	if total != enc.NumRows() {
+		t.Errorf("%q rows across shards = %d, want %d", ref, total, enc.NumRows())
+	}
+}
+
+// TestShardedGroupInflation forces the §4.5 inflation path, whose suffixed
+// group keys cross the wire from three daemons and deflate at the client.
+func TestShardedGroupInflation(t *testing.T) {
+	local := fixture(t)
+	sharded, _ := shardTwin(t, local)
+	sql := "SELECT hour, SUM(revenue) FROM sales GROUP BY hour"
+	opts := client.QueryOptions{ExpectedGroups: 6, ForceInflate: 3}
+	want := mustRows(t, local, sql, translate.Seabed, opts)
+	got := mustRows(t, sharded, sql, translate.Seabed, opts)
+	if len(want) != 6 {
+		t.Fatalf("inflated group-by returned %d groups, want 6", len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("inflated group-by diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardedServerOnly exercises the §6.7 metrics-only path: counts sum
+// across shards, stage latencies take the slowest shard.
+func TestShardedServerOnly(t *testing.T) {
+	local := fixture(t)
+	sharded, _ := shardTwin(t, local)
+	res, err := sharded.Query("SELECT SUM(revenue) FROM sales", translate.Seabed, client.QueryOptions{ServerOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.RowsScanned != fixtureRows || res.Metrics.MapTasks == 0 {
+		t.Fatalf("scatter-gather metrics not populated: %+v", res.Metrics)
+	}
+}
+
+// TestShardedUnsyncedTableFails pins the failure mode of forgetting
+// SyncTables: a clear error naming the fix, not a hang or a wrong answer.
+func TestShardedUnsyncedTableFails(t *testing.T) {
+	local := fixture(t)
+	sc, _ := startShards(t, numShards)
+	sp := local.WithCluster(sc) // no SyncTables
+	_, err := sp.Query("SELECT COUNT(*) FROM sales", translate.Seabed, client.QueryOptions{})
+	if err == nil || !strings.Contains(err.Error(), "never registered") {
+		t.Fatalf("err = %v, want a never-registered error", err)
+	}
+}
+
+// TestConcurrentJoinQueriesAndAppends races join queries against appends to
+// the join's right table. Join replication must serialize the coordinator's
+// copy-on-write snapshot — never a table mid-append — so this is free of
+// data races (run with -race), every query sees a consistent dimension
+// table, and the final query sees every appended row.
+func TestConcurrentJoinQueriesAndAppends(t *testing.T) {
+	sc, servers := startShards(t, numShards)
+
+	const factRows = 600
+	keys := make([]uint64, factRows)
+	vals := make([]uint64, factRows)
+	for i := range keys {
+		keys[i] = uint64(i % 10)
+		vals[i] = 1
+	}
+	fact, err := store.Build("fact", []store.Column{
+		{Name: "k", Kind: store.U64, U64: keys},
+		{Name: "v", Kind: store.U64, U64: vals},
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.RegisterTable("fact", fact); err != nil {
+		t.Fatal(err)
+	}
+	// Dimension starts with keys 0..4; appends add 5..9 one at a time.
+	dim, err := store.Build("dim", []store.Column{
+		{Name: "dk", Kind: store.U64, U64: []uint64{0, 1, 2, 3, 4}},
+		{Name: "w", Kind: store.U64, U64: []uint64{0, 0, 0, 0, 0}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.RegisterTable("dim", dim); err != nil {
+		t.Fatal(err)
+	}
+
+	mkPlan := func() *engine.Plan {
+		return &engine.Plan{
+			Table: fact,
+			Join:  &engine.Join{Right: dim, LeftCol: "k", RightCol: "dk", RightCols: []string{"w"}},
+			Aggs:  []engine.Agg{{Kind: engine.AggCount}},
+		}
+	}
+	count := func() uint64 {
+		res, err := sc.Run(mkPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Groups[0].Aggs[0].U64
+	}
+	if got := count(); got != factRows/2 {
+		t.Fatalf("pre-append join count = %d, want %d", got, factRows/2)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := sc.Run(mkPlan())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Any consistent snapshot matches between 5 and 10 keys.
+				if n := res.Groups[0].Aggs[0].U64; n < factRows/2 || n > factRows {
+					t.Errorf("join count mid-append = %d", n)
+					return
+				}
+			}
+		}()
+	}
+	for k := uint64(5); k < 10; k++ {
+		batch, err := store.BuildFrom("dim", []store.Column{
+			{Name: "dk", Kind: store.U64, U64: []uint64{k}},
+			{Name: "w", Kind: store.U64, U64: []uint64{0}},
+		}, 1, k+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.AppendTable("dim", batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := count(); got != factRows {
+		t.Fatalf("post-append join count = %d, want %d", got, factRows)
+	}
+	// Replication after growth ships only the appended tail: each daemon saw
+	// exactly three registrations (fact slice, dim slice, dim broadcast) and
+	// at least one append frame carrying a delta of the broadcast copy.
+	for i, srv := range servers {
+		st := srv.Stats()
+		if st.Registers != 3 {
+			t.Errorf("shard %d registers = %d, want 3 (join growth must append deltas, not re-register)", i, st.Registers)
+		}
+		if st.Appends == 0 {
+			t.Errorf("shard %d received no append frames", i)
+		}
+	}
+}
+
+// TestDialVerifiesShardIdentity pins the misconfiguration guard: daemons
+// that declare a -shard i/n identity must sit at the matching position of
+// the address list, so a duplicated or reordered -addrs list fails at
+// connect time instead of silently querying misplaced rows.
+func TestDialVerifiesShardIdentity(t *testing.T) {
+	addrs := make([]string, 2)
+	for i := range addrs {
+		srv := server.New(engine.NewCluster(engine.Config{Workers: workersPerShard}))
+		srv.ShardIndex, srv.ShardCount = i, 2
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		t.Cleanup(func() {
+			srv.Close() //nolint:errcheck // test teardown
+			<-done
+		})
+		addrs[i] = ln.Addr().String()
+	}
+
+	sc, err := shard.Dial(addrs)
+	if err != nil {
+		t.Fatalf("well-ordered fleet rejected: %v", err)
+	}
+	sc.Close()
+
+	if _, err := shard.Dial([]string{addrs[1], addrs[0]}); err == nil ||
+		!strings.Contains(err.Error(), "declares shard") {
+		t.Fatalf("reordered fleet accepted: %v", err)
+	}
+	if _, err := shard.Dial([]string{addrs[0], addrs[0]}); err == nil {
+		t.Fatal("duplicated address accepted")
+	}
+	if _, err := shard.Dial([]string{addrs[0], addrs[1], addrs[1]}); err == nil {
+		t.Fatal("wrong fleet size accepted")
+	}
+}
+
+// TestDialPartialFailure pins the dial error path: one dead endpoint fails
+// the whole cluster, even when other endpoints are live.
+func TestDialPartialFailure(t *testing.T) {
+	srv := server.New(engine.NewCluster(engine.Config{Workers: workersPerShard}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close() //nolint:errcheck // test teardown
+		<-done
+	}()
+	live := ln.Addr().String()
+
+	dl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := dl.Addr().String()
+	dl.Close()
+
+	if _, err := shard.Dial([]string{live, dead}); err == nil {
+		t.Fatal("dialing a cluster with a dead endpoint succeeded")
+	}
+}

@@ -187,8 +187,11 @@ func BuildFrom(name string, cols []Column, numParts int, startID uint64) (*Table
 }
 
 // AppendTable appends another table's partitions to t. The tables must have
-// identical column layouts and the other table's identifiers must continue
-// t's contiguously, preserving the range-compression property (§4.2).
+// identical column layouts and the other table's identifiers must all come
+// after t's, preserving the range-compression property (§4.2). Gaps are
+// permitted — a shard table owns only its slice of each append batch, so the
+// batches it receives skip the identifiers routed to other shards — but
+// identifiers never rewind or overlap.
 func (t *Table) AppendTable(other *Table) error {
 	if err := t.appendCheck(other); err != nil {
 		return err
@@ -214,7 +217,8 @@ func (t *Table) WithAppended(other *Table) (*Table, error) {
 }
 
 // appendCheck validates that other's layout matches t's and that its
-// identifiers continue t's contiguously.
+// identifiers come strictly after t's (contiguously for a whole table,
+// possibly with gaps for a shard table).
 func (t *Table) appendCheck(other *Table) error {
 	tNames, oNames := t.ColNames(), other.ColNames()
 	if len(tNames) != len(oNames) {
@@ -230,14 +234,140 @@ func (t *Table) appendCheck(other *Table) error {
 			return fmt.Errorf("store: append: column %q kind mismatch (%v vs %v)", tNames[i], ok, tk)
 		}
 	}
-	if len(other.Parts) > 0 && other.Parts[0].StartID != t.rows+1 {
-		return fmt.Errorf("store: append: batch identifiers start at %d, want %d", other.Parts[0].StartID, t.rows+1)
+	// Validate the batch's position even when it holds no rows: an empty
+	// partition with a rewound StartID would poison EndID and let later
+	// overlapping appends through.
+	if len(other.Parts) > 0 && other.Parts[0].StartID < t.EndID()+1 {
+		return fmt.Errorf("store: append: batch identifiers start at %d, want ≥ %d", other.Parts[0].StartID, t.EndID()+1)
 	}
 	return nil
 }
 
 // NumRows returns the table's total row count.
 func (t *Table) NumRows() uint64 { return t.rows }
+
+// EndID returns the global identifier of the table's last row. For a table
+// whose identifiers start at 1 and run contiguously this equals NumRows; for
+// a shard table holding a later identifier range (or one with gaps between
+// appended batches) it is the last partition's StartID + rows − 1. An empty
+// table reports StartID − 1 (or 0 with no partitions), so EndID()+1 is always
+// the next acceptable append identifier.
+func (t *Table) EndID() uint64 {
+	if len(t.Parts) == 0 {
+		return 0
+	}
+	last := t.Parts[len(t.Parts)-1]
+	return last.StartID + uint64(last.NumRows()) - 1
+}
+
+// Snapshot returns a shallow copy of the table: a fresh Parts slice holding
+// the same (immutable) partitions. Appends to either the original or the
+// snapshot never disturb the other, so a coordinator can hold a consistent
+// view of a table whose owner keeps growing it in place.
+func (t *Table) Snapshot() *Table {
+	return &Table{Name: t.Name, Parts: append([]*Partition(nil), t.Parts...), rows: t.rows}
+}
+
+// TailParts returns a table holding t's partitions from index n on, shared
+// with t. It is the delta an append-only replica needs when the first n
+// partitions were already shipped: copy-on-write appends extend a table by
+// whole partitions, so the prefix is immutable and the tail is the growth.
+func (t *Table) TailParts(n int) *Table {
+	tail := &Table{Name: t.Name}
+	if n < 0 {
+		n = 0
+	}
+	for _, p := range t.Parts[min(n, len(t.Parts)):] {
+		tail.Parts = append(tail.Parts, p)
+		tail.rows += uint64(p.NumRows())
+	}
+	return tail
+}
+
+// Covers reports whether every identifier in [lo, hi] is present in the
+// table. Partitions are ordered by StartID (appends are monotone), so one
+// forward sweep suffices. It is how a server distinguishes a replayed append
+// batch (its identifiers all exist already) from a misplaced one.
+func (t *Table) Covers(lo, hi uint64) bool {
+	if lo > hi {
+		return false
+	}
+	next := lo
+	for _, p := range t.Parts {
+		n := uint64(p.NumRows())
+		if n == 0 || p.StartID+n-1 < next {
+			continue
+		}
+		if p.StartID > next {
+			return false // gap at next
+		}
+		if p.StartID+n-1 >= hi {
+			return true
+		}
+		next = p.StartID + n
+	}
+	return false
+}
+
+// SplitRanges range-partitions the table into n sub-tables by row identifier:
+// sub-table i holds the i-th of n contiguous, balanced row ranges (the same
+// per/extra split Build uses). Column vectors are shared with t, not copied,
+// and partitions overlapping a range boundary are sliced, so the split is
+// O(partitions). Every sub-table keeps its rows' global StartIDs, preserving
+// ASHE's range-encoding property (§4.2) shard-locally. Ranges left empty when
+// rows < n yield sub-tables with one empty partition carrying the column
+// layout, positioned after the last row, so they still register and append
+// cleanly. n < 1 is treated as 1.
+func (t *Table) SplitRanges(n int) []*Table {
+	if n < 1 {
+		n = 1
+	}
+	rows := int(t.rows)
+	per, extra := rows/n, rows%n
+	out := make([]*Table, n)
+	part, off := 0, 0 // cursor: partition index and row offset within it
+	for i := 0; i < n; i++ {
+		want := per
+		if i < extra {
+			want++
+		}
+		sub := &Table{Name: t.Name, rows: uint64(want)}
+		if want == 0 {
+			// Empty shard: one empty partition with the layout, placed after
+			// the table's end so EndID()+1 continues the global sequence.
+			empty := &Partition{StartID: t.EndID() + 1}
+			if len(t.Parts) > 0 {
+				for _, c := range t.Parts[0].Cols {
+					empty.Cols = append(empty.Cols, c.slice(0, 0))
+				}
+			}
+			sub.Parts = []*Partition{empty}
+			out[i] = sub
+			continue
+		}
+		for want > 0 {
+			p := t.Parts[part]
+			avail := p.NumRows() - off
+			take := avail
+			if take > want {
+				take = want
+			}
+			sp := &Partition{StartID: p.StartID + uint64(off)}
+			for j := range p.Cols {
+				sp.Cols = append(sp.Cols, p.Cols[j].slice(off, off+take))
+			}
+			sub.Parts = append(sub.Parts, sp)
+			want -= take
+			off += take
+			if off == p.NumRows() {
+				part++
+				off = 0
+			}
+		}
+		out[i] = sub
+	}
+	return out
+}
 
 // ColNames returns the table's column names in declaration order.
 func (t *Table) ColNames() []string {

@@ -166,6 +166,193 @@ func TestMemBytesScalesWithRows(t *testing.T) {
 	}
 }
 
+func TestSplitRangesBalancedAndShared(t *testing.T) {
+	tbl := testTable(t, 1000, 7)
+	subs := tbl.SplitRanges(3)
+	if len(subs) != 3 {
+		t.Fatalf("sub-tables = %d, want 3", len(subs))
+	}
+	wantRows := []uint64{334, 333, 333}
+	next := uint64(1)
+	var total uint64
+	for i, sub := range subs {
+		if sub.NumRows() != wantRows[i] {
+			t.Errorf("shard %d rows = %d, want %d", i, sub.NumRows(), wantRows[i])
+		}
+		if sub.Parts[0].StartID != next {
+			t.Errorf("shard %d starts at id %d, want %d", i, sub.Parts[0].StartID, next)
+		}
+		if sub.EndID() != next+sub.NumRows()-1 {
+			t.Errorf("shard %d EndID = %d, want %d", i, sub.EndID(), next+sub.NumRows()-1)
+		}
+		// Identifiers are contiguous across the shard's partitions.
+		id := sub.Parts[0].StartID
+		for _, p := range sub.Parts {
+			if p.StartID != id {
+				t.Errorf("shard %d partition starts at %d, want %d", i, p.StartID, id)
+			}
+			id += uint64(p.NumRows())
+		}
+		next += sub.NumRows()
+		total += sub.NumRows()
+	}
+	if total != tbl.NumRows() {
+		t.Fatalf("split covers %d rows, want %d", total, tbl.NumRows())
+	}
+	// Column vectors are shared, not copied: the first shard's first value
+	// aliases the source table's.
+	if &subs[0].Parts[0].Cols[0].U64[0] != &tbl.Parts[0].Cols[0].U64[0] {
+		t.Fatal("split copied column vectors")
+	}
+	// Values round the split boundaries survive.
+	if got, want := subs[1].Parts[0].Cols[0].U64[0], colValueAt(tbl, 334); got != want {
+		t.Fatalf("row 335 in shard 1 = %d, want %d", got, want)
+	}
+}
+
+// colValueAt returns column "a"'s value for the 0-based global row index.
+func colValueAt(tbl *Table, idx int) uint64 {
+	for _, p := range tbl.Parts {
+		if idx < p.NumRows() {
+			return p.Cols[0].U64[idx]
+		}
+		idx -= p.NumRows()
+	}
+	panic("index out of range")
+}
+
+func TestSplitRangesMoreShardsThanRows(t *testing.T) {
+	tbl := testTable(t, 2, 1)
+	subs := tbl.SplitRanges(4)
+	if len(subs) != 4 {
+		t.Fatalf("sub-tables = %d, want 4", len(subs))
+	}
+	for i, want := range []uint64{1, 1, 0, 0} {
+		if subs[i].NumRows() != want {
+			t.Errorf("shard %d rows = %d, want %d", i, subs[i].NumRows(), want)
+		}
+	}
+	// Empty shards keep the column layout and a usable append position.
+	for _, sub := range subs[2:] {
+		if got, want := sub.ColNames(), tbl.ColNames(); !reflect.DeepEqual(got, want) {
+			t.Errorf("empty shard columns = %v, want %v", got, want)
+		}
+		if sub.EndID() != tbl.EndID() {
+			t.Errorf("empty shard EndID = %d, want %d", sub.EndID(), tbl.EndID())
+		}
+	}
+}
+
+func TestEndIDWithGaps(t *testing.T) {
+	tbl := testTable(t, 10, 2)
+	if tbl.EndID() != 10 {
+		t.Fatalf("EndID = %d, want 10", tbl.EndID())
+	}
+	// A shard-style append skips identifiers routed to other shards.
+	batch, err := BuildFrom("t", []Column{
+		{Name: "a", Kind: U64, U64: []uint64{1, 2}},
+		{Name: "b", Kind: Bytes, Bytes: [][]byte{{1}, {2}}},
+		{Name: "c", Kind: Str, Str: []string{"x", "y"}},
+	}, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := tbl.WithAppended(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.NumRows() != 12 || grown.EndID() != 32 {
+		t.Fatalf("grown rows/EndID = %d/%d, want 12/32", grown.NumRows(), grown.EndID())
+	}
+	// Rewinding or overlapping identifiers still fail.
+	if _, err := grown.WithAppended(batch); err == nil {
+		t.Fatal("overlapping append accepted")
+	}
+	// An EMPTY batch with a rewound StartID must also fail: its empty
+	// partition would rewind EndID and admit overlapping appends afterwards.
+	rewound, err := BuildFrom("t", []Column{
+		{Name: "a", Kind: U64, U64: nil},
+		{Name: "b", Kind: Bytes, Bytes: nil},
+		{Name: "c", Kind: Str, Str: nil},
+	}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grown.WithAppended(rewound); err == nil {
+		t.Fatal("rewound empty batch accepted")
+	}
+	// An empty batch continuing the sequence is harmless.
+	inPlace, err := BuildFrom("t", []Column{
+		{Name: "a", Kind: U64, U64: nil},
+		{Name: "b", Kind: Bytes, Bytes: nil},
+		{Name: "c", Kind: Str, Str: nil},
+	}, 1, grown.EndID()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := grown.WithAppended(inPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.NumRows() != grown.NumRows() || ok.EndID() != grown.EndID() {
+		t.Fatalf("empty in-place append changed rows/EndID: %d/%d", ok.NumRows(), ok.EndID())
+	}
+}
+
+func TestSnapshotIsolatedFromInPlaceAppend(t *testing.T) {
+	tbl := testTable(t, 10, 2)
+	snap := tbl.Snapshot()
+	batch, err := BuildFrom("t", []Column{
+		{Name: "a", Kind: U64, U64: []uint64{9}},
+		{Name: "b", Kind: Bytes, Bytes: [][]byte{{9}}},
+		{Name: "c", Kind: Str, Str: []string{"z"}},
+	}, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendTable(batch); err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumRows() != 10 || len(snap.Parts) != 2 {
+		t.Fatalf("snapshot grew with the original: %d rows, %d parts", snap.NumRows(), len(snap.Parts))
+	}
+	if tbl.NumRows() != 11 {
+		t.Fatalf("original rows = %d, want 11", tbl.NumRows())
+	}
+}
+
+func TestCovers(t *testing.T) {
+	tbl := testTable(t, 10, 3) // ids 1..10
+	batch, err := BuildFrom("t", []Column{
+		{Name: "a", Kind: U64, U64: []uint64{1, 2}},
+		{Name: "b", Kind: Bytes, Bytes: [][]byte{{1}, {2}}},
+		{Name: "c", Kind: Str, Str: []string{"x", "y"}},
+	}, 1, 31) // ids 31..32, gap 11..30
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := tbl.WithAppended(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		lo, hi uint64
+		want   bool
+	}{
+		{1, 10, true},
+		{3, 7, true},
+		{31, 32, true},
+		{10, 11, false}, // runs into the gap
+		{15, 20, false}, // entirely inside the gap
+		{31, 33, false}, // past the end
+		{5, 4, false},   // inverted
+	} {
+		if got := grown.Covers(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("Covers(%d, %d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
 func TestKindString(t *testing.T) {
 	if U64.String() != "u64" || Bytes.String() != "bytes" || Str.String() != "str" {
 		t.Fatal("Kind.String broken")

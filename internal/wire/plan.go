@@ -94,6 +94,15 @@ func EncodePlan(req *PlanRequest) ([]byte, error) {
 		e.str("")
 	}
 	e.bool(pl.CompressAtDriver)
+
+	// Shard framing (v2): identifier-range scope and partial-result mode, so
+	// one plan frame addresses exactly one shard's rows of the logical table.
+	e.bool(pl.Range != nil)
+	if pl.Range != nil {
+		e.uint(pl.Range.Lo)
+		e.uint(pl.Range.Hi)
+	}
+	e.bool(pl.Partial)
 	return e.buf, nil
 }
 
@@ -162,6 +171,10 @@ func DecodePlan(p []byte) (*PlanRequest, error) {
 
 	codecName := d.str()
 	pl.CompressAtDriver = d.bool()
+	if d.bool() {
+		pl.Range = &engine.IDRange{Lo: d.uint(), Hi: d.uint()}
+	}
+	pl.Partial = d.bool()
 	if err := d.close("plan"); err != nil {
 		return nil, err
 	}

@@ -135,6 +135,26 @@ func encodeAggValue(e *enc, av *engine.AggValue) {
 	e.bytes(av.Ope)
 	e.uint(av.ArgID)
 	e.bytes(av.CompanionBytes)
+
+	// Partial-plan median collections (v2): a shard cannot collapse a median
+	// locally, so the collected inputs cross the wire for the coordinator's
+	// merge. All four are empty on non-Partial plans.
+	e.uint(uint64(len(av.MedU64)))
+	for _, v := range av.MedU64 {
+		e.uint(v)
+	}
+	e.uint(uint64(len(av.MedOpe)))
+	for _, b := range av.MedOpe {
+		e.bytes(b)
+	}
+	e.uint(uint64(len(av.MedIDs)))
+	for _, v := range av.MedIDs {
+		e.uint(v)
+	}
+	e.uint(uint64(len(av.MedComp)))
+	for _, v := range av.MedComp {
+		e.uint(v)
+	}
 }
 
 func decodeAggValue(d *dec) engine.AggValue {
@@ -171,6 +191,31 @@ func decodeAggValue(d *dec) engine.AggValue {
 	av.Ope = d.bytes()
 	av.ArgID = d.uint()
 	av.CompanionBytes = d.bytes()
+
+	if n := d.uint(); d.checkCount(n, 1, "median u64s") && n > 0 {
+		av.MedU64 = make([]uint64, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			av.MedU64 = append(av.MedU64, d.uint())
+		}
+	}
+	if n := d.uint(); d.checkCount(n, 1, "median opes") && n > 0 {
+		av.MedOpe = make([][]byte, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			av.MedOpe = append(av.MedOpe, d.bytes())
+		}
+	}
+	if n := d.uint(); d.checkCount(n, 1, "median ids") && n > 0 {
+		av.MedIDs = make([]uint64, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			av.MedIDs = append(av.MedIDs, d.uint())
+		}
+	}
+	if n := d.uint(); d.checkCount(n, 1, "median companions") && n > 0 {
+		av.MedComp = make([]uint64, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			av.MedComp = append(av.MedComp, d.uint())
+		}
+	}
 	return av
 }
 

@@ -38,7 +38,11 @@ import (
 
 // Version is the protocol version exchanged in the Hello/Welcome handshake.
 // Servers reject clients speaking a different version.
-const Version = 1
+//
+// History: v1 introduced the protocol; v2 added shard-aware plan framing
+// (identifier-range scoping + partial-result mode) and median collections in
+// result frames.
+const Version = 2
 
 // MaxFrame bounds a frame's payload (1 GiB), protecting both ends from
 // corrupt or hostile length prefixes.
@@ -143,20 +147,26 @@ func DecodeHello(p []byte) (version uint64, err error) {
 	return version, d.close("hello")
 }
 
-// EncodeWelcome builds a MsgWelcome payload.
-func EncodeWelcome(workers int) []byte {
+// EncodeWelcome builds a MsgWelcome payload. shardIndex/shardCount declare
+// the server's shard identity (the daemon's -shard i/n flag); shardCount 0
+// means the server declares none, which clients accept anywhere.
+func EncodeWelcome(workers, shardIndex, shardCount int) []byte {
 	e := &enc{}
 	e.uint(Version)
 	e.uint(uint64(workers))
+	e.uint(uint64(shardIndex))
+	e.uint(uint64(shardCount))
 	return e.buf
 }
 
 // DecodeWelcome parses a MsgWelcome payload.
-func DecodeWelcome(p []byte) (version uint64, workers int, err error) {
+func DecodeWelcome(p []byte) (version uint64, workers, shardIndex, shardCount int, err error) {
 	d := newDec(p)
 	version = d.uint()
 	workers = int(d.uint())
-	return version, workers, d.close("welcome")
+	shardIndex = int(d.uint())
+	shardCount = int(d.uint())
+	return version, workers, shardIndex, shardCount, d.close("welcome")
 }
 
 // EncodeError builds a MsgError payload.

@@ -71,12 +71,12 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	if v != Version {
 		t.Fatalf("hello version %d, want %d", v, Version)
 	}
-	v, workers, err := DecodeWelcome(EncodeWelcome(48))
+	v, workers, shardIdx, shardCount, err := DecodeWelcome(EncodeWelcome(48, 1, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != Version || workers != 48 {
-		t.Fatalf("welcome = (v%d, %d workers), want (v%d, 48)", v, workers, Version)
+	if v != Version || workers != 48 || shardIdx != 1 || shardCount != 3 {
+		t.Fatalf("welcome = (v%d, %d workers, shard %d/%d), want (v%d, 48, 1/3)", v, workers, shardIdx, shardCount, Version)
 	}
 }
 
@@ -151,6 +151,15 @@ func TestPlanRoundTrip(t *testing.T) {
 			TableRef: "sales@NoEnc",
 			Plan: &engine.Plan{
 				Project: []string{"revenue", "country"},
+				Codec:   idlist.Default,
+			},
+		},
+		"shard-scoped": {
+			TableRef: "sales@Seabed",
+			Plan: &engine.Plan{
+				Aggs:    []engine.Agg{{Kind: engine.AggAsheSum, Col: "revenue"}},
+				Range:   &engine.IDRange{Lo: 667, Hi: 1333},
+				Partial: true,
 				Codec:   idlist.Default,
 			},
 		},
@@ -239,6 +248,17 @@ func TestResultRoundTrip(t *testing.T) {
 				},
 			},
 			{KeyKind: store.Str, KeyStr: "Canada", Suffix: -1, Rows: 0, Aggs: []engine.AggValue{{Kind: engine.AggPlainMin}}},
+			{
+				// Partial-plan median collections (shard slices).
+				KeyKind: store.U64, KeyU64: 9, Suffix: -1, Rows: 5,
+				Aggs: []engine.AggValue{
+					{Kind: engine.AggPlainMedian, MedU64: []uint64{5, 1, 3}},
+					{Kind: engine.AggOpeMedian,
+						MedOpe:  [][]byte{{4, 4}, {1, 1}, {2}},
+						MedIDs:  []uint64{11, 12, 13},
+						MedComp: []uint64{400, 100, 200}},
+				},
+			},
 		},
 		Scan: []engine.ScanRow{
 			{ID: 1, U64s: []uint64{42, 0}, Bytes: [][]byte{nil, {5, 6}}, Strs: []string{"", ""}},

@@ -36,6 +36,7 @@ import (
 	"seabed/internal/remote"
 	"seabed/internal/schema"
 	"seabed/internal/server"
+	"seabed/internal/shard"
 	"seabed/internal/sqlparse"
 	"seabed/internal/store"
 	"seabed/internal/translate"
@@ -59,6 +60,10 @@ type (
 	// RemoteCluster is a ClusterBackend speaking the wire protocol to a
 	// seabed-server daemon.
 	RemoteCluster = remote.RemoteCluster
+	// ShardedCluster is a ClusterBackend that range-partitions tables across
+	// N seabed-server daemons and scatter-gathers every query (merging ASHE,
+	// Paillier, and group-by partials at the trusted proxy).
+	ShardedCluster = shard.Cluster
 	// Server hosts a Cluster behind a TCP listener (cmd/seabed-server wraps
 	// it; embed it to serve from your own process).
 	Server = server.Server
@@ -139,6 +144,13 @@ func NewServer(cluster *Cluster) *Server { return server.New(cluster) }
 // usable wherever an in-process *Cluster is: pass it to NewProxy to run the
 // whole Create Plan / Upload Data / Query Data flow against a remote engine.
 func DialCluster(addr string) (*RemoteCluster, error) { return remote.Dial(addr) }
+
+// DialShardedCluster connects to N running seabed-server daemons and returns
+// a sharded backend: uploads range-partition across the daemons by row
+// identifier, queries scatter to every shard concurrently, and partial
+// aggregates merge at the proxy (ASHE bodies sum, identifier lists merge,
+// Paillier ciphertexts multiply, group-by partials reduce by key).
+func DialShardedCluster(addrs ...string) (*ShardedCluster, error) { return shard.Dial(addrs) }
 
 // NewProxy creates the trusted proxy with a master secret (≥ 16 bytes).
 func NewProxy(masterSecret []byte, cluster ClusterBackend) (*Proxy, error) {
