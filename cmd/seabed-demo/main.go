@@ -5,11 +5,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"seabed"
 )
@@ -31,6 +33,7 @@ func main() {
 }
 
 func run(rows, workers int, addr, addrs string) error {
+	ctx := context.Background()
 	// The engine is embedded in this process, one seabed-server daemon
 	// reached over TCP, or a sharded fleet of daemons — the rest of the demo
 	// is identical.
@@ -150,7 +153,7 @@ func run(rows, workers int, addr, addrs string) error {
 	if err != nil {
 		return err
 	}
-	if err := proxy.Upload("sales", src, seabed.ModeNoEnc, seabed.ModeSeabed); err != nil {
+	if err := proxy.Upload(ctx, "sales", src, seabed.ModeNoEnc, seabed.ModeSeabed); err != nil {
 		return err
 	}
 	enc, err := proxy.Table("sales", seabed.ModeSeabed)
@@ -167,32 +170,41 @@ func run(rows, workers int, addr, addrs string) error {
 	// --- 3. Query Data ---------------------------------------------------
 	queries := []struct {
 		sql  string
-		opts seabed.QueryOptions
+		opts []seabed.QueryOption
 	}{
-		{"SELECT SUM(revenue) FROM sales WHERE country = 'Canada'", seabed.QueryOptions{}},
-		{"SELECT SUM(revenue) FROM sales WHERE country = 'Kenya'", seabed.QueryOptions{}},
-		{"SELECT COUNT(*) FROM sales WHERE country = 'USA'", seabed.QueryOptions{}},
-		{"SELECT AVG(revenue) FROM sales WHERE day > 180", seabed.QueryOptions{}},
-		{"SELECT VAR(units) FROM sales", seabed.QueryOptions{}},
-		{"SELECT store, SUM(revenue) FROM sales GROUP BY store", seabed.QueryOptions{ExpectedGroups: 12}},
+		{"SELECT SUM(revenue) FROM sales WHERE country = 'Canada'", nil},
+		{"SELECT SUM(revenue) FROM sales WHERE country = 'Kenya'", nil},
+		{"SELECT COUNT(*) FROM sales WHERE country = 'USA'", nil},
+		{"SELECT AVG(revenue) FROM sales WHERE day > 180", nil},
+		{"SELECT VAR(units) FROM sales", nil},
+		{"SELECT store, SUM(revenue) FROM sales GROUP BY store", []seabed.QueryOption{seabed.WithExpectedGroups(12)}},
 	}
-	fmt.Println("\n[Query Data] Seabed vs NoEnc (results must agree):")
+	fmt.Println("\n[Query Data] Seabed vs NoEnc (results must agree; every query bounded by a 1m deadline):")
 	for _, q := range queries {
-		encRes, err := proxy.Query(q.sql, seabed.ModeSeabed, q.opts)
+		opts := append([]seabed.QueryOption{seabed.WithTimeout(time.Minute)}, q.opts...)
+		encRes, err := proxy.Query(ctx, q.sql, opts...)
 		if err != nil {
 			return fmt.Errorf("%s: %v", q.sql, err)
 		}
-		plainRes, err := proxy.Query(q.sql, seabed.ModeNoEnc, q.opts)
+		encRows, err := encRes.All()
+		if err != nil {
+			return fmt.Errorf("%s: %v", q.sql, err)
+		}
+		plainRes, err := proxy.Query(ctx, q.sql, append(opts, seabed.WithMode(seabed.ModeNoEnc))...)
+		if err != nil {
+			return err
+		}
+		plainRows, err := plainRes.All()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("\n  %s\n", q.sql)
-		limit := len(encRes.Rows)
+		limit := len(encRows)
 		if limit > 4 {
 			limit = 4
 		}
 		for i := 0; i < limit; i++ {
-			row := encRes.Rows[i]
+			row := encRows[i]
 			line := "    "
 			if row.Key != nil {
 				line += row.Key.Display() + ": "
@@ -204,13 +216,13 @@ func run(rows, workers int, addr, addrs string) error {
 				line += v.Display()
 			}
 			check := "✓"
-			if plainRes.Rows[i].Values[0].Display() != row.Values[0].Display() {
+			if plainRows[i].Values[0].Display() != row.Values[0].Display() {
 				check = "MISMATCH vs NoEnc!"
 			}
 			fmt.Printf("%s   [%s]\n", line, check)
 		}
-		if len(encRes.Rows) > limit {
-			fmt.Printf("    … %d more groups\n", len(encRes.Rows)-limit)
+		if len(encRows) > limit {
+			fmt.Printf("    … %d more groups\n", len(encRows)-limit)
 		}
 		fmt.Printf("    latency: server %.4fs + network %.4fs + client %.4fs = %.4fs (PRF evals: %d)\n",
 			encRes.ServerTime.Seconds(), encRes.NetworkTime.Seconds(),

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"seabed/internal/engine"
 	"seabed/internal/server"
@@ -68,6 +70,7 @@ func main() {
 	shard := flag.String("shard", "", "shard identity i/n in a sharded deployment (e.g. 0/3)")
 	metrics := flag.Bool("metrics", false, "print per-connection/table stats on SIGUSR1")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before connections are force-closed")
 	flag.Parse()
 
 	shardIdx, shardCount, err := parseShard(*shard)
@@ -98,13 +101,26 @@ func main() {
 		watchMetrics(srv, label)
 	}
 
-	sig := make(chan os.Signal, 1)
+	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting, cancels
+	// in-flight queries through the context plumbing (each canceled client
+	// gets its terminal error response), and drains connections within the
+	// -drain budget; a second signal force-closes immediately.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	closed := make(chan struct{})
 	go func() {
 		s := <-sig
-		log.Printf("%s: %v: shutting down", label, s)
-		srv.Close() //nolint:errcheck // exiting either way
+		log.Printf("%s: %v: draining (up to %v; signal again to force)", label, s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		go func() {
+			<-sig
+			log.Printf("%s: second signal: force-closing", label)
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("%s: drain incomplete (%v); connections force-closed", label, err)
+		}
 		close(closed)
 	}()
 
@@ -113,8 +129,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, label+":", err)
 		os.Exit(1)
 	}
-	// Serve returns once the listener closes; wait for Close to finish
-	// tearing down the connections before exiting.
+	// Serve returns once the listener closes; wait for Shutdown to finish
+	// draining the connections before exiting 0.
 	<-closed
 	log.Printf("%s: bye", label)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ func main() {
 }
 
 func run(rows int) error {
+	ctx := context.Background()
 	fmt.Printf("ad-analytics on %d rows (33 dimensions, 18 measures)\n\n", rows)
 	ada, err := seabed.GenerateAdA(seabed.AdAConfig{Rows: rows, Seed: 3})
 	if err != nil {
@@ -48,7 +50,7 @@ func run(rows int) error {
 	fmt.Printf("planner: %d columns, %d SPLASHE dimensions, %d warnings\n",
 		len(plan.Order), splayed, len(plan.Warnings))
 
-	if err := proxy.Upload("ada", ada.Table,
+	if err := proxy.Upload(ctx, "ada", ada.Table,
 		seabed.ModeNoEnc, seabed.ModeSeabed, seabed.ModePaillier); err != nil {
 		return err
 	}
@@ -66,12 +68,16 @@ func run(rows int) error {
 
 	// Dashboard: revenue by hour across the morning.
 	fmt.Println("dashboard: SELECT hour, SUM(m0) WHERE hour < 8 GROUP BY hour")
-	res, err := proxy.Query("SELECT hour, SUM(m0) FROM ada WHERE hour < 8 GROUP BY hour",
-		seabed.ModeSeabed, seabed.QueryOptions{ExpectedGroups: 8})
+	res, err := proxy.Query(ctx, "SELECT hour, SUM(m0) FROM ada WHERE hour < 8 GROUP BY hour",
+		seabed.WithExpectedGroups(8))
 	if err != nil {
 		return err
 	}
-	for _, row := range res.Rows {
+	resRows, err := res.All()
+	if err != nil {
+		return err
+	}
+	for _, row := range resRows {
 		fmt.Printf("  hour %-2s revenue %s\n", row.Key.Display(), row.Values[1].Display())
 	}
 	fmt.Printf("  latency: %v (server %v, client %v)\n\n", res.TotalTime, res.ServerTime, res.ClientTime)
@@ -79,12 +85,16 @@ func run(rows int) error {
 	// The three-system comparison on one query.
 	fmt.Println("system comparison: SELECT hour, SUM(m1) WHERE hour < 4 GROUP BY hour")
 	for _, mode := range []seabed.Mode{seabed.ModeNoEnc, seabed.ModeSeabed, seabed.ModePaillier} {
-		r, err := proxy.Query("SELECT hour, SUM(m1) FROM ada WHERE hour < 4 GROUP BY hour",
-			mode, seabed.QueryOptions{ExpectedGroups: 4})
+		r, err := proxy.Query(ctx, "SELECT hour, SUM(m1) FROM ada WHERE hour < 4 GROUP BY hour",
+			seabed.WithMode(mode), seabed.WithExpectedGroups(4))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-9v total %v  (groups: %d)\n", mode, r.TotalTime, len(r.Rows))
+		rRows, err := r.All()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-9v total %v  (groups: %d)\n", mode, r.TotalTime, len(rRows))
 	}
 
 	// Anomaly hunting: variance via the client-precomputed squared column.
@@ -95,18 +105,26 @@ func run(rows int) error {
 	if _, err := proxy.CreatePlan(ada.Schema, samples, seabed.PlannerOptions{MaxStorageOverhead: 10}); err != nil {
 		return err
 	}
-	if err := proxy.Upload("ada", ada.Table, seabed.ModeNoEnc, seabed.ModeSeabed); err != nil {
+	if err := proxy.Upload(ctx, "ada", ada.Table, seabed.ModeNoEnc, seabed.ModeSeabed); err != nil {
 		return err
 	}
-	r, err := proxy.Query("SELECT AVG(m0), VAR(m0) FROM ada", seabed.ModeSeabed, seabed.QueryOptions{})
+	r, err := proxy.Query(ctx, "SELECT AVG(m0), VAR(m0) FROM ada")
 	if err != nil {
 		return err
 	}
-	check, err := proxy.Query("SELECT AVG(m0), VAR(m0) FROM ada", seabed.ModeNoEnc, seabed.QueryOptions{})
+	rRows, err := r.All()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  Seabed: avg=%s var=%s\n", r.Rows[0].Values[0].Display(), r.Rows[0].Values[1].Display())
-	fmt.Printf("  NoEnc:  avg=%s var=%s\n", check.Rows[0].Values[0].Display(), check.Rows[0].Values[1].Display())
+	check, err := proxy.Query(ctx, "SELECT AVG(m0), VAR(m0) FROM ada", seabed.WithMode(seabed.ModeNoEnc))
+	if err != nil {
+		return err
+	}
+	checkRows, err := check.All()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  Seabed: avg=%s var=%s\n", rRows[0].Values[0].Display(), rRows[0].Values[1].Display())
+	fmt.Printf("  NoEnc:  avg=%s var=%s\n", checkRows[0].Values[0].Display(), checkRows[0].Values[1].Display())
 	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ func main() {
 }
 
 func run(visits int) error {
+	ctx := context.Background()
 	pages := visits / 10
 	q4 := visits / 4
 	fmt.Printf("AmpLab Big Data Benchmark: rankings=%d uservisits=%d q4phase2=%d\n\n", pages, visits, q4)
@@ -53,7 +55,7 @@ func run(visits int) error {
 		"uservisits": bdb.UserVisits,
 		"q4phase2":   bdb.Q4Phase2,
 	} {
-		if err := proxy.Upload(name, tbl, modes...); err != nil {
+		if err := proxy.Upload(ctx, name, tbl, modes...); err != nil {
 			return fmt.Errorf("upload %s: %v", name, err)
 		}
 	}
@@ -74,7 +76,7 @@ func run(visits int) error {
 		for _, mode := range modes {
 			// Server-side timing, as in §6.7 ("we do not measure the
 			// client-side cost of any of the compared systems").
-			res, err := proxy.Query(q.SQL, mode, seabed.QueryOptions{ServerOnly: true})
+			res, err := proxy.Query(ctx, q.SQL, seabed.WithMode(mode), seabed.WithServerOnly())
 			if err != nil {
 				return fmt.Errorf("%s %v: %v", q.Name, mode, err)
 			}
@@ -87,24 +89,32 @@ func run(visits int) error {
 	// One query end-to-end with decryption, verified against NoEnc.
 	fmt.Println("\nverification: Q3A decrypted vs plaintext")
 	q3 := seabed.BDBQueries()[6]
-	encRes, err := proxy.Query(q3.SQL, seabed.ModeSeabed, seabed.QueryOptions{})
+	encRes, err := proxy.Query(ctx, q3.SQL)
 	if err != nil {
 		return err
 	}
-	plainRes, err := proxy.Query(q3.SQL, seabed.ModeNoEnc, seabed.QueryOptions{})
+	encRows, err := encRes.All()
 	if err != nil {
 		return err
 	}
-	if len(encRes.Rows) != len(plainRes.Rows) {
-		return fmt.Errorf("group counts differ: %d vs %d", len(encRes.Rows), len(plainRes.Rows))
+	plainRes, err := proxy.Query(ctx, q3.SQL, seabed.WithMode(seabed.ModeNoEnc))
+	if err != nil {
+		return err
+	}
+	plainRows, err := plainRes.All()
+	if err != nil {
+		return err
+	}
+	if len(encRows) != len(plainRows) {
+		return fmt.Errorf("group counts differ: %d vs %d", len(encRows), len(plainRows))
 	}
 	mismatches := 0
-	for i := range encRes.Rows {
-		if encRes.Rows[i].Values[1].I64 != plainRes.Rows[i].Values[1].I64 {
+	for i := range encRows {
+		if encRows[i].Values[1].I64 != plainRows[i].Values[1].I64 {
 			mismatches++
 		}
 	}
-	fmt.Printf("  %d groups, %d mismatches\n", len(encRes.Rows), mismatches)
+	fmt.Printf("  %d groups, %d mismatches\n", len(encRows), mismatches)
 	if mismatches > 0 {
 		return fmt.Errorf("Q3A results diverge")
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,17 +65,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := proxy.Upload("orders", src, seabed.ModeSeabed); err != nil {
+	ctx := context.Background()
+	if err := proxy.Upload(ctx, "orders", src, seabed.ModeSeabed); err != nil {
 		return err
 	}
 
 	// 3. Query Data: unmodified SQL; the server never sees plaintext.
-	res, err := proxy.Query("SELECT SUM(amount) FROM orders WHERE region = 'east'",
-		seabed.ModeSeabed, seabed.QueryOptions{})
+	res, err := proxy.Query(ctx, "SELECT SUM(amount) FROM orders WHERE region = 'east'")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nSUM(amount) WHERE region='east' = %s  (expect 650)\n", res.Rows[0].Values[0].Display())
+	rows, err := res.All()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSUM(amount) WHERE region='east' = %s  (expect 650)\n", rows[0].Values[0].Display())
 	fmt.Printf("latency: server %v + network %v + client %v\n",
 		res.ServerTime, res.NetworkTime, res.ClientTime)
 	return nil

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -68,18 +69,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := proxy.Upload("spend", src, seabed.ModeSeabed); err != nil {
+	ctx := context.Background()
+	if err := proxy.Upload(ctx, "spend", src, seabed.ModeSeabed); err != nil {
 		return err
 	}
 
 	// One round trip: the server computes five encrypted sums; the client
 	// decrypts and finishes the least-squares math.
-	res, err := proxy.Query("SELECT SUM(x), SUM(y), SUM(xx), SUM(xy), COUNT(*) FROM spend",
-		seabed.ModeSeabed, seabed.QueryOptions{})
+	res, err := proxy.Query(ctx, "SELECT SUM(x), SUM(y), SUM(xx), SUM(xy), COUNT(*) FROM spend")
 	if err != nil {
 		return err
 	}
-	v := res.Rows[0].Values
+	rows2, err := res.All()
+	if err != nil {
+		return err
+	}
+	v := rows2[0].Values
 	sx, sy, sxx, sxy := float64(v[0].I64), float64(v[1].I64), float64(v[2].I64), float64(v[3].I64)
 	n := float64(v[4].I64)
 

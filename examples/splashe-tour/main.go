@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -108,7 +109,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := proxy.Upload("emp", src, seabed.ModeNoEnc, seabed.ModeSeabed); err != nil {
+	ctx := context.Background()
+	if err := proxy.Upload(ctx, "emp", src, seabed.ModeNoEnc, seabed.ModeSeabed); err != nil {
 		return err
 	}
 
@@ -142,21 +144,29 @@ func run() error {
 	fmt.Println("\nStep 3 — aggregates stay exact despite the dummies")
 	for _, c := range []string{"USA", "India", "Iraq"} {
 		sql := fmt.Sprintf("SELECT SUM(salary), COUNT(*) FROM emp WHERE country = '%s'", c)
-		encRes, err := proxy.Query(sql, seabed.ModeSeabed, seabed.QueryOptions{})
+		encRes, err := proxy.Query(ctx, sql)
 		if err != nil {
 			return err
 		}
-		plainRes, err := proxy.Query(sql, seabed.ModeNoEnc, seabed.QueryOptions{})
+		encRows, err := encRes.All()
+		if err != nil {
+			return err
+		}
+		plainRes, err := proxy.Query(ctx, sql, seabed.WithMode(seabed.ModeNoEnc))
+		if err != nil {
+			return err
+		}
+		plainRows, err := plainRes.All()
 		if err != nil {
 			return err
 		}
 		match := "✓"
-		if encRes.Rows[0].Values[0].I64 != plainRes.Rows[0].Values[0].I64 ||
-			encRes.Rows[0].Values[1].I64 != plainRes.Rows[0].Values[1].I64 {
+		if encRows[0].Values[0].I64 != plainRows[0].Values[0].I64 ||
+			encRows[0].Values[1].I64 != plainRows[0].Values[1].I64 {
 			match = "MISMATCH"
 		}
 		fmt.Printf("  %-7s sum=%-12s count=%-6s [%s]\n", c,
-			encRes.Rows[0].Values[0].Display(), encRes.Rows[0].Values[1].Display(), match)
+			encRows[0].Values[0].Display(), encRows[0].Values[1].Display(), match)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -31,14 +32,12 @@ func Ablations(cfg Config, w io.Writer) error {
 		return err
 	}
 	const sql = "SELECT SUM(v) FROM synth"
-	workerOpts := client.QueryOptions{Selectivity: 0.5, SelSeed: uint64(cfg.Seed)}
-	driverOpts := workerOpts
-	driverOpts.CompressAtDriver = true
-	wDur, wRes, err := medianServer(proxy, sql, translate.Seabed, workerOpts, cfg.Trials)
+	sel := client.WithSelectivity(0.5, uint64(cfg.Seed))
+	wDur, wRes, err := medianServer(proxy, sql, cfg.Trials, sel)
 	if err != nil {
 		return err
 	}
-	dDur, dRes, err := medianServer(proxy, sql, translate.Seabed, driverOpts, cfg.Trials)
+	dDur, dRes, err := medianServer(proxy, sql, cfg.Trials, sel, client.WithCompressAtDriver())
 	if err != nil {
 		return err
 	}
@@ -58,11 +57,11 @@ func Ablations(cfg Config, w io.Writer) error {
 		factors = []int{1, 4}
 	}
 	for _, f := range factors {
-		opts := client.QueryOptions{DisableInflation: true}
+		opts := client.WithoutInflation()
 		if f > 1 {
-			opts = client.QueryOptions{ForceInflate: f}
+			opts = client.WithForceInflate(f)
 		}
-		d, res, err := medianServer(gproxy, gsql, translate.Seabed, opts, cfg.Trials)
+		d, res, err := medianServer(gproxy, gsql, cfg.Trials, opts)
 		if err != nil {
 			return err
 		}
@@ -73,8 +72,8 @@ func Ablations(cfg Config, w io.Writer) error {
 	// --- 3. Range encoding for group-by results (§4.5) ---
 	fmt.Fprintln(w, "\nAblation 3: group-by ID-list codec (range encoding bloats sparse lists)")
 	for _, codec := range []idlist.Codec{idlist.VBDiff, idlist.RangeVBDiff, idlist.RangeVBDiffDeflateFast} {
-		_, res, err := medianServer(gproxy, gsql, translate.Seabed,
-			client.QueryOptions{DisableInflation: true, Codec: codec}, 1)
+		_, res, err := medianServer(gproxy, gsql, 1,
+			client.WithoutInflation(), client.WithCodec(codec))
 		if err != nil {
 			return err
 		}
@@ -122,7 +121,7 @@ func Ablations(cfg Config, w io.Writer) error {
 		var ds []time.Duration
 		var tasks int
 		for t := 0; t < max(cfg.Trials, 3); t++ {
-			res, err := cl.Run(&engine.Plan{Table: src, Aggs: []engine.Agg{{Kind: engine.AggAsheSum, Col: "v_ashe"}}})
+			res, err := cl.Run(context.Background(), &engine.Plan{Table: src, Aggs: []engine.Agg{{Kind: engine.AggAsheSum, Col: "v_ashe"}}})
 			if err != nil {
 				return err
 			}

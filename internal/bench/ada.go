@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -41,7 +42,7 @@ func adaProxy(cfg Config) (*client.Proxy, int, error) {
 	if _, err := proxy.CreatePlan(ada.Schema, workload.AdASamples(), planner.Options{MaxStorageOverhead: 10}); err != nil {
 		return nil, 0, err
 	}
-	if err := proxy.Upload("ada", ada.Table,
+	if err := proxy.Upload(context.Background(), "ada", ada.Table,
 		translate.NoEnc, translate.Seabed, translate.Paillier); err != nil {
 		return nil, 0, err
 	}
@@ -70,7 +71,8 @@ func Fig10a(cfg Config, w io.Writer) error {
 		for _, mode := range []translate.Mode{translate.NoEnc, translate.Seabed, translate.Paillier} {
 			var ds []time.Duration
 			for trial := 0; trial < cfg.Trials; trial++ {
-				res, err := proxy.Query(q.SQL, mode, client.QueryOptions{ExpectedGroups: q.Groups})
+				res, err := proxy.Query(context.Background(), q.SQL,
+					client.WithMode(mode), client.WithExpectedGroups(q.Groups))
 				if err != nil {
 					return fmt.Errorf("%s %v: %v", q.Name, mode, err)
 				}
@@ -162,7 +164,7 @@ func Links(cfg Config, w io.Writer) error {
 	var baseNet time.Duration
 	for _, link := range []netsim.Link{netsim.InCluster, netsim.WAN100, netsim.WAN10} {
 		proxy.Link = link
-		res, err := proxy.Query(sql, translate.Seabed, client.QueryOptions{ExpectedGroups: 8})
+		res, err := proxy.Query(context.Background(), sql, client.WithExpectedGroups(8))
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -160,7 +161,7 @@ func syntheticProxy(cfg Config, rows, groups int, modes ...translate.Mode) (*cli
 	if err != nil {
 		return nil, err
 	}
-	if err := proxy.Upload("synth", src, modes...); err != nil {
+	if err := proxy.Upload(context.Background(), "synth", src, modes...); err != nil {
 		return nil, err
 	}
 	fixMu.Lock()

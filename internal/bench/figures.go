@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -32,20 +33,20 @@ func Fig6(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		noenc, err := medianQuery(proxy, sql, translate.NoEnc, client.QueryOptions{}, cfg.Trials)
+		noenc, err := medianQuery(proxy, sql, cfg.Trials, client.WithMode(translate.NoEnc))
 		if err != nil {
 			return err
 		}
-		ashe100, err := medianQuery(proxy, sql, translate.Seabed, client.QueryOptions{}, cfg.Trials)
+		ashe100, err := medianQuery(proxy, sql, cfg.Trials)
 		if err != nil {
 			return err
 		}
-		ashe50, err := medianQuery(proxy, sql, translate.Seabed,
-			client.QueryOptions{Selectivity: 0.5, SelSeed: uint64(cfg.Seed)}, cfg.Trials)
+		ashe50, err := medianQuery(proxy, sql, cfg.Trials,
+			client.WithSelectivity(0.5, uint64(cfg.Seed)))
 		if err != nil {
 			return err
 		}
-		pail, err := medianQuery(proxy, sql, translate.Paillier, client.QueryOptions{}, cfg.Trials)
+		pail, err := medianQuery(proxy, sql, cfg.Trials, client.WithMode(translate.Paillier))
 		if err != nil {
 			return err
 		}
@@ -57,10 +58,11 @@ func Fig6(cfg Config, w io.Writer) error {
 }
 
 // medianQuery runs a query trials times and returns the median total time.
-func medianQuery(p *client.Proxy, sql string, mode translate.Mode, opts client.QueryOptions, trials int) (time.Duration, error) {
+// The mode rides in opts (client.WithMode); the default is translate.Seabed.
+func medianQuery(p *client.Proxy, sql string, trials int, opts ...client.QueryOption) (time.Duration, error) {
 	ds := make([]time.Duration, 0, trials)
 	for i := 0; i < trials; i++ {
-		res, err := p.Query(sql, mode, opts)
+		res, err := p.Query(context.Background(), sql, opts...)
 		if err != nil {
 			return 0, err
 		}
@@ -70,11 +72,11 @@ func medianQuery(p *client.Proxy, sql string, mode translate.Mode, opts client.Q
 }
 
 // medianServer runs a query trials times and returns the median server time.
-func medianServer(p *client.Proxy, sql string, mode translate.Mode, opts client.QueryOptions, trials int) (time.Duration, *client.QueryResult, error) {
+func medianServer(p *client.Proxy, sql string, trials int, opts ...client.QueryOption) (time.Duration, *client.QueryResult, error) {
 	ds := make([]time.Duration, 0, trials)
 	var last *client.QueryResult
 	for i := 0; i < trials; i++ {
-		res, err := p.Query(sql, mode, opts)
+		res, err := p.Query(context.Background(), sql, opts...)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -102,20 +104,20 @@ func Fig7(cfg Config, w io.Writer) error {
 	const sql = "SELECT SUM(v) FROM synth"
 	for _, workers := range workerSweep {
 		proxy := base.WithCluster(engine.NewCluster(engine.Config{Workers: workers, Seed: uint64(cfg.Seed)}))
-		noenc, _, err := medianServer(proxy, sql, translate.NoEnc, client.QueryOptions{}, cfg.Trials)
+		noenc, _, err := medianServer(proxy, sql, cfg.Trials, client.WithMode(translate.NoEnc))
 		if err != nil {
 			return err
 		}
-		s100, _, err := medianServer(proxy, sql, translate.Seabed, client.QueryOptions{}, cfg.Trials)
+		s100, _, err := medianServer(proxy, sql, cfg.Trials)
 		if err != nil {
 			return err
 		}
-		s50, _, err := medianServer(proxy, sql, translate.Seabed,
-			client.QueryOptions{Selectivity: 0.5, SelSeed: uint64(cfg.Seed)}, cfg.Trials)
+		s50, _, err := medianServer(proxy, sql, cfg.Trials,
+			client.WithSelectivity(0.5, uint64(cfg.Seed)))
 		if err != nil {
 			return err
 		}
-		pail, _, err := medianServer(proxy, sql, translate.Paillier, client.QueryOptions{}, cfg.Trials)
+		pail, _, err := medianServer(proxy, sql, cfg.Trials, client.WithMode(translate.Paillier))
 		if err != nil {
 			return err
 		}
@@ -161,11 +163,11 @@ func Fig8(cfg Config, w io.Writer) error {
 	for _, c := range codecs {
 		grid[c.Name()] = make(map[float64]cell)
 		for _, sel := range sels {
-			opts := client.QueryOptions{Codec: c, SelSeed: uint64(cfg.Seed)}
+			opts := []client.QueryOption{client.WithCodec(c)}
 			if sel < 1 {
-				opts.Selectivity = sel
+				opts = append(opts, client.WithSelectivity(sel, uint64(cfg.Seed)))
 			}
-			dur, res, err := medianServer(proxy, sql, translate.Seabed, opts, cfg.Trials)
+			dur, res, err := medianServer(proxy, sql, cfg.Trials, opts...)
 			if err != nil {
 				return err
 			}
@@ -198,18 +200,18 @@ func Fig8(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "\nFigure 8c: aggregation vs +OPE selection (response time, s)\n")
 	fmt.Fprintf(w, "%6s %14s %14s\n", "sel%", "aggregation", "+OPE selection")
 	for _, sel := range sels {
-		aggOpts := client.QueryOptions{SelSeed: uint64(cfg.Seed)}
+		var aggOpts []client.QueryOption
 		if sel < 1 {
-			aggOpts.Selectivity = sel
+			aggOpts = append(aggOpts, client.WithSelectivity(sel, uint64(cfg.Seed)))
 		}
-		agg, _, err := medianServer(proxy, sql, translate.Seabed, aggOpts, cfg.Trials)
+		agg, _, err := medianServer(proxy, sql, cfg.Trials, aggOpts...)
 		if err != nil {
 			return err
 		}
 		// The o column is uniform in [0, 1e6): a threshold at sel·1e6
 		// achieves the same selectivity through an ORE comparison.
 		opeSQL := fmt.Sprintf("SELECT SUM(v) FROM synth WHERE o < %d", int(sel*1_000_000))
-		ope, _, err := medianServer(proxy, opeSQL, translate.Seabed, client.QueryOptions{}, cfg.Trials)
+		ope, _, err := medianServer(proxy, opeSQL, cfg.Trials)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -32,19 +33,19 @@ func Fig9a(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		noenc, err := medianQuery(proxy, sql, translate.NoEnc, client.QueryOptions{DisableInflation: true}, cfg.Trials)
+		noenc, err := medianQuery(proxy, sql, cfg.Trials, client.WithMode(translate.NoEnc), client.WithoutInflation())
 		if err != nil {
 			return err
 		}
-		pail, err := medianQuery(proxy, sql, translate.Paillier, client.QueryOptions{DisableInflation: true}, cfg.Trials)
+		pail, err := medianQuery(proxy, sql, cfg.Trials, client.WithMode(translate.Paillier), client.WithoutInflation())
 		if err != nil {
 			return err
 		}
-		plain, err := medianQuery(proxy, sql, translate.Seabed, client.QueryOptions{DisableInflation: true}, cfg.Trials)
+		plain, err := medianQuery(proxy, sql, cfg.Trials, client.WithoutInflation())
 		if err != nil {
 			return err
 		}
-		opt, err := medianQuery(proxy, sql, translate.Seabed, client.QueryOptions{ExpectedGroups: groups}, cfg.Trials)
+		opt, err := medianQuery(proxy, sql, cfg.Trials, client.WithExpectedGroups(groups))
 		if err != nil {
 			return err
 		}
@@ -87,13 +88,14 @@ func Fig9bc(cfg Config, w io.Writer) error {
 		return err
 	}
 	modes := []translate.Mode{translate.NoEnc, translate.Seabed, translate.Paillier}
-	if err := proxy.Upload("rankings", bdb.Rankings, modes...); err != nil {
+	ctx := context.Background()
+	if err := proxy.Upload(ctx, "rankings", bdb.Rankings, modes...); err != nil {
 		return err
 	}
-	if err := proxy.Upload("uservisits", bdb.UserVisits, modes...); err != nil {
+	if err := proxy.Upload(ctx, "uservisits", bdb.UserVisits, modes...); err != nil {
 		return err
 	}
-	if err := proxy.Upload("q4phase2", bdb.Q4Phase2, modes...); err != nil {
+	if err := proxy.Upload(ctx, "q4phase2", bdb.Q4Phase2, modes...); err != nil {
 		return err
 	}
 
@@ -101,16 +103,15 @@ func Fig9bc(cfg Config, w io.Writer) error {
 		pages, visits, q4rows)
 	fmt.Fprintf(w, "%-5s %12s %12s %12s\n", "query", "NoEnc", "Seabed", "Paillier")
 	for _, q := range workload.BDBQueries() {
-		opts := client.QueryOptions{ServerOnly: true}
-		noenc, _, err := medianServer(proxy, q.SQL, translate.NoEnc, opts, cfg.Trials)
+		noenc, _, err := medianServer(proxy, q.SQL, cfg.Trials, client.WithMode(translate.NoEnc), client.WithServerOnly())
 		if err != nil {
 			return fmt.Errorf("%s NoEnc: %v", q.Name, err)
 		}
-		sbd, _, err := medianServer(proxy, q.SQL, translate.Seabed, opts, cfg.Trials)
+		sbd, _, err := medianServer(proxy, q.SQL, cfg.Trials, client.WithServerOnly())
 		if err != nil {
 			return fmt.Errorf("%s Seabed: %v", q.Name, err)
 		}
-		pail, _, err := medianServer(proxy, q.SQL, translate.Paillier, opts, cfg.Trials)
+		pail, _, err := medianServer(proxy, q.SQL, cfg.Trials, client.WithMode(translate.Paillier), client.WithServerOnly())
 		if err != nil {
 			return fmt.Errorf("%s Paillier: %v", q.Name, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -53,7 +54,7 @@ func Table2(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := proxy.Upload("tbl", src, translate.NoEnc, translate.Seabed); err != nil {
+	if err := proxy.Upload(context.Background(), "tbl", src, translate.NoEnc, translate.Seabed); err != nil {
 		return err
 	}
 
@@ -212,7 +213,7 @@ func datasetSizes(src *store.Table, sch *schema.Table, samples []string) (sizeTr
 		return out, err
 	}
 	for i, mode := range []translate.Mode{translate.NoEnc, translate.Seabed, translate.Paillier} {
-		if err := proxy.Upload(sch.Name, src, mode); err != nil {
+		if err := proxy.Upload(context.Background(), sch.Name, src, mode); err != nil {
 			return out, err
 		}
 		t, err := proxy.Table(sch.Name, mode)

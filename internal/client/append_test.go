@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -69,10 +70,10 @@ func appendFixture(t *testing.T) (*Proxy, func(rows int, skewToUncommon bool) *s
 
 func TestAppendPreservesResults(t *testing.T) {
 	proxy, gen := appendFixture(t)
-	if err := proxy.Upload("ap", gen(2000, false), translate.NoEnc, translate.Seabed); err != nil {
+	if err := proxy.Upload(context.Background(), "ap", gen(2000, false), translate.NoEnc, translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
-	if err := proxy.Append("ap", gen(500, false), translate.NoEnc, translate.Seabed); err != nil {
+	if err := proxy.Append(context.Background(), "ap", gen(500, false), translate.NoEnc, translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
 	for _, sql := range []string{
@@ -81,16 +82,17 @@ func TestAppendPreservesResults(t *testing.T) {
 		"SELECT SUM(m) FROM ap WHERE o > 50",
 		"SELECT COUNT(*) FROM ap",
 	} {
-		want, err := proxy.Query(sql, translate.NoEnc, QueryOptions{})
+		want, err := proxy.Query(context.Background(), sql, WithMode(translate.NoEnc))
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
-		got, err := proxy.Query(sql, translate.Seabed, QueryOptions{})
+		got, err := proxy.Query(context.Background(), sql)
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
-		if got.Rows[0].Values[0].I64 != want.Rows[0].Values[0].I64 {
-			t.Fatalf("%s after append: %d, want %d", sql, got.Rows[0].Values[0].I64, want.Rows[0].Values[0].I64)
+		wantRows, gotRows := mustRows(t, want), mustRows(t, got)
+		if gotRows[0].Values[0].I64 != wantRows[0].Values[0].I64 {
+			t.Fatalf("%s after append: %d, want %d", sql, gotRows[0].Values[0].I64, wantRows[0].Values[0].I64)
 		}
 	}
 	enc, err := proxy.Table("ap", translate.Seabed)
@@ -104,15 +106,15 @@ func TestAppendPreservesResults(t *testing.T) {
 
 func TestAppendKeepsIDsContiguous(t *testing.T) {
 	proxy, gen := appendFixture(t)
-	if err := proxy.Upload("ap", gen(1000, false), translate.Seabed); err != nil {
+	if err := proxy.Upload(context.Background(), "ap", gen(1000, false), translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
-	if err := proxy.Append("ap", gen(300, false), translate.Seabed); err != nil {
+	if err := proxy.Append(context.Background(), "ap", gen(300, false), translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
 	// A full-table ASHE aggregate must still collapse to one identifier
 	// range — appends continue the contiguous id space.
-	res, err := proxy.Query("SELECT SUM(m) FROM ap", translate.Seabed, QueryOptions{})
+	res, err := proxy.Query(context.Background(), "SELECT SUM(m) FROM ap")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,13 +125,13 @@ func TestAppendKeepsIDsContiguous(t *testing.T) {
 
 func TestAppendDriftedDistributionFails(t *testing.T) {
 	proxy, gen := appendFixture(t)
-	if err := proxy.Upload("ap", gen(2000, false), translate.Seabed); err != nil {
+	if err := proxy.Upload(context.Background(), "ap", gen(2000, false), translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
 	// A small batch of one uncommon value has no common rows to absorb the
 	// balancing dummies and too few occurrences to reach the threshold on
 	// its own: the §3.5 limitation must surface as an error.
-	err := proxy.Append("ap", gen(50, true), translate.Seabed)
+	err := proxy.Append(context.Background(), "ap", gen(50, true), translate.Seabed)
 	if err == nil {
 		t.Fatal("want error for drifted batch distribution")
 	}
@@ -137,10 +139,10 @@ func TestAppendDriftedDistributionFails(t *testing.T) {
 
 func TestAppendRequiresUpload(t *testing.T) {
 	proxy, gen := appendFixture(t)
-	if err := proxy.Append("ap", gen(10, false), translate.Seabed); err == nil {
+	if err := proxy.Append(context.Background(), "ap", gen(10, false), translate.Seabed); err == nil {
 		t.Fatal("want error when appending before upload")
 	}
-	if err := proxy.Append("nope", gen(10, false), translate.Seabed); err == nil {
+	if err := proxy.Append(context.Background(), "nope", gen(10, false), translate.Seabed); err == nil {
 		t.Fatal("want error for unknown table")
 	}
 }

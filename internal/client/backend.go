@@ -1,6 +1,8 @@
 package client
 
 import (
+	"context"
+
 	"seabed/internal/engine"
 	"seabed/internal/store"
 	"seabed/internal/translate"
@@ -13,6 +15,11 @@ import (
 // identifier and scatter-gathering queries. The same proxy code therefore
 // serves the paper's single-machine evaluation setup, a real client/server
 // deployment, and a horizontally sharded one (§4, §4.5).
+//
+// Every request-shaped method takes a context and honors its cancellation
+// and deadline: the in-process engine aborts its worker pool, the remote
+// backends send a wire-protocol Cancel frame to their daemons and return
+// without waiting for the abandoned work.
 type ClusterBackend interface {
 	// Workers returns the cluster's worker count. The proxy uses it to size
 	// uploads and to drive the group-inflation heuristic (§4.5).
@@ -23,18 +30,26 @@ type ClusterBackend interface {
 	// pointer and treats this as a no-op; a remote engine ships the table's
 	// bytes to the server; a sharded engine range-partitions the table by
 	// row identifier and ships each daemon only its slice.
-	RegisterTable(ref string, t *store.Table) error
+	RegisterTable(ctx context.Context, ref string, t *store.Table) error
 	// AppendTable extends a registered table with a batch of new rows whose
 	// identifiers continue the table's contiguously (§4.1: uploads are "a
 	// continuing process"). Only the batch crosses to a remote engine (a
 	// sharded engine routes each daemon its identifier slice of the batch);
 	// the in-process engine shares the proxy's table pointer and treats this
 	// as a no-op.
-	AppendTable(ref string, batch *store.Table) error
+	AppendTable(ctx context.Context, ref string, batch *store.Table) error
 	// Run executes a physical plan and returns its result. Implementations
 	// must record the effective identifier-list codec in pl.Codec when the
 	// plan left it nil, so the proxy decodes with the codec the engine used.
-	Run(pl *engine.Plan) (*engine.Result, error)
+	// A canceled context makes Run return ctx.Err() promptly, abandoning the
+	// server-side work as best the transport allows.
+	Run(ctx context.Context, pl *engine.Plan) (*engine.Result, error)
+	// RunStream executes a scan plan like Run but delivers the matching rows
+	// to sink in batches instead of materializing them in the result, so a
+	// large scan is never resident in one buffer on the client. For plans
+	// without a projection (or a nil sink) it behaves exactly like Run. A
+	// sink error aborts the run and is returned as-is.
+	RunStream(ctx context.Context, pl *engine.Plan, sink engine.ScanSink) (*engine.Result, error)
 }
 
 // TableRef names a physical table on a cluster backend: the logical table

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -95,36 +96,48 @@ func salesFixture(t *testing.T) *Proxy {
 	if err := proxy.Ring().EnsurePaillier(256); err != nil { // small key: test speed
 		t.Fatal(err)
 	}
-	if err := proxy.Upload("sales", src, allModes...); err != nil {
+	if err := proxy.Upload(context.Background(), "sales", src, allModes...); err != nil {
 		t.Fatal(err)
 	}
 	return proxy
 }
 
-// runAll runs a query in all three modes and checks that results agree.
-func runAll(t *testing.T, p *Proxy, sql string, opts QueryOptions) *QueryResult {
+// mustRows materializes a result's rows, failing the test on error.
+func mustRows(t *testing.T, r *QueryResult) []Row {
 	t.Helper()
-	base, err := p.Query(sql, translate.NoEnc, opts)
+	rows, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// runAll runs a query in all three modes and checks that results agree,
+// returning the NoEnc baseline's rows.
+func runAll(t *testing.T, p *Proxy, sql string, opts ...QueryOption) []Row {
+	t.Helper()
+	base, err := p.Query(context.Background(), sql, append([]QueryOption{WithMode(translate.NoEnc)}, opts...)...)
 	if err != nil {
 		t.Fatalf("NoEnc %q: %v", sql, err)
 	}
+	baseRows := mustRows(t, base)
 	for _, mode := range []translate.Mode{translate.Seabed, translate.Paillier} {
-		got, err := p.Query(sql, mode, opts)
+		got, err := p.Query(context.Background(), sql, append([]QueryOption{WithMode(mode)}, opts...)...)
 		if err != nil {
 			t.Fatalf("%v %q: %v", mode, sql, err)
 		}
-		assertSameRows(t, sql, mode, base, got)
+		assertSameRows(t, sql, mode, baseRows, mustRows(t, got))
 	}
-	return base
+	return baseRows
 }
 
-func assertSameRows(t *testing.T, sql string, mode translate.Mode, want, got *QueryResult) {
+func assertSameRows(t *testing.T, sql string, mode translate.Mode, want, got []Row) {
 	t.Helper()
-	if len(got.Rows) != len(want.Rows) {
-		t.Fatalf("%v %q: %d rows, want %d", mode, sql, len(got.Rows), len(want.Rows))
+	if len(got) != len(want) {
+		t.Fatalf("%v %q: %d rows, want %d", mode, sql, len(got), len(want))
 	}
-	for i := range want.Rows {
-		wr, gr := want.Rows[i], got.Rows[i]
+	for i := range want {
+		wr, gr := want[i], got[i]
 		if (wr.Key == nil) != (gr.Key == nil) {
 			t.Fatalf("%v %q row %d: key presence mismatch", mode, sql, i)
 		}
@@ -187,41 +200,41 @@ func TestEndToEndEquivalence(t *testing.T) {
 	}
 	for _, sql := range queries {
 		t.Run(sql, func(t *testing.T) {
-			runAll(t, p, sql, QueryOptions{})
+			runAll(t, p, sql)
 		})
 	}
 }
 
 func TestSplasheCombinedWithOpe(t *testing.T) {
 	p := salesFixture(t)
-	runAll(t, p, "SELECT SUM(revenue) FROM sales WHERE country = 'USA' AND day > 20", QueryOptions{})
-	runAll(t, p, "SELECT SUM(revenue) FROM sales WHERE country = 'Japan' AND day < 5", QueryOptions{})
+	runAll(t, p, "SELECT SUM(revenue) FROM sales WHERE country = 'USA' AND day > 20")
+	runAll(t, p, "SELECT SUM(revenue) FROM sales WHERE country = 'Japan' AND day < 5")
 }
 
 func TestGroupInflationEndToEnd(t *testing.T) {
 	p := salesFixture(t)
-	plainRes := runAll(t, p, "SELECT hour, SUM(revenue) FROM sales GROUP BY hour", QueryOptions{})
-	inflRes, err := p.Query("SELECT hour, SUM(revenue) FROM sales GROUP BY hour", translate.Seabed,
-		QueryOptions{ExpectedGroups: 6})
-	if err != nil {
+	plainRows := runAll(t, p, "SELECT hour, SUM(revenue) FROM sales GROUP BY hour")
+	if _, err := p.Query(context.Background(), "SELECT hour, SUM(revenue) FROM sales GROUP BY hour",
+		WithExpectedGroups(6)); err != nil {
 		t.Fatal(err)
 	}
 	// Workers=4 < 6 expected groups: no inflation kicks in. Force a larger
 	// cluster to exercise it.
 	cluster := engine.NewCluster(engine.Config{Workers: 24})
 	p2 := reclusteredProxy(t, p, cluster)
-	inflRes, err = p2.Query("SELECT hour, SUM(revenue) FROM sales GROUP BY hour", translate.Seabed,
-		QueryOptions{ExpectedGroups: 6})
+	inflRes, err := p2.Query(context.Background(), "SELECT hour, SUM(revenue) FROM sales GROUP BY hour",
+		WithExpectedGroups(6))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(inflRes.Rows) != len(plainRes.Rows) {
-		t.Fatalf("inflated query returned %d rows, want %d", len(inflRes.Rows), len(plainRes.Rows))
+	inflRows := mustRows(t, inflRes)
+	if len(inflRows) != len(plainRows) {
+		t.Fatalf("inflated query returned %d rows, want %d", len(inflRows), len(plainRows))
 	}
-	for i := range plainRes.Rows {
-		if inflRes.Rows[i].Values[1].I64 != plainRes.Rows[i].Values[1].I64 {
+	for i := range plainRows {
+		if inflRows[i].Values[1].I64 != plainRows[i].Values[1].I64 {
 			t.Fatalf("row %d: inflated sum %d, want %d", i,
-				inflRes.Rows[i].Values[1].I64, plainRes.Rows[i].Values[1].I64)
+				inflRows[i].Values[1].I64, plainRows[i].Values[1].I64)
 		}
 	}
 }
@@ -236,16 +249,17 @@ func reclusteredProxy(t *testing.T, p *Proxy, cluster *engine.Cluster) *Proxy {
 func TestScanQueryEndToEnd(t *testing.T) {
 	p := salesFixture(t)
 	sql := "SELECT revenue FROM sales WHERE day > 29"
-	want, err := p.Query(sql, translate.NoEnc, QueryOptions{})
+	want, err := p.Query(context.Background(), sql, WithMode(translate.NoEnc))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := p.Query(sql, translate.Seabed, QueryOptions{})
+	got, err := p.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(want.Rows) == 0 || len(got.Rows) != len(want.Rows) {
-		t.Fatalf("scan rows: %d vs %d", len(got.Rows), len(want.Rows))
+	wantRows, gotRows := mustRows(t, want), mustRows(t, got)
+	if len(wantRows) == 0 || len(gotRows) != len(wantRows) {
+		t.Fatalf("scan rows: %d vs %d", len(gotRows), len(wantRows))
 	}
 	sum := func(rows []Row) (s int64) {
 		for _, r := range rows {
@@ -253,14 +267,14 @@ func TestScanQueryEndToEnd(t *testing.T) {
 		}
 		return
 	}
-	if sum(got.Rows) != sum(want.Rows) {
-		t.Fatalf("scan value sums differ: %d vs %d", sum(got.Rows), sum(want.Rows))
+	if sum(gotRows) != sum(wantRows) {
+		t.Fatalf("scan value sums differ: %d vs %d", sum(gotRows), sum(wantRows))
 	}
 }
 
 func TestQueryMetricsPopulated(t *testing.T) {
 	p := salesFixture(t)
-	res, err := p.Query("SELECT SUM(revenue) FROM sales WHERE country = 'India'", translate.Seabed, QueryOptions{})
+	res, err := p.Query(context.Background(), "SELECT SUM(revenue) FROM sales WHERE country = 'India'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +299,7 @@ func TestUploadRequiresPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 	src, _ := store.Build("x", []store.Column{{Name: "a", Kind: store.U64, U64: []uint64{1}}}, 1)
-	if err := p.Upload("x", src, translate.Seabed); err == nil {
+	if err := p.Upload(context.Background(), "x", src, translate.Seabed); err == nil {
 		t.Fatal("want error for upload without plan")
 	}
 }
@@ -299,7 +313,7 @@ func TestQueryErrors(t *testing.T) {
 		"SELECT SUM(revenue) FROM sales WHERE country = 'USA' AND gender = 'Male'", // two splayed dims
 		"not sql at all",
 	} {
-		if _, err := p.Query(sql, translate.Seabed, QueryOptions{}); err == nil {
+		if _, err := p.Query(context.Background(), sql); err == nil {
 			t.Errorf("%q: want error", sql)
 		}
 	}
@@ -406,9 +420,10 @@ func ExampleProxy_Query() {
 	}}
 	_, _ = proxy.CreatePlan(tbl, []string{"SELECT SUM(m) FROM t"}, planner.Options{})
 	src, _ := store.Build("t", []store.Column{{Name: "m", Kind: store.U64, U64: []uint64{1, 2, 3}}}, 1)
-	_ = proxy.Upload("t", src, translate.Seabed)
-	res, _ := proxy.Query("SELECT SUM(m) FROM t", translate.Seabed, QueryOptions{})
-	fmt.Println(res.Rows[0].Values[0].Display())
+	_ = proxy.Upload(context.Background(), "t", src, translate.Seabed)
+	res, _ := proxy.Query(context.Background(), "SELECT SUM(m) FROM t")
+	rows, _ := res.All()
+	fmt.Println(rows[0].Values[0].Display())
 	// Output: 6
 }
 
@@ -436,25 +451,26 @@ func TestMedianEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := proxy.Upload("med", src, translate.NoEnc, translate.Seabed); err != nil {
+	if err := proxy.Upload(context.Background(), "med", src, translate.NoEnc, translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
-	want, err := proxy.Query("SELECT MEDIAN(v) FROM med", translate.NoEnc, QueryOptions{})
+	want, err := proxy.Query(context.Background(), "SELECT MEDIAN(v) FROM med", WithMode(translate.NoEnc))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := proxy.Query("SELECT MEDIAN(v) FROM med", translate.Seabed, QueryOptions{})
+	got, err := proxy.Query(context.Background(), "SELECT MEDIAN(v) FROM med")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Rows[0].Values[0].I64 != want.Rows[0].Values[0].I64 {
-		t.Fatalf("median = %d, want %d", got.Rows[0].Values[0].I64, want.Rows[0].Values[0].I64)
+	wantRows, gotRows := mustRows(t, want), mustRows(t, got)
+	if gotRows[0].Values[0].I64 != wantRows[0].Values[0].I64 {
+		t.Fatalf("median = %d, want %d", gotRows[0].Values[0].I64, wantRows[0].Values[0].I64)
 	}
 	// Cross-check against a direct sort.
 	sorted := append([]uint64(nil), vals...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	if uint64(want.Rows[0].Values[0].I64) != sorted[rows/2] {
-		t.Fatalf("plain median %d != sorted middle %d", want.Rows[0].Values[0].I64, sorted[rows/2])
+	if uint64(wantRows[0].Values[0].I64) != sorted[rows/2] {
+		t.Fatalf("plain median %d != sorted middle %d", wantRows[0].Values[0].I64, sorted[rows/2])
 	}
 }
 
@@ -486,24 +502,25 @@ func TestMedianGroupBy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := proxy.Upload("medg", src, translate.NoEnc, translate.Seabed); err != nil {
+	if err := proxy.Upload(context.Background(), "medg", src, translate.NoEnc, translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
 	sql := "SELECT g, MEDIAN(v) FROM medg GROUP BY g"
-	want, err := proxy.Query(sql, translate.NoEnc, QueryOptions{})
+	want, err := proxy.Query(context.Background(), sql, WithMode(translate.NoEnc))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := proxy.Query(sql, translate.Seabed, QueryOptions{})
+	got, err := proxy.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Rows) != 3 || len(want.Rows) != 3 {
-		t.Fatalf("groups: %d vs %d", len(got.Rows), len(want.Rows))
+	wantRows, gotRows := mustRows(t, want), mustRows(t, got)
+	if len(gotRows) != 3 || len(wantRows) != 3 {
+		t.Fatalf("groups: %d vs %d", len(gotRows), len(wantRows))
 	}
-	for i := range want.Rows {
-		if got.Rows[i].Values[1].I64 != want.Rows[i].Values[1].I64 {
-			t.Fatalf("group %d median = %d, want %d", i, got.Rows[i].Values[1].I64, want.Rows[i].Values[1].I64)
+	for i := range wantRows {
+		if gotRows[i].Values[1].I64 != wantRows[i].Values[1].I64 {
+			t.Fatalf("group %d median = %d, want %d", i, gotRows[i].Values[1].I64, wantRows[i].Values[1].I64)
 		}
 	}
 }

@@ -76,6 +76,21 @@ type decrypter struct {
 	codec    idlist.Codec
 }
 
+// newDecrypter builds a decrypter over the given key ring and identifier-
+// list codec (nil falls back to idlist.Default). Shared by the materialized
+// path (Decrypt) and the streaming path (stream.go).
+func newDecrypter(ring *KeyRing, codec idlist.Codec) *decrypter {
+	if codec == nil {
+		codec = idlist.Default
+	}
+	return &decrypter{
+		ring:     ring,
+		asheKeys: make(map[string]*ashe.Key),
+		detKeys:  make(map[string]*det.Key),
+		codec:    codec,
+	}
+}
+
 func (d *decrypter) ashe(col string) *ashe.Key {
 	k := d.asheKeys[col]
 	if k == nil {
@@ -99,15 +114,7 @@ func (d *decrypter) det(col string) *det.Key {
 // measured client time, exactly as in the paper's cost breakdown.
 func Decrypt(tr *translate.Translation, res *engine.Result, ring *KeyRing) (*Result, error) {
 	start := time.Now()
-	d := &decrypter{
-		ring:     ring,
-		asheKeys: make(map[string]*ashe.Key),
-		detKeys:  make(map[string]*det.Key),
-		codec:    tr.Server.Codec,
-	}
-	if d.codec == nil {
-		d.codec = idlist.Default
-	}
+	d := newDecrypter(ring, tr.Server.Codec)
 	out := &Result{Metrics: res.Metrics}
 
 	if len(tr.Client.ScanCols) > 0 {
@@ -364,51 +371,69 @@ func (d *decrypter) deflateGroups(tr *translate.Translation, groups []engine.Gro
 // decryptScan processes scan-mode results.
 func (d *decrypter) decryptScan(tr *translate.Translation, res *engine.Result, out *Result) error {
 	cols := tr.Client.ScanCols
-	for _, sr := range res.Scan {
-		row := Row{}
-		for i, sc := range cols {
-			switch {
-			case sc.Pail:
-				sk := d.ring.PaillierSK()
-				if sk == nil {
-					return fmt.Errorf("client: no Paillier key for scan decryption")
-				}
-				v := sk.DecryptU64(new(big.Int).SetBytes(sr.Bytes[i]))
-				row.Values = append(row.Values, Value{Name: sc.Name, Kind: Int, I64: int64(v)})
-			case sc.Ashe:
-				d.prfEvals += 2
-				v := d.ashe(sc.SourceCol).DecryptBody(sr.U64s[i], sr.ID)
-				row.Values = append(row.Values, Value{Name: sc.Name, Kind: Int, I64: int64(v)})
-			case sc.Det:
-				dk := d.det(sc.SourceCol)
-				if sc.StrValues {
-					s, err := dk.DecryptString(sr.Bytes[i])
-					if err != nil {
-						return fmt.Errorf("client: scan decrypt: %v", err)
-					}
-					row.Values = append(row.Values, Value{Name: sc.Name, Kind: Str, Str: s})
-				} else {
-					id, err := dk.DecryptU64(sr.Bytes[i])
-					if err != nil {
-						return fmt.Errorf("client: scan decrypt: %v", err)
-					}
-					if len(sc.Dict) > 0 && id < uint64(len(sc.Dict)) {
-						row.Values = append(row.Values, Value{Name: sc.Name, Kind: Str, Str: sc.Dict[id]})
-					} else {
-						row.Values = append(row.Values, Value{Name: sc.Name, Kind: Int, I64: int64(id)})
-					}
-				}
-			default:
-				if len(sr.Strs) > i && sr.Strs[i] != "" {
-					row.Values = append(row.Values, Value{Name: sc.Name, Kind: Str, Str: sr.Strs[i]})
-				} else {
-					row.Values = append(row.Values, Value{Name: sc.Name, Kind: Int, I64: int64(sr.U64s[i])})
-				}
-			}
+	for i := range res.Scan {
+		row, err := d.scanRow(cols, &res.Scan[i])
+		if err != nil {
+			return err
 		}
 		out.Rows = append(out.Rows, row)
 	}
 	return nil
+}
+
+// scanRow decrypts one scan row. It is the unit of work the streaming path
+// (stream.go) applies per row as chunks arrive, and decryptScan's body for
+// materialized results. The row's projection width is validated against the
+// plan before any cell is touched: the wire decoder only checks a row's
+// internal consistency, and an untrusted server must not be able to crash
+// the client with a short row.
+func (d *decrypter) scanRow(cols []translate.ScanCol, sr *engine.ScanRow) (Row, error) {
+	if len(sr.U64s) < len(cols) {
+		return Row{}, fmt.Errorf("client: scan row %d carries %d columns, plan projects %d (malformed or hostile result)",
+			sr.ID, len(sr.U64s), len(cols))
+	}
+	row := Row{}
+	for i, sc := range cols {
+		switch {
+		case sc.Pail:
+			sk := d.ring.PaillierSK()
+			if sk == nil {
+				return Row{}, fmt.Errorf("client: no Paillier key for scan decryption")
+			}
+			v := sk.DecryptU64(new(big.Int).SetBytes(sr.Bytes[i]))
+			row.Values = append(row.Values, Value{Name: sc.Name, Kind: Int, I64: int64(v)})
+		case sc.Ashe:
+			d.prfEvals += 2
+			v := d.ashe(sc.SourceCol).DecryptBody(sr.U64s[i], sr.ID)
+			row.Values = append(row.Values, Value{Name: sc.Name, Kind: Int, I64: int64(v)})
+		case sc.Det:
+			dk := d.det(sc.SourceCol)
+			if sc.StrValues {
+				s, err := dk.DecryptString(sr.Bytes[i])
+				if err != nil {
+					return Row{}, fmt.Errorf("client: scan decrypt: %v", err)
+				}
+				row.Values = append(row.Values, Value{Name: sc.Name, Kind: Str, Str: s})
+			} else {
+				id, err := dk.DecryptU64(sr.Bytes[i])
+				if err != nil {
+					return Row{}, fmt.Errorf("client: scan decrypt: %v", err)
+				}
+				if len(sc.Dict) > 0 && id < uint64(len(sc.Dict)) {
+					row.Values = append(row.Values, Value{Name: sc.Name, Kind: Str, Str: sc.Dict[id]})
+				} else {
+					row.Values = append(row.Values, Value{Name: sc.Name, Kind: Int, I64: int64(id)})
+				}
+			}
+		default:
+			if len(sr.Strs) > i && sr.Strs[i] != "" {
+				row.Values = append(row.Values, Value{Name: sc.Name, Kind: Str, Str: sr.Strs[i]})
+			} else {
+				row.Values = append(row.Values, Value{Name: sc.Name, Kind: Int, I64: int64(sr.U64s[i])})
+			}
+		}
+	}
+	return row, nil
 }
 
 // sortRows orders result rows by group key for stable output.

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -107,7 +108,7 @@ func runRandomizedTrial(t *testing.T, seed int64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := proxy.Upload("rnd", src, translate.NoEnc, translate.Seabed); err != nil {
+	if err := proxy.Upload(context.Background(), "rnd", src, translate.NoEnc, translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
 
@@ -159,15 +160,15 @@ func runRandomizedTrial(t *testing.T, seed int64) {
 
 	for q := 0; q < 12; q++ {
 		sql := genQuery()
-		want, err := proxy.Query(sql, translate.NoEnc, QueryOptions{})
+		want, err := proxy.Query(context.Background(), sql, WithMode(translate.NoEnc))
 		if err != nil {
 			t.Fatalf("NoEnc %q: %v", sql, err)
 		}
-		got, err := proxy.Query(sql, translate.Seabed, QueryOptions{})
+		got, err := proxy.Query(context.Background(), sql)
 		if err != nil {
 			t.Fatalf("Seabed %q: %v", sql, err)
 		}
-		assertSameRows(t, sql, translate.Seabed, want, got)
+		assertSameRows(t, sql, translate.Seabed, mustRows(t, want), mustRows(t, got))
 	}
 }
 
@@ -175,11 +176,11 @@ func TestOpeAggregateRejectsSplasheFilter(t *testing.T) {
 	p := salesFixture(t)
 	// revenue has OPE+ASHE forms (MIN/MAX samples); country is splayed. The
 	// combination must be refused, not silently mis-answered.
-	_, err := p.Query("SELECT MIN(revenue) FROM sales WHERE country = 'USA'", translate.Seabed, QueryOptions{})
+	_, err := p.Query(context.Background(), "SELECT MIN(revenue) FROM sales WHERE country = 'USA'")
 	if err == nil {
 		t.Fatal("want error: OPE aggregate over a splayed filter")
 	}
-	_, err = p.Query("SELECT MAX(revenue) FROM sales WHERE country = 'India'", translate.Seabed, QueryOptions{})
+	_, err = p.Query(context.Background(), "SELECT MAX(revenue) FROM sales WHERE country = 'India'")
 	if err == nil {
 		t.Fatal("want error for uncommon value too (dummy rows would pollute extremes)")
 	}

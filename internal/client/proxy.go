@@ -1,12 +1,12 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"seabed/internal/engine"
-	"seabed/internal/idlist"
 	"seabed/internal/netsim"
 	"seabed/internal/paillier"
 	"seabed/internal/planner"
@@ -19,7 +19,8 @@ import (
 // Proxy is Seabed's trusted client-side proxy (§4.1): it plans schemas,
 // encrypts uploads, translates queries, talks to the (untrusted) engine, and
 // decrypts results. Users interact with the proxy exactly as they would with
-// a plain Spark SQL endpoint.
+// a plain Spark SQL endpoint — including canceling a runaway query or
+// bounding one with a deadline, via the context every request takes.
 type Proxy struct {
 	ring    *KeyRing
 	cluster ClusterBackend
@@ -28,8 +29,16 @@ type Proxy struct {
 	// Parts is the partition count for uploads (defaults to 4× workers).
 	Parts int
 
-	mu     sync.Mutex
-	tables map[string]*tableEntry
+	// tables is the guarded table registry, shared — as one pointer, lock
+	// included — with every WithCluster-derived proxy, so concurrent use of
+	// the original and derived proxies serializes on the same mutex.
+	tables *tableSet
+}
+
+// tableSet couples the proxy's table registry with the mutex that guards it.
+type tableSet struct {
+	mu sync.Mutex
+	m  map[string]*tableEntry
 }
 
 type tableEntry struct {
@@ -50,7 +59,7 @@ func NewProxy(master []byte, cluster ClusterBackend) (*Proxy, error) {
 		ring:    ring,
 		cluster: cluster,
 		Link:    netsim.InCluster,
-		tables:  make(map[string]*tableEntry),
+		tables:  &tableSet{m: make(map[string]*tableEntry)},
 	}, nil
 }
 
@@ -72,20 +81,21 @@ func (p *Proxy) CreatePlan(tbl *schema.Table, sampleSQL []string, opts planner.O
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.tables[tbl.Name] = &tableEntry{plan: plan, enc: make(map[translate.Mode]*store.Table)}
+	p.tables.mu.Lock()
+	defer p.tables.mu.Unlock()
+	p.tables.m[tbl.Name] = &tableEntry{plan: plan, enc: make(map[translate.Mode]*store.Table)}
 	return plan, nil
 }
 
 // Upload encrypts plaintext data into the physical tables for the given
 // modes (the "Upload Data" request of §4.1). Seabed deployments upload only
 // translate.Seabed; the evaluation also materializes NoEnc and Paillier
-// baselines.
-func (p *Proxy) Upload(table string, src *store.Table, modes ...translate.Mode) error {
-	p.mu.Lock()
-	entry := p.tables[table]
-	p.mu.Unlock()
+// baselines. Canceling the context abandons the upload between modes and
+// mid-transfer on remote backends.
+func (p *Proxy) Upload(ctx context.Context, table string, src *store.Table, modes ...translate.Mode) error {
+	p.tables.mu.Lock()
+	entry := p.tables.m[table]
+	p.tables.mu.Unlock()
 	if entry == nil {
 		return fmt.Errorf("client: no plan for table %q; call CreatePlan first", table)
 	}
@@ -94,6 +104,9 @@ func (p *Proxy) Upload(table string, src *store.Table, modes ...translate.Mode) 
 		parts = 4 * p.cluster.Workers()
 	}
 	for _, mode := range modes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if mode == translate.Paillier {
 			if err := p.ring.EnsurePaillier(paillier.DefaultBits); err != nil {
 				return err
@@ -103,13 +116,13 @@ func (p *Proxy) Upload(table string, src *store.Table, modes ...translate.Mode) 
 		if err != nil {
 			return err
 		}
-		p.mu.Lock()
+		p.tables.mu.Lock()
 		entry.enc[mode] = enc
 		if mode == translate.NoEnc {
 			entry.plain = enc
 		}
-		p.mu.Unlock()
-		if err := p.cluster.RegisterTable(TableRef(table, mode), enc); err != nil {
+		p.tables.mu.Unlock()
+		if err := p.cluster.RegisterTable(ctx, TableRef(table, mode), enc); err != nil {
 			return fmt.Errorf("client: register %q on cluster: %v", TableRef(table, mode), err)
 		}
 	}
@@ -124,17 +137,20 @@ func (p *Proxy) Upload(table string, src *store.Table, modes ...translate.Mode) 
 // value distribution has drifted far from the planned one, balancing can run
 // out of dummy rows and Append returns the §3.5 error — re-plan with fresh
 // frequency estimates in that case.
-func (p *Proxy) Append(table string, batch *store.Table, modes ...translate.Mode) error {
-	p.mu.Lock()
-	entry := p.tables[table]
-	p.mu.Unlock()
+func (p *Proxy) Append(ctx context.Context, table string, batch *store.Table, modes ...translate.Mode) error {
+	p.tables.mu.Lock()
+	entry := p.tables.m[table]
+	p.tables.mu.Unlock()
 	if entry == nil {
 		return fmt.Errorf("client: no plan for table %q; call CreatePlan first", table)
 	}
 	for _, mode := range modes {
-		p.mu.Lock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.tables.mu.Lock()
 		existing := entry.enc[mode]
-		p.mu.Unlock()
+		p.tables.mu.Unlock()
 		if existing == nil {
 			return fmt.Errorf("client: table %q has no %v upload to append to", table, mode)
 		}
@@ -146,12 +162,12 @@ func (p *Proxy) Append(table string, batch *store.Table, modes ...translate.Mode
 		// their copy) before mutating local state: if the ship fails, the
 		// local table is unchanged and a retried Append re-encrypts from the
 		// same row identifier, keeping both sides in step.
-		if err := p.cluster.AppendTable(TableRef(table, mode), enc); err != nil {
+		if err := p.cluster.AppendTable(ctx, TableRef(table, mode), enc); err != nil {
 			return fmt.Errorf("client: append %q on cluster: %v", TableRef(table, mode), err)
 		}
-		p.mu.Lock()
+		p.tables.mu.Lock()
 		err = existing.AppendTable(enc)
-		p.mu.Unlock()
+		p.tables.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -163,21 +179,21 @@ func (p *Proxy) Append(table string, batch *store.Table, modes ...translate.Mode
 // current cluster backend. It is what makes WithCluster work against a
 // remote backend: the tables were encrypted and registered against the
 // original backend, and the new one has never seen them.
-func (p *Proxy) SyncTables() error {
-	p.mu.Lock()
+func (p *Proxy) SyncTables(ctx context.Context) error {
+	p.tables.mu.Lock()
 	type reg struct {
 		ref string
 		t   *store.Table
 	}
 	var regs []reg
-	for name, entry := range p.tables {
+	for name, entry := range p.tables.m {
 		for mode, t := range entry.enc {
 			regs = append(regs, reg{ref: TableRef(name, mode), t: t})
 		}
 	}
-	p.mu.Unlock()
+	p.tables.mu.Unlock()
 	for _, r := range regs {
-		if err := p.cluster.RegisterTable(r.ref, r.t); err != nil {
+		if err := p.cluster.RegisterTable(ctx, r.ref, r.t); err != nil {
 			return fmt.Errorf("client: register %q on cluster: %v", r.ref, err)
 		}
 	}
@@ -186,9 +202,9 @@ func (p *Proxy) SyncTables() error {
 
 // Plan implements translate.Catalog.
 func (p *Proxy) Plan(table string) (*planner.Plan, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	entry := p.tables[table]
+	p.tables.mu.Lock()
+	defer p.tables.mu.Unlock()
+	entry := p.tables.m[table]
 	if entry == nil {
 		return nil, fmt.Errorf("client: unknown table %q", table)
 	}
@@ -197,9 +213,9 @@ func (p *Proxy) Plan(table string) (*planner.Plan, error) {
 
 // Table implements translate.Catalog.
 func (p *Proxy) Table(table string, mode translate.Mode) (*store.Table, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	entry := p.tables[table]
+	p.tables.mu.Lock()
+	defer p.tables.mu.Unlock()
+	entry := p.tables.m[table]
 	if entry == nil {
 		return nil, fmt.Errorf("client: unknown table %q", table)
 	}
@@ -210,82 +226,67 @@ func (p *Proxy) Table(table string, mode translate.Mode) (*store.Table, error) {
 	return t, nil
 }
 
-// QueryOptions tunes one query execution.
-type QueryOptions struct {
-	// ExpectedGroups feeds the group-inflation heuristic (§4.5).
-	ExpectedGroups int
-	// DisableInflation turns the optimization off.
-	DisableInflation bool
-	// Selectivity, when in (0, 1), appends the §6.1 random-selection filter
-	// to the server plan: each row is chosen independently with this
-	// probability (the microbenchmarks' worst-case model).
-	Selectivity float64
-	// SelSeed seeds the random selection.
-	SelSeed uint64
-	// Codec overrides the identifier-list codec (the Figure 8 sweep).
-	Codec idlist.Codec
-	// CompressAtDriver moves result compression from workers to the driver
-	// (the §4.5 ablation).
-	CompressAtDriver bool
-	// ForceInflate overrides the computed group-inflation factor.
-	ForceInflate int
-	// ServerOnly skips client-side decryption, matching experiments that
-	// measure only server latency (§6.7).
-	ServerOnly bool
-}
-
-// QueryResult couples the decrypted rows with the end-to-end latency
-// breakdown the evaluation reports (§6.2: server, network, client).
-type QueryResult struct {
-	*Result
-	ServerTime  time.Duration
-	NetworkTime time.Duration
-	ClientTime  time.Duration
-	TotalTime   time.Duration
-}
-
-// Query parses, translates, executes, and decrypts a SQL query under the
-// given mode (the "Query Data" request of §4.1).
-func (p *Proxy) Query(sql string, mode translate.Mode, opts QueryOptions) (*QueryResult, error) {
+// Query parses, translates, executes, and decrypts a SQL query (the "Query
+// Data" request of §4.1). The context governs the whole execution: cancel it
+// and every layer — the in-process worker pool, the wire exchange, a shard
+// scatter — aborts, and Query returns ctx.Err(). Options select the mode and
+// tune the run; the default is the paper's system (translate.Seabed).
+func (p *Proxy) Query(ctx context.Context, sql string, opts ...QueryOption) (*QueryResult, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return p.RunQuery(q, mode, opts)
+	return p.RunQuery(ctx, q, opts...)
 }
 
 // RunQuery is Query over a pre-parsed statement.
-func (p *Proxy) RunQuery(q *sqlparse.Query, mode translate.Mode, opts QueryOptions) (*QueryResult, error) {
-	tr, err := translate.Translate(q, p, p.ring, mode, translate.Options{
+func (p *Proxy) RunQuery(ctx context.Context, q *sqlparse.Query, opts ...QueryOption) (*QueryResult, error) {
+	o := applyOptions(opts)
+	cancel := func() {}
+	if o.timeout != 0 {
+		// A zero timeout means "no timeout"; an explicitly negative one is an
+		// already-expired deadline and fails fast, as with net/http.
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+	}
+	tr, err := translate.Translate(q, p, p.ring, o.mode, translate.Options{
 		Workers:          p.cluster.Workers(),
-		ExpectedGroups:   opts.ExpectedGroups,
-		DisableInflation: opts.DisableInflation,
+		ExpectedGroups:   o.expectedGroups,
+		DisableInflation: o.disableInflation,
 	})
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	if opts.Selectivity > 0 && opts.Selectivity < 1 {
+	if o.selectivity > 0 && o.selectivity < 1 {
 		tr.Server.Filters = append(tr.Server.Filters, engine.Filter{
-			Kind: engine.FilterRandom, Prob: opts.Selectivity, Seed: opts.SelSeed,
+			Kind: engine.FilterRandom, Prob: o.selectivity, Seed: o.selSeed,
 		})
 	}
-	if opts.Codec != nil {
-		tr.Server.Codec = opts.Codec
+	if o.codec != nil {
+		tr.Server.Codec = o.codec
 	}
-	if opts.CompressAtDriver {
+	if o.compressAtDriver {
 		tr.Server.CompressAtDriver = true
 	}
-	if opts.ForceInflate > 1 && tr.Server.GroupBy != nil {
-		tr.Server.GroupBy.Inflate = opts.ForceInflate
+	if o.forceInflate > 1 && tr.Server.GroupBy != nil {
+		tr.Server.GroupBy.Inflate = o.forceInflate
 		tr.Client.Inflated = true
 	}
-	res, err := p.cluster.Run(tr.Server)
+
+	// Streaming scan: hand the plan to the backend's streaming path and
+	// return immediately; rows decrypt incrementally as Rows is consumed.
+	if o.stream && len(tr.Client.ScanCols) > 0 && !o.serverOnly {
+		return p.streamQuery(ctx, cancel, tr), nil
+	}
+	defer cancel()
+
+	res, err := p.cluster.Run(ctx, tr.Server)
 	if err != nil {
 		return nil, err
 	}
-	if opts.ServerOnly {
+	if o.serverOnly {
 		qr := &QueryResult{
-			Result:      &Result{Metrics: res.Metrics},
+			Metrics:     res.Metrics,
 			ServerTime:  res.Metrics.ServerTime,
 			NetworkTime: p.Link.TransferTime(res.Metrics.ResultBytes),
 		}
@@ -297,7 +298,9 @@ func (p *Proxy) RunQuery(q *sqlparse.Query, mode translate.Mode, opts QueryOptio
 		return nil, err
 	}
 	qr := &QueryResult{
-		Result:      dec,
+		rows:        dec.Rows,
+		Metrics:     dec.Metrics,
+		PRFEvals:    dec.PRFEvals,
 		ServerTime:  res.Metrics.ServerTime,
 		NetworkTime: p.Link.TransferTime(res.Metrics.ResultBytes),
 		ClientTime:  dec.ClientTime,
@@ -308,8 +311,29 @@ func (p *Proxy) RunQuery(q *sqlparse.Query, mode translate.Mode, opts QueryOptio
 
 // WithCluster returns a proxy sharing this proxy's key ring and uploaded
 // tables but executing against a different cluster backend — the Figure 7
-// worker sweep rebinds one dataset across cluster sizes this way. When the
-// new backend is remote, follow up with SyncTables to ship the tables to it.
+// worker sweep rebinds one dataset across cluster sizes this way. The table
+// registry is shared with its lock, so the original and derived proxies are
+// safe to use concurrently. When the new backend is remote, follow up with
+// SyncTables to ship the tables to it.
 func (p *Proxy) WithCluster(cluster ClusterBackend) *Proxy {
 	return &Proxy{ring: p.ring, cluster: cluster, Link: p.Link, Parts: p.Parts, tables: p.tables}
+}
+
+// QueryResult couples a query's decrypted rows with the end-to-end latency
+// breakdown the evaluation reports (§6.2: server, network, client). For a
+// streamed query the breakdown, Metrics, and PRFEvals are populated only
+// once Rows has been drained.
+type QueryResult struct {
+	ServerTime  time.Duration
+	NetworkTime time.Duration
+	ClientTime  time.Duration
+	TotalTime   time.Duration
+	// PRFEvals counts the AES operations the decryption performed, the
+	// statistic §6.6 reports.
+	PRFEvals uint64
+	// Metrics echoes the server-side metrics.
+	Metrics engine.Metrics
+
+	rows   []Row
+	stream *rowStream
 }

@@ -1,0 +1,155 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"time"
+
+	"seabed/internal/engine"
+	"seabed/internal/netsim"
+	"seabed/internal/translate"
+)
+
+// rowStream is the client side of a streamed scan: a backend goroutine
+// pushes result chunks into batches while Rows pulls, decrypts, and yields
+// them, so at most one chunk of ciphertext and one decrypted row are
+// resident at a time.
+type rowStream struct {
+	cancel  context.CancelFunc
+	batches chan []engine.ScanRow
+	final   chan streamFinal
+	tr      *translate.Translation
+	dec     *decrypter
+	link    netsim.Link
+	drained bool
+}
+
+// streamFinal carries the backend's terminal result (metrics, no rows) or
+// error once every chunk has been delivered.
+type streamFinal struct {
+	res *engine.Result
+	err error
+}
+
+// streamQuery launches the backend's streaming run and returns a QueryResult
+// whose rows arrive through Rows. cancel releases the query's timeout (and
+// with it the run) when the stream ends for any reason.
+func (p *Proxy) streamQuery(ctx context.Context, cancel context.CancelFunc, tr *translate.Translation) *QueryResult {
+	sctx, scancel := context.WithCancel(ctx)
+	s := &rowStream{
+		cancel:  func() { scancel(); cancel() },
+		batches: make(chan []engine.ScanRow, 1),
+		final:   make(chan streamFinal, 1),
+		tr:      tr,
+		link:    p.Link,
+		dec:     newDecrypter(p.ring, tr.Server.Codec),
+	}
+	go func() {
+		res, err := p.cluster.RunStream(sctx, tr.Server, func(rows []engine.ScanRow) error {
+			select {
+			case s.batches <- rows:
+				return nil
+			case <-sctx.Done():
+				return sctx.Err()
+			}
+		})
+		close(s.batches)
+		s.final <- streamFinal{res: res, err: err}
+	}()
+	return &QueryResult{stream: s}
+}
+
+// Rows yields the result rows in order. For a materialized result it ranges
+// over the buffered rows (reusable, err always nil); for a streamed scan it
+// decrypts rows incrementally as chunks arrive from the engine and can be
+// consumed once. Breaking out of the loop cancels the underlying query;
+// errors — including context cancellation — surface as the final yielded
+// pair's error.
+func (r *QueryResult) Rows() iter.Seq2[Row, error] {
+	if r.stream == nil {
+		rows := r.rows
+		return func(yield func(Row, error) bool) {
+			for _, row := range rows {
+				if !yield(row, nil) {
+					return
+				}
+			}
+		}
+	}
+	return r.stream.iterate(r)
+}
+
+// All drains Rows into a slice, so call sites that want the whole result —
+// every aggregation, and any scan small enough to hold — get it in one call.
+func (r *QueryResult) All() ([]Row, error) {
+	if r.stream == nil {
+		return r.rows, nil
+	}
+	var rows []Row
+	for row, err := range r.Rows() {
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// NumRows reports the materialized row count (0 for an undrained stream).
+func (r *QueryResult) NumRows() int { return len(r.rows) }
+
+// Close releases a streamed result without draining it: the underlying query
+// is canceled and a later Rows call reports the stream as consumed. It is a
+// no-op for materialized results and safe to call after a full drain.
+func (r *QueryResult) Close() error {
+	if r.stream != nil {
+		r.stream.drained = true
+		r.stream.cancel()
+	}
+	return nil
+}
+
+// errStreamConsumed reports a second consumption attempt on a one-shot
+// streamed result.
+var errStreamConsumed = errors.New("client: streamed result already consumed (Rows is one-shot; use All to materialize)")
+
+// iterate is the one-shot consumption of a streamed scan.
+func (s *rowStream) iterate(qr *QueryResult) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		if s.drained {
+			yield(Row{}, errStreamConsumed)
+			return
+		}
+		s.drained = true
+		defer s.cancel()
+		start := time.Now()
+		cols := s.tr.Client.ScanCols
+		for batch := range s.batches {
+			for i := range batch {
+				row, err := s.dec.scanRow(cols, &batch[i])
+				if err != nil {
+					yield(Row{}, err)
+					return
+				}
+				if !yield(row, nil) {
+					return
+				}
+			}
+		}
+		fin := <-s.final
+		if fin.err != nil {
+			yield(Row{}, fin.err)
+			return
+		}
+		// Fully drained: fill in the breakdown the materialized path reports
+		// up front. ClientTime spans the drain, which includes the caller's
+		// per-row work — the price of measuring a pipeline from inside it.
+		qr.Metrics = fin.res.Metrics
+		qr.PRFEvals = s.dec.prfEvals
+		qr.ServerTime = fin.res.Metrics.ServerTime
+		qr.NetworkTime = s.link.TransferTime(fin.res.Metrics.ResultBytes)
+		qr.ClientTime = time.Since(start)
+		qr.TotalTime = qr.ServerTime + qr.NetworkTime + qr.ClientTime
+	}
+}

@@ -1,0 +1,85 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"seabed/internal/engine"
+	"seabed/internal/planner"
+	"seabed/internal/schema"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+)
+
+// TestWithClusterSharesGuardedTables is the regression test for the
+// WithCluster data race: the derived proxy used to share the tables map but
+// get a fresh mutex, so concurrent use of both proxies raced on the map.
+// The registry is now shared as one pointer, lock included; this test runs
+// concurrent CreatePlan writes through one proxy against Query reads through
+// the other and must be clean under -race.
+func TestWithClusterSharesGuardedTables(t *testing.T) {
+	p1, err := NewProxy([]byte("withcluster-race-master-secret-0"),
+		engine.NewCluster(engine.Config{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSchema := func(name string) *schema.Table {
+		return &schema.Table{Name: name, Columns: []schema.Column{
+			{Name: "m", Type: schema.Int64, Sensitive: true},
+		}}
+	}
+	if _, err := p1.CreatePlan(mkSchema("t"), []string{"SELECT SUM(m) FROM t"}, planner.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := store.Build("t", []store.Column{{Name: "m", Kind: store.U64, U64: []uint64{1, 2, 3, 4}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Upload(context.Background(), "t", src, translate.Seabed); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := p1.WithCluster(engine.NewCluster(engine.Config{Workers: 4}))
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		// Writer: registers fresh plans through the original proxy.
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			name := fmt.Sprintf("w%d", i)
+			if _, err := p1.CreatePlan(mkSchema(name), []string{"SELECT SUM(m) FROM " + name}, planner.Options{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		// Reader: queries the shared table through the derived proxy.
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			res, err := p2.Query(context.Background(), "SELECT SUM(m) FROM t")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rows, err := res.All()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rows[0].Values[0].I64 != 10 {
+				t.Errorf("sum = %d, want 10", rows[0].Values[0].I64)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Both proxies observe the writer's registrations: one shared registry.
+	if _, err := p2.Plan("w49"); err != nil {
+		t.Fatalf("derived proxy does not see tables planned via the original: %v", err)
+	}
+}

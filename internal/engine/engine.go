@@ -18,6 +18,7 @@
 package engine
 
 import (
+	"context"
 	"math/big"
 	"time"
 
@@ -47,6 +48,12 @@ type Config struct {
 	StragglerFactor float64
 	// Seed drives straggler injection and group inflation.
 	Seed uint64
+	// TaskSleep injects a real (wall-clock) delay at the start of every map
+	// task, modeling the I/O stall of a cold HDFS read. The sleep is
+	// context-aware, so a canceled query abandons it immediately — the
+	// cancellation tests lean on this to make short queries observably slow.
+	// Zero disables it.
+	TaskSleep time.Duration
 }
 
 // DefaultWorkers is the worker count used when Config.Workers is unset. It is
@@ -84,12 +91,16 @@ func (c *Cluster) Workers() int { return c.cfg.Workers }
 // in-process engine receives plans that reference tables by pointer, so
 // there is nothing to ship; remote backends (internal/remote) use the same
 // call to upload the table to a seabed-server.
-func (c *Cluster) RegisterTable(ref string, t *store.Table) error { return nil }
+func (c *Cluster) RegisterTable(ctx context.Context, ref string, t *store.Table) error {
+	return ctx.Err()
+}
 
 // AppendTable satisfies the proxy's cluster-backend contract; like
 // RegisterTable it is a no-op in process, where the proxy's own table
 // pointer already carries the appended rows.
-func (c *Cluster) AppendTable(ref string, batch *store.Table) error { return nil }
+func (c *Cluster) AppendTable(ctx context.Context, ref string, batch *store.Table) error {
+	return ctx.Err()
+}
 
 // FilterKind selects a predicate evaluation strategy.
 type FilterKind int

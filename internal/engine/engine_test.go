@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	mrand "math/rand"
@@ -56,7 +57,7 @@ func cluster() *Cluster {
 
 func TestPlainSum(t *testing.T) {
 	tbl, vals, _ := fixture(t, 1000, 7)
-	res, err := cluster().Run(&Plan{Table: tbl, Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}}})
+	res, err := cluster().Run(context.Background(), &Plan{Table: tbl, Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestPlainSum(t *testing.T) {
 
 func TestAsheSumDecrypts(t *testing.T) {
 	tbl, vals, _ := fixture(t, 1000, 7)
-	res, err := cluster().Run(&Plan{Table: tbl, Aggs: []Agg{{Kind: AggAsheSum, Col: "v_ashe"}}})
+	res, err := cluster().Run(context.Background(), &Plan{Table: tbl, Aggs: []Agg{{Kind: AggAsheSum, Col: "v_ashe"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestAsheSumDecrypts(t *testing.T) {
 func TestDetFilter(t *testing.T) {
 	tbl, vals, dims := fixture(t, 1000, 7)
 	target := uint64(3)
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		Filters: []Filter{{Kind: FilterDetEq, Col: "d_det", Bytes: detKey.EncryptU64(target)}},
 		Aggs:    []Agg{{Kind: AggAsheSum, Col: "v_ashe"}, {Kind: AggCount}},
@@ -126,7 +127,7 @@ func TestDetFilter(t *testing.T) {
 func TestDetFilterNegate(t *testing.T) {
 	tbl, _, dims := fixture(t, 500, 3)
 	target := uint64(2)
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		Filters: []Filter{{Kind: FilterDetEq, Col: "d_det", Bytes: detKey.EncryptU64(target), Negate: true}},
 		Aggs:    []Agg{{Kind: AggCount}},
@@ -148,7 +149,7 @@ func TestDetFilterNegate(t *testing.T) {
 func TestOpeFilter(t *testing.T) {
 	tbl, vals, _ := fixture(t, 1000, 7)
 	threshold := uint64(42)
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		Filters: []Filter{{Kind: FilterOpeCmp, Col: "v_ope", Op: sqlparse.OpGt, Bytes: opeKey.Encrypt(threshold)}},
 		Aggs:    []Agg{{Kind: AggPlainSum, Col: "v"}},
@@ -170,7 +171,7 @@ func TestOpeFilter(t *testing.T) {
 func TestPlainCmpOperators(t *testing.T) {
 	tbl, vals, _ := fixture(t, 300, 2)
 	for _, op := range []sqlparse.CmpOp{sqlparse.OpEq, sqlparse.OpNe, sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe} {
-		res, err := cluster().Run(&Plan{
+		res, err := cluster().Run(context.Background(), &Plan{
 			Table:   tbl,
 			Filters: []Filter{{Kind: FilterPlainCmp, Col: "v", Op: op, U64: 50}},
 			Aggs:    []Agg{{Kind: AggCount}},
@@ -192,7 +193,7 @@ func TestPlainCmpOperators(t *testing.T) {
 
 func TestRandomSelectivity(t *testing.T) {
 	tbl, _, _ := fixture(t, 20000, 5)
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		Filters: []Filter{{Kind: FilterRandom, Prob: 0.5, Seed: 99}},
 		Aggs:    []Agg{{Kind: AggCount}},
@@ -205,7 +206,7 @@ func TestRandomSelectivity(t *testing.T) {
 		t.Fatalf("sel=50%% selected %d of 20000", got)
 	}
 	// Determinism.
-	res2, err := cluster().Run(&Plan{
+	res2, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		Filters: []Filter{{Kind: FilterRandom, Prob: 0.5, Seed: 99}},
 		Aggs:    []Agg{{Kind: AggCount}},
@@ -217,7 +218,7 @@ func TestRandomSelectivity(t *testing.T) {
 		t.Fatal("random selection is not deterministic for a fixed seed")
 	}
 	// Prob 1 selects everything.
-	res3, err := cluster().Run(&Plan{
+	res3, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		Filters: []Filter{{Kind: FilterRandom, Prob: 1.0, Seed: 99}},
 		Aggs:    []Agg{{Kind: AggCount}},
@@ -232,7 +233,7 @@ func TestRandomSelectivity(t *testing.T) {
 
 func TestGroupByPlain(t *testing.T) {
 	tbl, vals, dims := fixture(t, 1000, 7)
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		GroupBy: &GroupBy{Col: "d"},
 		Aggs:    []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}},
@@ -256,7 +257,7 @@ func TestGroupByPlain(t *testing.T) {
 
 func TestGroupByDetKeysWithAshe(t *testing.T) {
 	tbl, vals, dims := fixture(t, 1000, 7)
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		GroupBy: &GroupBy{Col: "d_det"},
 		Aggs:    []Agg{{Kind: AggAsheSum, Col: "v_ashe"}},
@@ -286,7 +287,7 @@ func TestGroupByDetKeysWithAshe(t *testing.T) {
 
 func TestGroupInflation(t *testing.T) {
 	tbl, vals, dims := fixture(t, 1000, 7)
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		GroupBy: &GroupBy{Col: "d", Inflate: 4},
 		Aggs:    []Agg{{Kind: AggPlainSum, Col: "v"}},
@@ -338,7 +339,7 @@ func TestPaillierSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cluster().Run(&Plan{Table: tbl, Aggs: []Agg{{Kind: AggPaillierSum, Col: "v_pail", PK: &sk.PublicKey}}})
+	res, err := cluster().Run(context.Background(), &Plan{Table: tbl, Aggs: []Agg{{Kind: AggPaillierSum, Col: "v_pail", PK: &sk.PublicKey}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +350,7 @@ func TestPaillierSum(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	tbl, vals, _ := fixture(t, 500, 3)
-	res, err := cluster().Run(&Plan{Table: tbl, Aggs: []Agg{
+	res, err := cluster().Run(context.Background(), &Plan{Table: tbl, Aggs: []Agg{
 		{Kind: AggPlainMin, Col: "v"},
 		{Kind: AggPlainMax, Col: "v"},
 		{Kind: AggOpeMin, Col: "v_ope"},
@@ -382,7 +383,7 @@ func TestMinMax(t *testing.T) {
 
 func TestScan(t *testing.T) {
 	tbl, vals, _ := fixture(t, 400, 4)
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		Filters: []Filter{{Kind: FilterPlainCmp, Col: "v", Op: sqlparse.OpGt, U64: 90}},
 		Project: []string{"v", "v_ashe"},
@@ -445,7 +446,7 @@ func TestJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cluster().Run(&Plan{
+	res, err := cluster().Run(context.Background(), &Plan{
 		Table: left,
 		Join:  &Join{Right: right, LeftCol: "url_det", RightCol: "url_det", RightCols: []string{"rank"}},
 		Aggs: []Agg{
@@ -475,7 +476,7 @@ func TestJoin(t *testing.T) {
 func TestSimulatedScalingImprovesWithWorkers(t *testing.T) {
 	tbl, _, _ := fixture(t, 200000, 32)
 	run := func(workers int) *Result {
-		res, err := NewCluster(Config{Workers: workers}).Run(&Plan{
+		res, err := NewCluster(Config{Workers: workers}).Run(context.Background(), &Plan{
 			Table: tbl, Aggs: []Agg{{Kind: AggAsheSum, Col: "v_ashe"}}})
 		if err != nil {
 			t.Fatal(err)
@@ -496,12 +497,12 @@ func TestSimulatedScalingImprovesWithWorkers(t *testing.T) {
 
 func TestStragglerInjection(t *testing.T) {
 	tbl, _, _ := fixture(t, 50000, 16)
-	base, err := NewCluster(Config{Workers: 16, Seed: 1}).Run(&Plan{
+	base, err := NewCluster(Config{Workers: 16, Seed: 1}).Run(context.Background(), &Plan{
 		Table: tbl, Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := NewCluster(Config{Workers: 16, Seed: 1, StragglerProb: 1, StragglerFactor: 10}).Run(&Plan{
+	slow, err := NewCluster(Config{Workers: 16, Seed: 1, StragglerProb: 1, StragglerFactor: 10}).Run(context.Background(), &Plan{
 		Table: tbl, Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}}})
 	if err != nil {
 		t.Fatal(err)
@@ -513,7 +514,7 @@ func TestStragglerInjection(t *testing.T) {
 
 func TestCompressAtDriverAblation(t *testing.T) {
 	tbl, _, _ := fixture(t, 50000, 8)
-	worker, err := cluster().Run(&Plan{
+	worker, err := cluster().Run(context.Background(), &Plan{
 		Table:   tbl,
 		Filters: []Filter{{Kind: FilterRandom, Prob: 0.5, Seed: 5}},
 		Aggs:    []Agg{{Kind: AggAsheSum, Col: "v_ashe"}},
@@ -521,7 +522,7 @@ func TestCompressAtDriverAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	driver, err := cluster().Run(&Plan{
+	driver, err := cluster().Run(context.Background(), &Plan{
 		Table:            tbl,
 		Filters:          []Filter{{Kind: FilterRandom, Prob: 0.5, Seed: 5}},
 		Aggs:             []Agg{{Kind: AggAsheSum, Col: "v_ashe"}},
@@ -554,7 +555,7 @@ func TestPlanValidation(t *testing.T) {
 		{Table: tbl, Aggs: []Agg{{Kind: AggCount}}, Filters: []Filter{{Kind: FilterPlainCmp, Col: "nope"}}},
 	}
 	for i, p := range cases {
-		if _, err := cluster().Run(p); err == nil {
+		if _, err := cluster().Run(context.Background(), p); err == nil {
 			t.Errorf("case %d: want error", i)
 		}
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -17,7 +18,7 @@ func shardSplit(t *testing.T, tbl *store.Table, mkPlan func(tbl *store.Table) *P
 	cl := NewCluster(Config{Workers: 4})
 
 	whole := mkPlan(tbl)
-	want, err := cl.Run(whole)
+	want, err := cl.Run(context.Background(), whole)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func shardSplit(t *testing.T, tbl *store.Table, mkPlan func(tbl *store.Table) *P
 		if sub.NumRows() > 0 {
 			pl.Range = &IDRange{Lo: sub.Parts[0].StartID, Hi: sub.EndID()}
 		}
-		if partials[i], err = cl.Run(pl); err != nil {
+		if partials[i], err = cl.Run(context.Background(), pl); err != nil {
 			t.Fatal(err)
 		}
 		// Every shard resolves the same effective codec; the merge reuses it.
@@ -129,7 +130,7 @@ func TestIDRangeScoping(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := NewCluster(Config{Workers: 2})
-	res, err := cl.Run(&Plan{Table: tbl,
+	res, err := cl.Run(context.Background(), &Plan{Table: tbl,
 		Range: &IDRange{Lo: 11, Hi: 40},
 		Aggs:  []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}}})
 	if err != nil {
@@ -142,7 +143,7 @@ func TestIDRangeScoping(t *testing.T) {
 		t.Fatalf("scoped rows scanned = %d, want 30", res.Metrics.RowsScanned)
 	}
 	// An inverted range selects nothing but still yields the zero group.
-	res, err = cl.Run(&Plan{Table: tbl,
+	res, err = cl.Run(context.Background(), &Plan{Table: tbl,
 		Range: &IDRange{Lo: 50, Hi: 10},
 		Aggs:  []Agg{{Kind: AggCount}}})
 	if err != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -14,8 +15,19 @@ import (
 	"seabed/internal/store"
 )
 
-// Run executes a plan and returns its result and cost metrics.
-func (c *Cluster) Run(pl *Plan) (*Result, error) {
+// ScanSink receives one batch of scan rows from a streaming plan execution.
+// Returning an error aborts the run; the error is propagated to the caller.
+type ScanSink func(rows []ScanRow) error
+
+// ScanChunkRows is the batch size streaming executions hand to a ScanSink,
+// and the row count per MsgResultChunk frame on the wire. It bounds how much
+// scan output is in flight between the engine and an incremental decrypter.
+const ScanChunkRows = 1024
+
+// Run executes a plan and returns its result and cost metrics. The context
+// is checked between map tasks and periodically within them; when it is
+// canceled the worker pool drains and Run returns ctx.Err().
+func (c *Cluster) Run(ctx context.Context, pl *Plan) (*Result, error) {
 	if pl.Table == nil {
 		return nil, errors.New("engine: plan has no table")
 	}
@@ -69,15 +81,23 @@ func (c *Cluster) Run(pl *Plan) (*Result, error) {
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i := range parts {
+		// Abort the pool the moment the context dies: tasks already launched
+		// drain (they observe ctx themselves), unlaunched ones never start.
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = pl.runMapTask(c, parts[i], right, joinHash, codec)
+			results[i], errs[i] = pl.runMapTask(ctx, c, parts[i], right, joinHash, codec)
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -116,6 +136,33 @@ func (c *Cluster) Run(pl *Plan) (*Result, error) {
 	metrics.ServerTime = metrics.MapTime + metrics.ShuffleTime + metrics.ReduceTime + metrics.DriverTime
 	out.Metrics = metrics
 	return out, nil
+}
+
+// RunStream executes a plan like Run, but delivers scan rows to sink in
+// ScanChunkRows-sized batches instead of materializing them in the result
+// (whose Scan field stays nil). For plans without a projection — or a nil
+// sink — it is identical to Run. In process the map stage still materializes
+// before the first batch is delivered; the streaming contract is about what
+// the caller must buffer, which is one batch, not the whole scan. A sink
+// error aborts the run and is returned as-is.
+func (c *Cluster) RunStream(ctx context.Context, pl *Plan, sink ScanSink) (*Result, error) {
+	res, err := c.Run(ctx, pl)
+	if err != nil || sink == nil || len(pl.Project) == 0 {
+		return res, err
+	}
+	scan := res.Scan
+	res.Scan = nil
+	for len(scan) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := min(ScanChunkRows, len(scan))
+		if err := sink(scan[:n]); err != nil {
+			return nil, err
+		}
+		scan = scan[n:]
+	}
+	return res, nil
 }
 
 // reduceScan concatenates scan rows at the driver.

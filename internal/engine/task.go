@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -11,6 +12,10 @@ import (
 	"seabed/internal/sqlparse"
 	"seabed/internal/store"
 )
+
+// cancelCheckRows is how often (in rows) a map task polls its context: a
+// power of two so the hot loop's check is one mask and compare.
+const cancelCheckRows = 1 << 16
 
 // groupKey identifies a group within map/reduce bookkeeping. Bytes keys are
 // folded into the string field.
@@ -260,8 +265,19 @@ func cmpU64(a, b uint64) int {
 	return 0
 }
 
-// runMapTask executes the plan's map stage on one partition.
-func (pl *Plan) runMapTask(c *Cluster, part *store.Partition, right map[string]*store.Column, joinHash map[string]int, codec idlist.Codec) (*mapResult, error) {
+// runMapTask executes the plan's map stage on one partition. It observes ctx
+// at the injected I/O stall and once per cancelCheckRows rows of the scan
+// loop, so a canceled query abandons even a single huge partition promptly.
+func (pl *Plan) runMapTask(ctx context.Context, c *Cluster, part *store.Partition, right map[string]*store.Column, joinHash map[string]int, codec idlist.Codec) (*mapResult, error) {
+	if c.cfg.TaskSleep > 0 {
+		t := time.NewTimer(c.cfg.TaskSleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
 	b, err := pl.bind(part, right, joinHash)
 	if err != nil {
 		return nil, err
@@ -302,6 +318,9 @@ func (pl *Plan) runMapTask(c *Cluster, part *store.Partition, right map[string]*
 	}
 
 	for i := i0; i <= i1; i++ {
+		if (i-i0)&(cancelCheckRows-1) == cancelCheckRows-1 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		rowID := part.StartID + uint64(i)
 		joinIdx := -1
 		if b.leftKey != nil {

@@ -1,13 +1,23 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"seabed/internal/wire"
 )
+
+// cancelDrainTimeout bounds how long a canceled exchange waits for the
+// server's terminal frame after firing a Cancel. A cooperative server
+// answers within a round trip, letting the connection return to the pool
+// clean; a stalled or hostile one runs into this deadline and the
+// connection is discarded instead — cancellation never blocks on the
+// server's goodwill.
+const cancelDrainTimeout = 500 * time.Millisecond
 
 // Pool is a per-endpoint TCP connection pool speaking the wire protocol: it
 // dials, handshakes, and recycles connections to one seabed-server, and runs
@@ -147,18 +157,40 @@ func (p *Pool) put(conn net.Conn) {
 	p.mu.Unlock()
 }
 
-// RoundTrip sends one request frame and reads its response. Server-reported
-// failures surface as errors with the server's message; the response type is
-// returned for the caller to validate.
-func (p *Pool) RoundTrip(reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
+// RoundTrip sends one request frame and reads its single response frame.
+// Server-reported failures surface as errors with the server's message; the
+// response type is returned for the caller to validate.
+func (p *Pool) RoundTrip(ctx context.Context, reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
+	return p.Exchange(ctx, reqType, req, nil)
+}
+
+// Exchange runs one request over a pooled connection: the request frame,
+// zero or more MsgResultChunk frames delivered to onChunk, and the terminal
+// response frame, which it returns.
+//
+// Cancellation: when ctx dies mid-exchange, a best-effort MsgCancel frame is
+// sent and the exchange keeps draining (without delivering chunks) until the
+// terminal frame lands or cancelDrainTimeout passes — the common case
+// returns the connection to the pool clean, the slow case discards it.
+// Either way Exchange returns ctx.Err() promptly.
+//
+// A transport failure on a pooled connection before any response frame
+// arrived — typically a server that restarted while the socket sat idle —
+// is retried once on a freshly dialed one. Once any frame has been read the
+// socket was demonstrably live and the request is not retriable: the server
+// may have partially executed it, and the caller may have observed chunks.
+func (p *Pool) Exchange(ctx context.Context, reqType wire.MsgType, req []byte, onChunk func(payload []byte) error) (wire.MsgType, []byte, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		conn, fromPool, err := p.get()
 		if err != nil {
 			return 0, nil, err
 		}
-		respType, payload, err := p.exchange(conn, reqType, req)
+		respType, payload, err, retriable := p.exchange(ctx, conn, reqType, req, onChunk)
 		if err != nil {
-			if fromPool {
+			if fromPool && retriable {
 				continue // stale pooled socket: retry on a fresh dial
 			}
 			return 0, nil, err
@@ -170,20 +202,87 @@ func (p *Pool) RoundTrip(reqType wire.MsgType, req []byte) (wire.MsgType, []byte
 	}
 }
 
-// exchange performs one request/response on conn, pooling it on success and
-// closing it on transport errors.
-func (p *Pool) exchange(conn net.Conn, reqType wire.MsgType, req []byte) (wire.MsgType, []byte, error) {
+// exchange performs one request exchange on conn, pooling it when it ends
+// with the protocol in a clean state and closing it on transport errors.
+// retriable reports whether the caller may safely re-run the request on a
+// fresh connection.
+func (p *Pool) exchange(ctx context.Context, conn net.Conn, reqType wire.MsgType, req []byte, onChunk func([]byte) error) (_ wire.MsgType, _ []byte, err error, retriable bool) {
 	if err := wire.WriteFrame(conn, reqType, req); err != nil {
 		conn.Close()
-		return 0, nil, err
+		return 0, nil, err, true
 	}
-	respType, payload, err := wire.ReadFrame(conn)
-	if err != nil {
-		conn.Close()
-		return 0, nil, fmt.Errorf("remote: read %v response: %w", reqType, err)
+
+	// Cancellation watcher: the moment ctx dies, fire a Cancel frame at the
+	// server (so it frees the query slot) and bound the drain. The watcher
+	// owns the connection's write side until finish() joins it, so a Cancel
+	// write can never interleave with a later request's frames.
+	stop := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-stop:
+		case <-ctx.Done():
+			wire.WriteFrame(conn, wire.MsgCancel, nil)               //nolint:errcheck // best-effort
+			conn.SetReadDeadline(time.Now().Add(cancelDrainTimeout)) //nolint:errcheck // best-effort
+		}
+	}()
+	finish := func() {
+		close(stop)
+		<-watcherDone
 	}
-	p.put(conn)
-	return respType, payload, nil
+
+	frameRead := false // any frame arrived: the socket was live, not a stale pooled one
+	var sinkErr error  // onChunk failure: abort the run, keep draining
+	for {
+		respType, payload, rerr := wire.ReadFrame(conn)
+		if rerr != nil {
+			finish()
+			conn.Close()
+			if cerr := ctx.Err(); cerr != nil {
+				return 0, nil, cerr, false
+			}
+			if sinkErr != nil {
+				// The drain after a sink failure died; the sink failure is
+				// the error worth reporting, and re-running the query would
+				// just hit it again.
+				return 0, nil, sinkErr, false
+			}
+			return 0, nil, fmt.Errorf("remote: read %v response: %w", reqType, rerr), !frameRead
+		}
+		frameRead = true
+		if respType == wire.MsgResultChunk {
+			// Chunks after cancellation or a sink failure drain silently.
+			if ctx.Err() != nil || sinkErr != nil {
+				continue
+			}
+			if onChunk == nil {
+				finish()
+				conn.Close()
+				return 0, nil, fmt.Errorf("remote: unexpected %v frame in %v response", respType, reqType), false
+			}
+			if cerr := onChunk(payload); cerr != nil {
+				// Abort server-side and drain to the terminal frame, exactly
+				// like a context cancellation.
+				sinkErr = cerr
+				wire.WriteFrame(conn, wire.MsgCancel, nil)               //nolint:errcheck // best-effort
+				conn.SetReadDeadline(time.Now().Add(cancelDrainTimeout)) //nolint:errcheck // best-effort
+				continue
+			}
+			continue
+		}
+		// Terminal frame: the exchange is complete and the connection clean.
+		finish()
+		conn.SetReadDeadline(time.Time{}) //nolint:errcheck // pooling best-effort
+		p.put(conn)
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, cerr, false
+		}
+		if sinkErr != nil {
+			return 0, nil, sinkErr, false
+		}
+		return respType, payload, nil, false
+	}
 }
 
 // Close releases the pool. In-flight requests finish on their checked-out

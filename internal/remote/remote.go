@@ -5,13 +5,17 @@
 // change to the query path.
 //
 // A RemoteCluster composes a Pool of TCP connections. Every request checks
-// a connection out for one request/response round trip, so concurrent
+// a connection out for one request/response exchange, so concurrent
 // Proxy.Query calls fan out over parallel connections instead of queueing
-// behind one socket. A sharded deployment (internal/shard) composes one
+// behind one socket. Cancellation crosses the wire: when a request's
+// context dies, the pool fires a protocol Cancel frame at the daemon and
+// returns promptly, draining the abandoned exchange in the background of
+// the same call. A sharded deployment (internal/shard) composes one
 // RemoteCluster — and therefore one independent pool — per shard endpoint.
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,12 +56,12 @@ func (r *RemoteCluster) Shard() (index, count int) { return r.pool.Shard() }
 
 // RegisterTable implements ClusterBackend: it ships the table to the server
 // and records the pointer→ref binding used to encode later plans.
-func (r *RemoteCluster) RegisterTable(ref string, t *store.Table) error {
+func (r *RemoteCluster) RegisterTable(ctx context.Context, ref string, t *store.Table) error {
 	payload, err := wire.EncodeRegister(ref, t)
 	if err != nil {
 		return err
 	}
-	respType, _, err := r.pool.RoundTrip(wire.MsgRegister, payload)
+	respType, _, err := r.pool.RoundTrip(ctx, wire.MsgRegister, payload)
 	if err != nil {
 		return err
 	}
@@ -72,12 +76,12 @@ func (r *RemoteCluster) RegisterTable(ref string, t *store.Table) error {
 
 // AppendTable implements ClusterBackend: only the batch crosses the wire;
 // the server appends it (copy-on-write) to its copy of the table.
-func (r *RemoteCluster) AppendTable(ref string, batch *store.Table) error {
+func (r *RemoteCluster) AppendTable(ctx context.Context, ref string, batch *store.Table) error {
 	payload, err := wire.EncodeAppend(ref, batch)
 	if err != nil {
 		return err
 	}
-	respType, _, err := r.pool.RoundTrip(wire.MsgAppend, payload)
+	respType, _, err := r.pool.RoundTrip(ctx, wire.MsgAppend, payload)
 	if err != nil {
 		return err
 	}
@@ -105,12 +109,30 @@ func (r *RemoteCluster) refOf(t *store.Table) (string, error) {
 // it nil, so the caller decodes identifier lists with the same one. It is
 // the building block shard coordinators use to address one shard's rows
 // without any pointer bookkeeping on the endpoint.
-func (r *RemoteCluster) RunRequest(req *wire.PlanRequest) (*engine.Result, error) {
+//
+// Scan rows arrive as v3 chunk frames: with a non-nil sink each decoded
+// batch is handed over as it lands (the result's Scan stays empty);
+// otherwise the batches are collected into the result, reproducing the
+// materialized behavior. Canceling ctx fires a Cancel frame at the daemon
+// and returns ctx.Err() promptly.
+func (r *RemoteCluster) RunRequest(ctx context.Context, req *wire.PlanRequest, sink engine.ScanSink) (*engine.Result, error) {
 	payload, err := wire.EncodePlan(req)
 	if err != nil {
 		return nil, err
 	}
-	respType, resp, err := r.pool.RoundTrip(wire.MsgRun, payload)
+	var collected []engine.ScanRow
+	onChunk := func(p []byte) error {
+		rows, err := wire.DecodeScanChunk(p)
+		if err != nil {
+			return err
+		}
+		if sink != nil {
+			return sink(rows)
+		}
+		collected = append(collected, rows...)
+		return nil
+	}
+	respType, resp, err := r.pool.Exchange(ctx, wire.MsgRun, payload, onChunk)
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +142,11 @@ func (r *RemoteCluster) RunRequest(req *wire.PlanRequest) (*engine.Result, error
 	codecName, res, err := wire.DecodeResult(resp)
 	if err != nil {
 		return nil, err
+	}
+	// v3 servers ship every scan row in chunk frames and leave the terminal
+	// frame's scan section empty; tolerate rows there anyway.
+	if len(collected) > 0 {
+		res.Scan = append(collected, res.Scan...)
 	}
 	if req.Plan.Codec == nil {
 		codec, err := wire.CodecByName(codecName)
@@ -131,11 +158,9 @@ func (r *RemoteCluster) RunRequest(req *wire.PlanRequest) (*engine.Result, error
 	return res, nil
 }
 
-// Run implements ClusterBackend: the plan is rewritten to reference tables
-// by ref, executed on the server, and the decoded result returned. Like the
-// in-process engine, Run records the effective identifier-list codec in
-// pl.Codec so the proxy decodes with the codec the server used.
-func (r *RemoteCluster) Run(pl *engine.Plan) (*engine.Result, error) {
+// runPlan rewrites a pointer-carrying plan into a ref-addressed request and
+// executes it via RunRequest.
+func (r *RemoteCluster) runPlan(ctx context.Context, pl *engine.Plan, sink engine.ScanSink) (*engine.Result, error) {
 	if pl.Table == nil {
 		return nil, errors.New("engine: plan has no table")
 	}
@@ -160,7 +185,7 @@ func (r *RemoteCluster) Run(pl *engine.Plan) (*engine.Result, error) {
 	}
 	req.Plan = &tx
 
-	res, err := r.RunRequest(&req)
+	res, err := r.RunRequest(ctx, &req, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +193,21 @@ func (r *RemoteCluster) Run(pl *engine.Plan) (*engine.Result, error) {
 		pl.Codec = req.Plan.Codec
 	}
 	return res, nil
+}
+
+// Run implements ClusterBackend: the plan is rewritten to reference tables
+// by ref, executed on the server, and the decoded result returned. Like the
+// in-process engine, Run records the effective identifier-list codec in
+// pl.Codec so the proxy decodes with the codec the server used.
+func (r *RemoteCluster) Run(ctx context.Context, pl *engine.Plan) (*engine.Result, error) {
+	return r.runPlan(ctx, pl, nil)
+}
+
+// RunStream implements ClusterBackend: scan rows are delivered to sink chunk
+// by chunk as their frames arrive off the socket, so a large scan never
+// materializes on the client.
+func (r *RemoteCluster) RunStream(ctx context.Context, pl *engine.Plan, sink engine.ScanSink) (*engine.Result, error) {
+	return r.runPlan(ctx, pl, sink)
 }
 
 // Addr returns the server address this cluster dials.

@@ -5,6 +5,7 @@
 package remote
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"reflect"
@@ -124,7 +125,7 @@ func fixture(t *testing.T) *client.Proxy {
 	if err := proxy.Ring().EnsurePaillier(256); err != nil { // small key: test speed
 		t.Fatal(err)
 	}
-	if err := proxy.Upload("sales", src, fixtureModes...); err != nil {
+	if err := proxy.Upload(context.Background(), "sales", src, fixtureModes...); err != nil {
 		t.Fatal(err)
 	}
 	return proxy
@@ -138,7 +139,7 @@ func remoteTwin(t *testing.T, local *client.Proxy) *client.Proxy {
 		t.Fatalf("remote workers = %d, want 4", rc.Workers())
 	}
 	rp := local.WithCluster(rc)
-	if err := rp.SyncTables(); err != nil {
+	if err := rp.SyncTables(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return rp
@@ -163,13 +164,17 @@ var loopbackQueries = []string{
 }
 
 // mustRows runs a query and returns its decrypted rows.
-func mustRows(t *testing.T, p *client.Proxy, sql string, mode translate.Mode, opts client.QueryOptions) []client.Row {
+func mustRows(t *testing.T, p *client.Proxy, sql string, mode translate.Mode, opts ...client.QueryOption) []client.Row {
 	t.Helper()
-	res, err := p.Query(sql, mode, opts)
+	res, err := p.Query(context.Background(), sql, append([]client.QueryOption{client.WithMode(mode)}, opts...)...)
 	if err != nil {
 		t.Fatalf("%v %q: %v", mode, sql, err)
 	}
-	return res.Rows
+	rows, err := res.All()
+	if err != nil {
+		t.Fatalf("%v %q: %v", mode, sql, err)
+	}
+	return rows
 }
 
 // TestLoopbackEndToEnd is the acceptance gate: every query, in every mode,
@@ -179,8 +184,8 @@ func TestLoopbackEndToEnd(t *testing.T) {
 	remote := remoteTwin(t, local)
 	for _, sql := range loopbackQueries {
 		for _, mode := range fixtureModes {
-			want := mustRows(t, local, sql, mode, client.QueryOptions{})
-			got := mustRows(t, remote, sql, mode, client.QueryOptions{})
+			want := mustRows(t, local, sql, mode)
+			got := mustRows(t, remote, sql, mode)
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("%v %q: remote rows differ from in-process\n got %+v\nwant %+v", mode, sql, got, want)
 			}
@@ -194,9 +199,8 @@ func TestLoopbackGroupInflation(t *testing.T) {
 	local := fixture(t)
 	remote := remoteTwin(t, local)
 	sql := "SELECT hour, SUM(revenue) FROM sales GROUP BY hour"
-	opts := client.QueryOptions{ExpectedGroups: 6, ForceInflate: 3}
-	want := mustRows(t, local, sql, translate.Seabed, opts)
-	got := mustRows(t, remote, sql, translate.Seabed, opts)
+	want := mustRows(t, local, sql, translate.Seabed, client.WithExpectedGroups(6), client.WithForceInflate(3))
+	got := mustRows(t, remote, sql, translate.Seabed, client.WithExpectedGroups(6), client.WithForceInflate(3))
 	if len(want) != 6 {
 		t.Fatalf("inflated group-by returned %d groups, want 6", len(want))
 	}
@@ -210,7 +214,7 @@ func TestLoopbackGroupInflation(t *testing.T) {
 func TestLoopbackServerOnly(t *testing.T) {
 	local := fixture(t)
 	remote := remoteTwin(t, local)
-	res, err := remote.Query("SELECT SUM(revenue) FROM sales", translate.Seabed, client.QueryOptions{ServerOnly: true})
+	res, err := remote.Query(context.Background(), "SELECT SUM(revenue) FROM sales", client.WithServerOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +239,7 @@ func TestConcurrentRemoteQueries(t *testing.T) {
 	var work []workItem
 	for _, sql := range loopbackQueries {
 		for _, mode := range []translate.Mode{translate.NoEnc, translate.Seabed} {
-			work = append(work, workItem{sql, mode, mustRows(t, local, sql, mode, client.QueryOptions{})})
+			work = append(work, workItem{sql, mode, mustRows(t, local, sql, mode)})
 		}
 	}
 
@@ -248,12 +252,17 @@ func TestConcurrentRemoteQueries(t *testing.T) {
 			defer wg.Done()
 			for i := range work {
 				w := work[(i+g)%len(work)]
-				res, err := remote.Query(w.sql, w.mode, client.QueryOptions{})
+				res, err := remote.Query(context.Background(), w.sql, client.WithMode(w.mode))
 				if err != nil {
 					errs <- err
 					return
 				}
-				if !reflect.DeepEqual(res.Rows, w.want) {
+				rows, err := res.All()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(rows, w.want) {
 					errs <- &divergence{sql: w.sql, mode: w.mode}
 					return
 				}
@@ -282,7 +291,7 @@ func TestAppendReachesServer(t *testing.T) {
 	local := fixture(t)
 	remote := remoteTwin(t, local)
 	sql := "SELECT COUNT(*) FROM sales"
-	before := mustRows(t, remote, sql, translate.Seabed, client.QueryOptions{})
+	before := mustRows(t, remote, sql, translate.Seabed)
 
 	// The batch must roughly match the planned value distribution — and be
 	// large enough that its common rows can donate the dummy slots enhanced
@@ -317,10 +326,10 @@ func TestAppendReachesServer(t *testing.T) {
 	}
 	// Append through the remote-bound proxy: encrypts locally, re-registers
 	// the grown table on the server.
-	if err := remote.Append("sales", batch, translate.Seabed); err != nil {
+	if err := remote.Append(context.Background(), "sales", batch, translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
-	after := mustRows(t, remote, sql, translate.Seabed, client.QueryOptions{})
+	after := mustRows(t, remote, sql, translate.Seabed)
 	if after[0].Values[0].I64 != before[0].Values[0].I64+batchRows {
 		t.Fatalf("count after append = %d, want %d", after[0].Values[0].I64, before[0].Values[0].I64+batchRows)
 	}
@@ -332,7 +341,7 @@ func TestUnsyncedTableFails(t *testing.T) {
 	local := fixture(t)
 	rc := startServer(t)
 	rp := local.WithCluster(rc) // no SyncTables
-	_, err := rp.Query("SELECT COUNT(*) FROM sales", translate.Seabed, client.QueryOptions{})
+	_, err := rp.Query(context.Background(), "SELECT COUNT(*) FROM sales")
 	if err == nil || !strings.Contains(err.Error(), "never registered") {
 		t.Fatalf("err = %v, want a never-registered error", err)
 	}

@@ -7,12 +7,16 @@
 //
 // Each accepted connection is served by its own goroutine; requests on one
 // connection are processed in order, and clients that want parallelism open
-// multiple connections (internal/remote pools them). The table registry is
-// shared across connections and guarded for concurrent registration and
-// plan execution.
+// multiple connections (internal/remote pools them). While a plan executes,
+// the connection keeps reading: a MsgCancel frame aborts the in-flight run
+// through its context, scan results stream back as MsgResultChunk frames,
+// and a client that disconnects mid-query cancels its run implicitly. The
+// table registry is shared across connections and guarded for concurrent
+// registration and plan execution.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -45,6 +49,18 @@ type Server struct {
 	ln     net.Listener
 	active map[net.Conn]struct{}
 	conns  sync.WaitGroup
+	// quit, when closed, tells every connection to cancel its in-flight run
+	// and exit after its current response — the graceful half of Shutdown.
+	// Recreated by Serve so a Closed server can serve again.
+	quit chan struct{}
+	// pendingStop records a Close/Shutdown that arrived before Serve
+	// registered its listener; the late-arriving Serve consumes it and
+	// returns immediately instead of accepting forever. stopped tracks
+	// whether a stop already took effect since the last Serve, so a
+	// redundant Close after Shutdown (the usual deferred-cleanup pattern)
+	// does not poison a later, intentional re-Serve.
+	pendingStop bool
+	stopped     bool
 
 	// counters behind Stats (cmd/seabed-server's -metrics flag and the shard
 	// balance assertions of the loopback tests).
@@ -52,6 +68,8 @@ type Server struct {
 	registers  atomic.Uint64
 	appends    atomic.Uint64
 	runs       atomic.Uint64
+	runsActive atomic.Int64
+	canceled   atomic.Uint64
 	reqErrors  atomic.Uint64
 }
 
@@ -64,15 +82,22 @@ type TableStat struct {
 
 // Stats is a point-in-time snapshot of a server's activity: connection and
 // per-request counters plus the size of every registered table. A sharded
-// deployment compares Rows across daemons to check shard balance.
+// deployment compares Rows across daemons to check shard balance; the
+// cancellation tests watch RunsActive fall back to zero after a mid-query
+// cancel to prove the slot was freed.
 type Stats struct {
 	ConnsTotal  uint64
 	ConnsActive int
 	Registers   uint64
 	Appends     uint64
 	Runs        uint64
-	Errors      uint64
-	Tables      []TableStat
+	// RunsActive counts plans executing right now.
+	RunsActive int
+	// Canceled counts runs aborted by a Cancel frame, a client disconnect,
+	// or server shutdown.
+	Canceled uint64
+	Errors   uint64
+	Tables   []TableStat
 }
 
 // Stats returns a snapshot of the server's counters and table registry,
@@ -83,6 +108,8 @@ func (s *Server) Stats() Stats {
 		Registers:  s.registers.Load(),
 		Appends:    s.appends.Load(),
 		Runs:       s.runs.Load(),
+		RunsActive: int(s.runsActive.Load()),
+		Canceled:   s.canceled.Load(),
 		Errors:     s.reqErrors.Load(),
 	}
 	s.lnMu.Lock()
@@ -101,8 +128,8 @@ func (s *Server) Stats() Stats {
 // -metrics flag prints on SIGUSR1.
 func (st Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "conns=%d active=%d registers=%d appends=%d runs=%d errors=%d",
-		st.ConnsTotal, st.ConnsActive, st.Registers, st.Appends, st.Runs, st.Errors)
+	fmt.Fprintf(&b, "conns=%d active=%d registers=%d appends=%d runs=%d in-flight=%d canceled=%d errors=%d",
+		st.ConnsTotal, st.ConnsActive, st.Registers, st.Appends, st.Runs, st.RunsActive, st.Canceled, st.Errors)
 	for _, t := range st.Tables {
 		fmt.Fprintf(&b, "\n  table %q: %d rows, %d partitions", t.Ref, t.Rows, t.Parts)
 	}
@@ -165,14 +192,24 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Serve accepts connections on ln until Close. It returns nil after a clean
-// Close and the accept error otherwise. Close detaches the listener from
-// the server before closing it, so "is this accept failure a clean
-// shutdown" is answered by whether s.ln still points at ln — not by a flag
-// Close could reset before this goroutine gets to look at it.
+// Serve accepts connections on ln until Close or Shutdown. It returns nil
+// after a clean stop and the accept error otherwise. Close detaches the
+// listener from the server before closing it, so "is this accept failure a
+// clean shutdown" is answered by whether s.ln still points at ln — not by a
+// flag Close could reset before this goroutine gets to look at it.
 func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
+	if s.pendingStop {
+		s.pendingStop = false
+		s.lnMu.Unlock()
+		ln.Close() //nolint:errcheck // refusing to serve a stopped server
+		return nil
+	}
 	s.ln = ln
+	s.stopped = false
+	if s.quit == nil {
+		s.quit = make(chan struct{})
+	}
 	s.lnMu.Unlock()
 	for {
 		conn, err := ln.Accept()
@@ -191,6 +228,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn.Close()
 			continue
 		}
+		quit := s.quit
 		s.active[conn] = struct{}{}
 		s.conns.Add(1)
 		s.connsTotal.Add(1)
@@ -202,30 +240,82 @@ func (s *Server) Serve(ln net.Listener) error {
 				s.lnMu.Unlock()
 				s.conns.Done()
 			}()
-			s.serveConn(conn)
+			s.serveConn(conn, quit)
 		}()
 	}
 }
 
-// Close stops accepting connections, closes every open connection (clients
-// keep idle pooled connections open indefinitely, so there is nothing to
-// drain — an in-flight request sees its socket close), and waits for the
-// connection goroutines to exit. Registered tables survive Close; a new
-// Serve continues with the same registry.
-func (s *Server) Close() error {
+// detach stops accepting new connections and signals every connection to
+// wind down: the listener is detached and closed, and the quit channel —
+// which cancels in-flight runs — is closed. It is the shared first half of
+// Close and Shutdown.
+func (s *Server) detach() error {
 	s.lnMu.Lock()
 	ln := s.ln
 	s.ln = nil
+	if ln == nil && !s.stopped {
+		// Stop requested before Serve registered (or with no Serve at all):
+		// leave a note for the late-arriving Serve to consume. A stop that
+		// already took effect (ln detached earlier) sets nothing, so a
+		// redundant Close after Shutdown cannot poison the next Serve.
+		s.pendingStop = true
+	}
+	s.stopped = true
+	if s.quit != nil {
+		close(s.quit)
+		s.quit = nil
+	}
+	s.lnMu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// Close stops accepting connections, cancels in-flight queries, closes every
+// open connection (clients keep idle pooled connections open indefinitely,
+// so there is nothing to drain — an in-flight request sees its socket
+// close), and waits for the connection goroutines to exit. Registered tables
+// survive Close; a new Serve continues with the same registry.
+func (s *Server) Close() error {
+	err := s.detach()
+	s.lnMu.Lock()
 	for conn := range s.active {
 		conn.Close() //nolint:errcheck // racing the handler's own close
 	}
 	s.lnMu.Unlock()
-	var err error
-	if ln != nil {
-		err = ln.Close()
-	}
 	s.conns.Wait()
 	return err
+}
+
+// Shutdown stops the server gracefully: it stops accepting connections,
+// cancels every in-flight query through its context (the client receives the
+// canceled run's error response before its connection closes), and waits for
+// the connection goroutines to drain. If ctx expires first the remaining
+// connections are closed Close-style and ctx.Err() is returned; a clean
+// drain returns nil. Registered tables survive, as with Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.detach()
+	done := make(chan struct{})
+	go func() {
+		s.conns.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.lnMu.Lock()
+		for conn := range s.active {
+			conn.Close() //nolint:errcheck // racing the handler's own close
+		}
+		s.lnMu.Unlock()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
+	}
 }
 
 // Addr returns the listener's address, or nil before Serve.
@@ -244,11 +334,20 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// serveConn runs one connection: handshake, then a request/response loop.
-// Protocol-level failures (bad frames, wrong version) drop the connection;
+// frame is one decoded wire frame in flight from the connection reader to
+// the request loop.
+type frame struct {
+	t       wire.MsgType
+	payload []byte
+}
+
+// serveConn runs one connection: handshake, then a request/response loop fed
+// by a dedicated reader goroutine, so Cancel frames are seen while a plan
+// executes. Protocol-level failures (bad frames, wrong version, any
+// non-Cancel frame while a run is in flight) drop the connection;
 // request-level failures (unknown ref, plan errors) answer MsgError and keep
 // it open.
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(conn net.Conn, quit <-chan struct{}) {
 	defer conn.Close()
 	peer := conn.RemoteAddr()
 
@@ -278,35 +377,135 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	s.logf("%v: connected (protocol v%d)", peer, version)
 
+	// The reader goroutine owns the connection's read side for the rest of
+	// its life. It stops when the connection errors (including our deferred
+	// Close) or when serveConn stops consuming (connDone).
+	frames := make(chan frame)
+	connDone := make(chan struct{})
+	defer close(connDone)
+	go func() {
+		defer close(frames)
+		for {
+			t, payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			select {
+			case frames <- frame{t, payload}:
+			case <-connDone:
+				return
+			}
+		}
+	}()
+
 	for {
-		t, payload, err := wire.ReadFrame(conn)
-		if err != nil {
-			s.logf("%v: disconnected: %v", peer, err)
+		select {
+		case <-quit:
+			s.logf("%v: closing (shutdown)", peer)
 			return
+		case f, ok := <-frames:
+			if !ok {
+				s.logf("%v: disconnected", peer)
+				return
+			}
+			var respType wire.MsgType
+			var resp []byte
+			keep := true
+			switch f.t {
+			case wire.MsgRegister:
+				s.registers.Add(1)
+				respType, resp = s.handleRegister(f.payload)
+			case wire.MsgAppend:
+				s.appends.Add(1)
+				respType, resp = s.handleAppend(f.payload)
+			case wire.MsgCancel:
+				// Nothing in flight: the Cancel crossed our response on the
+				// wire. Cancels are never answered, so ignoring it keeps the
+				// connection's request/response accounting intact.
+				continue
+			case wire.MsgRun:
+				// keep == false (shutdown, disconnect, protocol violation)
+				// still delivers the run's terminal frame below — a client
+				// canceled by shutdown learns its query's fate — and then
+				// drops the connection.
+				respType, resp, keep = s.serveRun(conn, quit, frames, f.payload)
+			default:
+				respType = wire.MsgError
+				resp = wire.EncodeError(fmt.Sprintf("server: unexpected %v frame", f.t))
+			}
+			if respType == wire.MsgError {
+				s.reqErrors.Add(1)
+				s.logf("%v: %v request failed: %s", peer, f.t, wire.DecodeError(resp))
+			}
+			if err := wire.WriteFrame(conn, respType, resp); err != nil {
+				s.logf("%v: write response: %v", peer, err)
+				return
+			}
+			if !keep {
+				s.logf("%v: closing mid-run", peer)
+				return
+			}
 		}
-		var respType wire.MsgType
-		var resp []byte
-		switch t {
-		case wire.MsgRegister:
-			s.registers.Add(1)
-			respType, resp = s.handleRegister(payload)
-		case wire.MsgAppend:
-			s.appends.Add(1)
-			respType, resp = s.handleAppend(payload)
-		case wire.MsgRun:
-			s.runs.Add(1)
-			respType, resp = s.handleRun(payload)
-		default:
-			respType = wire.MsgError
-			resp = wire.EncodeError(fmt.Sprintf("server: unexpected %v frame", t))
-		}
-		if respType == wire.MsgError {
-			s.reqErrors.Add(1)
-			s.logf("%v: %v request failed: %s", peer, t, wire.DecodeError(resp))
-		}
-		if err := wire.WriteFrame(conn, respType, resp); err != nil {
-			s.logf("%v: write response: %v", peer, err)
-			return
+	}
+}
+
+// serveRun executes one MsgRun with cancellation support: the plan runs in
+// its own goroutine (writing scan chunks straight to conn) while this loop
+// watches for a Cancel frame, a client disconnect, or server shutdown — each
+// cancels the run's context. It returns the terminal response frame and
+// whether the connection should keep serving; ok == false also covers
+// protocol violations (a non-Cancel frame while the run is in flight).
+func (s *Server) serveRun(conn net.Conn, quit <-chan struct{}, frames <-chan frame, payload []byte) (wire.MsgType, []byte, bool) {
+	s.runs.Add(1)
+	s.runsActive.Add(1)
+	defer s.runsActive.Add(-1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type runDone struct {
+		respType wire.MsgType
+		resp     []byte
+	}
+	done := make(chan runDone, 1)
+	go func() {
+		respType, resp := s.executeRun(ctx, conn, payload)
+		done <- runDone{respType, resp}
+	}()
+
+	keep := true
+	for {
+		select {
+		case r := <-done:
+			if ctx.Err() != nil {
+				s.canceled.Add(1)
+			}
+			return r.respType, r.resp, keep
+		case <-quit:
+			// Shutdown: cancel the run but still deliver its terminal frame,
+			// then let the caller close the connection. Nil the channel so the
+			// closed case doesn't spin while the run drains.
+			cancel()
+			keep = false
+			quit = nil
+		case f, ok := <-frames:
+			if !ok {
+				// Client vanished mid-query: abandon the work. The terminal
+				// frame write will fail harmlessly.
+				cancel()
+				keep = false
+				frames = nil
+				continue
+			}
+			if f.t == wire.MsgCancel {
+				cancel()
+				continue
+			}
+			// Pipelining into an in-flight run is a protocol violation from a
+			// client this server cannot trust: abandon the run and the
+			// connection.
+			s.logf("%v: unexpected %v frame while a run is in flight", conn.RemoteAddr(), f.t)
+			cancel()
+			keep = false
 		}
 	}
 }
@@ -362,7 +561,10 @@ func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
 	return wire.MsgOK, nil
 }
 
-func (s *Server) handleRun(payload []byte) (wire.MsgType, []byte) {
+// executeRun decodes and runs one plan, writing scan rows to conn as
+// MsgResultChunk frames as the engine produces them, and returns the
+// terminal response frame.
+func (s *Server) executeRun(ctx context.Context, conn net.Conn, payload []byte) (wire.MsgType, []byte) {
 	req, err := wire.DecodePlan(payload)
 	if err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
@@ -378,8 +580,24 @@ func (s *Server) handleRun(payload []byte) (wire.MsgType, []byte) {
 			return wire.MsgError, wire.EncodeError(err.Error())
 		}
 	}
-	res, err := s.cluster.Run(pl)
+	// Scan plans stream: each batch crosses as its own frame, so the client
+	// decrypts incrementally and a canceled query stops mid-stream instead
+	// of after one giant materialized frame.
+	var sink engine.ScanSink
+	if len(pl.Project) > 0 {
+		sink = func(rows []engine.ScanRow) error {
+			chunk, err := wire.EncodeScanChunk(rows)
+			if err != nil {
+				return err
+			}
+			return wire.WriteFrame(conn, wire.MsgResultChunk, chunk)
+		}
+	}
+	res, err := s.cluster.RunStream(ctx, pl, sink)
 	if err != nil {
+		if ctx.Err() != nil {
+			return wire.MsgError, wire.EncodeError("server: query canceled")
+		}
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}
 	// Run resolved the effective codec into pl.Codec; the client needs its

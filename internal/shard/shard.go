@@ -33,9 +33,18 @@
 // rows re-sort by identifier, and per-shard metrics combine (max of stage
 // latencies, sum of bytes). See merge.go in internal/engine for why each
 // merge is exact.
+//
+// # Cancellation
+//
+// Every scatter runs under one derived context: the moment a shard errs — or
+// the caller's context dies — the remaining shards are canceled, each
+// endpoint fires a wire-protocol Cancel at its daemon, and the scatter
+// returns without waiting for abandoned work. The shard that actually failed
+// is the error reported, not the siblings abandoned because of it.
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -54,12 +63,14 @@ type Backend interface {
 	// Workers returns the shard's worker count.
 	Workers() int
 	// RegisterTable makes a table addressable by ref on the shard.
-	RegisterTable(ref string, t *store.Table) error
+	RegisterTable(ctx context.Context, ref string, t *store.Table) error
 	// AppendTable extends a registered table with a batch of later rows.
-	AppendTable(ref string, batch *store.Table) error
+	AppendTable(ctx context.Context, ref string, batch *store.Table) error
 	// RunRequest executes a ref-addressed plan and records the effective
 	// identifier-list codec in req.Plan.Codec when the request left it nil.
-	RunRequest(req *wire.PlanRequest) (*engine.Result, error)
+	// With a non-nil sink, scan rows are delivered in batches as they
+	// arrive; canceling ctx aborts the shard's work.
+	RunRequest(ctx context.Context, req *wire.PlanRequest, sink engine.ScanSink) (*engine.Result, error)
 }
 
 var _ Backend = (*remote.RemoteCluster)(nil)
@@ -157,37 +168,54 @@ func (c *Cluster) Workers() int { return c.workers }
 // NumShards returns the number of shard endpoints.
 func (c *Cluster) NumShards() int { return len(c.shards) }
 
-// eachShard runs f once per shard concurrently and returns the first error,
-// prefixed with the failing shard's index.
-func (c *Cluster) eachShard(f func(i int, b Backend) error) error {
+// eachShard runs f once per shard concurrently under a shared derived
+// context that is canceled the moment any shard errs (or ctx dies), so the
+// scatter abandons its remaining shards instead of waiting them out. The
+// error reported is the caller's ctx error if it died, otherwise the first
+// shard error that is not a knock-on cancellation, prefixed with the failing
+// shard's index.
+func (c *Cluster) eachShard(ctx context.Context, f func(ctx context.Context, i int, b Backend) error) error {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	for i, b := range c.shards {
 		wg.Add(1)
 		go func(i int, b Backend) {
 			defer wg.Done()
-			if err := f(i, b); err != nil {
+			if err := f(gctx, i, b); err != nil {
 				errs[i] = fmt.Errorf("shard: shard %d/%d: %w", i, len(c.shards), err)
+				cancel() // abandon the sibling shards
 			}
 		}(i, b)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
 			return err
 		}
 	}
-	return nil
+	return first
 }
 
 // RegisterTable implements ClusterBackend: the table is range-partitioned by
 // row identifier into one balanced slice per shard, and each shard registers
 // only its slice. Re-registering a ref replaces the placement, resetting any
 // join replication of the previous contents.
-func (c *Cluster) RegisterTable(ref string, t *store.Table) error {
+func (c *Cluster) RegisterTable(ctx context.Context, ref string, t *store.Table) error {
 	subs := t.SplitRanges(len(c.shards))
-	if err := c.eachShard(func(i int, b Backend) error {
-		return b.RegisterTable(ref, subs[i])
+	if err := c.eachShard(ctx, func(ctx context.Context, i int, b Backend) error {
+		return b.RegisterTable(ctx, ref, subs[i])
 	}); err != nil {
 		return err
 	}
@@ -212,7 +240,7 @@ func (c *Cluster) RegisterTable(ref string, t *store.Table) error {
 // continuing process"). Shards whose slice is empty are skipped. A batch
 // replayed after a lost acknowledgement re-splits identically, and each
 // daemon acknowledges already-applied slices idempotently.
-func (c *Cluster) AppendTable(ref string, batch *store.Table) error {
+func (c *Cluster) AppendTable(ctx context.Context, ref string, batch *store.Table) error {
 	c.mu.RLock()
 	st := c.tables[ref]
 	c.mu.RUnlock()
@@ -220,11 +248,11 @@ func (c *Cluster) AppendTable(ref string, batch *store.Table) error {
 		return fmt.Errorf("shard: table ref %q was never registered with this cluster (call RegisterTable or Proxy.SyncTables)", ref)
 	}
 	subs := batch.SplitRanges(len(c.shards))
-	if err := c.eachShard(func(i int, b Backend) error {
+	if err := c.eachShard(ctx, func(ctx context.Context, i int, b Backend) error {
 		if subs[i].NumRows() == 0 {
 			return nil
 		}
-		return b.AppendTable(ref, subs[i])
+		return b.AppendTable(ctx, ref, subs[i])
 	}); err != nil {
 		return err
 	}
@@ -259,7 +287,7 @@ func (c *Cluster) AppendTable(ref string, batch *store.Table) error {
 // only the appended tail, since copy-on-write growth leaves the shipped
 // partitions an immutable prefix of the current snapshot. Replication is
 // idempotent and guarded, so concurrent queries ship at most once.
-func (c *Cluster) shipJoinTable(ref string, st *tableState) (string, error) {
+func (c *Cluster) shipJoinTable(ctx context.Context, ref string, st *tableState) (string, error) {
 	fullRef := ref + fullSuffix
 	st.shipMu.Lock()
 	defer st.shipMu.Unlock()
@@ -276,16 +304,16 @@ func (c *Cluster) shipJoinTable(ref string, st *tableState) (string, error) {
 		// Grown copy of what was shipped: append only the delta.
 		delta := full.TailParts(len(st.shipped.Parts))
 		if delta.NumRows() > 0 {
-			if err := c.eachShard(func(i int, b Backend) error {
-				return b.AppendTable(fullRef, delta)
+			if err := c.eachShard(ctx, func(ctx context.Context, i int, b Backend) error {
+				return b.AppendTable(ctx, fullRef, delta)
 			}); err != nil {
 				return "", err
 			}
 		}
 		st.shipped = full
 	default:
-		if err := c.eachShard(func(i int, b Backend) error {
-			return b.RegisterTable(fullRef, full)
+		if err := c.eachShard(ctx, func(ctx context.Context, i int, b Backend) error {
+			return b.RegisterTable(ctx, fullRef, full)
 		}); err != nil {
 			return "", err
 		}
@@ -294,12 +322,9 @@ func (c *Cluster) shipJoinTable(ref string, st *tableState) (string, error) {
 	return fullRef, nil
 }
 
-// Run implements ClusterBackend: the plan is scattered to every shard —
-// scoped to that shard's identifier range and marked Partial — and the
-// per-shard results are gathered with engine.MergeResults. Like the other
-// backends, Run records the effective identifier-list codec in pl.Codec when
-// the plan left it nil.
-func (c *Cluster) Run(pl *engine.Plan) (*engine.Result, error) {
+// scatterPlans builds one scoped, Partial plan request per shard (shipping
+// the broadcast-join right table first when the plan joins).
+func (c *Cluster) scatterPlans(ctx context.Context, pl *engine.Plan) ([]*wire.PlanRequest, error) {
 	if pl.Table == nil {
 		return nil, errors.New("engine: plan has no table")
 	}
@@ -328,12 +353,11 @@ func (c *Cluster) Run(pl *engine.Plan) (*engine.Result, error) {
 	var fullJoinRef string
 	if pl.Join != nil {
 		var err error
-		if fullJoinRef, err = c.shipJoinTable(joinRef, joinSt); err != nil {
+		if fullJoinRef, err = c.shipJoinTable(ctx, joinRef, joinSt); err != nil {
 			return nil, err
 		}
 	}
 
-	// Scatter: one scoped, Partial plan frame per shard.
 	reqs := make([]*wire.PlanRequest, len(c.shards))
 	for i := range c.shards {
 		tx := *pl
@@ -352,9 +376,23 @@ func (c *Cluster) Run(pl *engine.Plan) (*engine.Result, error) {
 		}
 		reqs[i] = &wire.PlanRequest{TableRef: ref, JoinRef: fullJoinRef, Plan: &tx}
 	}
+	return reqs, nil
+}
+
+// Run implements ClusterBackend: the plan is scattered to every shard —
+// scoped to that shard's identifier range and marked Partial — and the
+// per-shard results are gathered with engine.MergeResults. A failing shard
+// (or a dead context) cancels the scatter's remaining shards immediately.
+// Like the other backends, Run records the effective identifier-list codec
+// in pl.Codec when the plan left it nil.
+func (c *Cluster) Run(ctx context.Context, pl *engine.Plan) (*engine.Result, error) {
+	reqs, err := c.scatterPlans(ctx, pl)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]*engine.Result, len(c.shards))
-	if err := c.eachShard(func(i int, b Backend) error {
-		res, err := b.RunRequest(reqs[i])
+	if err := c.eachShard(ctx, func(ctx context.Context, i int, b Backend) error {
+		res, err := b.RunRequest(ctx, reqs[i], nil)
 		results[i] = res
 		return err
 	}); err != nil {
@@ -369,6 +407,34 @@ func (c *Cluster) Run(pl *engine.Plan) (*engine.Result, error) {
 	}
 
 	// Gather: fold the partial results exactly as a single engine would.
+	return engine.MergeResults(pl, results)
+}
+
+// RunStream implements ClusterBackend. Scan plans stream shard by shard, in
+// shard order: each shard's chunks flow to sink as they arrive off its
+// socket, so the coordinator never materializes the scan. Rows therefore
+// arrive grouped by shard — identifier order within a shard's upload range,
+// not globally resorted the way the materialized gather is (appended batches
+// interleave shard envelopes). Non-scan plans (or a nil sink) defer to Run.
+func (c *Cluster) RunStream(ctx context.Context, pl *engine.Plan, sink engine.ScanSink) (*engine.Result, error) {
+	if sink == nil || len(pl.Project) == 0 {
+		return c.Run(ctx, pl)
+	}
+	reqs, err := c.scatterPlans(ctx, pl)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*engine.Result, len(c.shards))
+	for i, b := range c.shards {
+		res, err := b.RunRequest(ctx, reqs[i], sink)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	if pl.Codec == nil {
+		pl.Codec = reqs[0].Plan.Codec
+	}
 	return engine.MergeResults(pl, results)
 }
 

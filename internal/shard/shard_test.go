@@ -6,6 +6,7 @@
 package shard_test
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"reflect"
@@ -145,7 +146,7 @@ func fixture(t *testing.T) *client.Proxy {
 	if err := proxy.Ring().EnsurePaillier(256); err != nil { // small key: test speed
 		t.Fatal(err)
 	}
-	if err := proxy.Upload("sales", src, fixtureModes...); err != nil {
+	if err := proxy.Upload(context.Background(), "sales", src, fixtureModes...); err != nil {
 		t.Fatal(err)
 	}
 
@@ -172,7 +173,7 @@ func fixture(t *testing.T) *client.Proxy {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := proxy.Upload("stores", dim, fixtureModes...); err != nil {
+	if err := proxy.Upload(context.Background(), "stores", dim, fixtureModes...); err != nil {
 		t.Fatal(err)
 	}
 	return proxy
@@ -187,7 +188,7 @@ func shardTwin(t *testing.T, local *client.Proxy) (*client.Proxy, []*server.Serv
 		t.Fatalf("sharded workers = %d, want %d", sc.Workers(), numShards*workersPerShard)
 	}
 	sp := local.WithCluster(sc)
-	if err := sp.SyncTables(); err != nil {
+	if err := sp.SyncTables(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return sp, servers
@@ -225,13 +226,17 @@ var shardQueries = []struct {
 }
 
 // mustRows runs a query and returns its decrypted rows.
-func mustRows(t *testing.T, p *client.Proxy, sql string, mode translate.Mode, opts client.QueryOptions) []client.Row {
+func mustRows(t *testing.T, p *client.Proxy, sql string, mode translate.Mode, opts ...client.QueryOption) []client.Row {
 	t.Helper()
-	res, err := p.Query(sql, mode, opts)
+	res, err := p.Query(context.Background(), sql, append([]client.QueryOption{client.WithMode(mode)}, opts...)...)
 	if err != nil {
 		t.Fatalf("%v %q: %v", mode, sql, err)
 	}
-	return res.Rows
+	rows, err := res.All()
+	if err != nil {
+		t.Fatalf("%v %q: %v", mode, sql, err)
+	}
+	return rows
 }
 
 // TestShardedEndToEnd is the acceptance gate: every query, in every mode,
@@ -245,8 +250,8 @@ func TestShardedEndToEnd(t *testing.T) {
 			modes = fixtureModes
 		}
 		for _, mode := range modes {
-			want := mustRows(t, local, q.sql, mode, client.QueryOptions{})
-			got := mustRows(t, sharded, q.sql, mode, client.QueryOptions{})
+			want := mustRows(t, local, q.sql, mode)
+			got := mustRows(t, sharded, q.sql, mode)
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("%v %q: sharded rows differ from in-process\n got %+v\nwant %+v", mode, q.sql, got, want)
 			}
@@ -260,7 +265,7 @@ func TestShardedEndToEnd(t *testing.T) {
 func TestShardedBalance(t *testing.T) {
 	local := fixture(t)
 	sharded, servers := shardTwin(t, local)
-	mustRows(t, sharded, "SELECT COUNT(*) FROM sales", translate.Seabed, client.QueryOptions{})
+	mustRows(t, sharded, "SELECT COUNT(*) FROM sales", translate.Seabed)
 
 	for _, mode := range fixtureModes {
 		ref := client.TableRef("sales", mode)
@@ -315,7 +320,7 @@ func TestShardedConcurrentQueries(t *testing.T) {
 			if skip {
 				continue
 			}
-			work = append(work, workItem{q.sql, mode, mustRows(t, local, q.sql, mode, client.QueryOptions{})})
+			work = append(work, workItem{q.sql, mode, mustRows(t, local, q.sql, mode)})
 		}
 	}
 
@@ -328,12 +333,17 @@ func TestShardedConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for i := range work {
 				w := work[(i+g)%len(work)]
-				res, err := sharded.Query(w.sql, w.mode, client.QueryOptions{})
+				res, err := sharded.Query(context.Background(), w.sql, client.WithMode(w.mode))
 				if err != nil {
 					errs <- err
 					return
 				}
-				if !reflect.DeepEqual(res.Rows, w.want) {
+				rows, err := res.All()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(rows, w.want) {
 					errs <- &divergence{sql: w.sql, mode: w.mode}
 					return
 				}
@@ -395,7 +405,7 @@ func TestShardedAppendRouting(t *testing.T) {
 	// Append through the shard-bound proxy: the encrypted batch splits into
 	// per-shard identifier slices on the wire and also grows the shared
 	// local tables, so the in-process twin sees the same data.
-	if err := sharded.Append("sales", batch, translate.Seabed, translate.NoEnc); err != nil {
+	if err := sharded.Append(context.Background(), "sales", batch, translate.Seabed, translate.NoEnc); err != nil {
 		t.Fatal(err)
 	}
 
@@ -406,8 +416,8 @@ func TestShardedAppendRouting(t *testing.T) {
 		"SELECT revenue FROM sales WHERE day > 29",
 	} {
 		for _, mode := range []translate.Mode{translate.NoEnc, translate.Seabed} {
-			want := mustRows(t, local, sql, mode, client.QueryOptions{})
-			got := mustRows(t, sharded, sql, mode, client.QueryOptions{})
+			want := mustRows(t, local, sql, mode)
+			got := mustRows(t, sharded, sql, mode)
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("%v %q after append: sharded rows differ\n got %+v\nwant %+v", mode, sql, got, want)
 			}
@@ -447,9 +457,8 @@ func TestShardedGroupInflation(t *testing.T) {
 	local := fixture(t)
 	sharded, _ := shardTwin(t, local)
 	sql := "SELECT hour, SUM(revenue) FROM sales GROUP BY hour"
-	opts := client.QueryOptions{ExpectedGroups: 6, ForceInflate: 3}
-	want := mustRows(t, local, sql, translate.Seabed, opts)
-	got := mustRows(t, sharded, sql, translate.Seabed, opts)
+	want := mustRows(t, local, sql, translate.Seabed, client.WithExpectedGroups(6), client.WithForceInflate(3))
+	got := mustRows(t, sharded, sql, translate.Seabed, client.WithExpectedGroups(6), client.WithForceInflate(3))
 	if len(want) != 6 {
 		t.Fatalf("inflated group-by returned %d groups, want 6", len(want))
 	}
@@ -463,7 +472,7 @@ func TestShardedGroupInflation(t *testing.T) {
 func TestShardedServerOnly(t *testing.T) {
 	local := fixture(t)
 	sharded, _ := shardTwin(t, local)
-	res, err := sharded.Query("SELECT SUM(revenue) FROM sales", translate.Seabed, client.QueryOptions{ServerOnly: true})
+	res, err := sharded.Query(context.Background(), "SELECT SUM(revenue) FROM sales", client.WithServerOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,7 +487,7 @@ func TestShardedUnsyncedTableFails(t *testing.T) {
 	local := fixture(t)
 	sc, _ := startShards(t, numShards)
 	sp := local.WithCluster(sc) // no SyncTables
-	_, err := sp.Query("SELECT COUNT(*) FROM sales", translate.Seabed, client.QueryOptions{})
+	_, err := sp.Query(context.Background(), "SELECT COUNT(*) FROM sales")
 	if err == nil || !strings.Contains(err.Error(), "never registered") {
 		t.Fatalf("err = %v, want a never-registered error", err)
 	}
@@ -506,7 +515,7 @@ func TestConcurrentJoinQueriesAndAppends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.RegisterTable("fact", fact); err != nil {
+	if err := sc.RegisterTable(context.Background(), "fact", fact); err != nil {
 		t.Fatal(err)
 	}
 	// Dimension starts with keys 0..4; appends add 5..9 one at a time.
@@ -517,7 +526,7 @@ func TestConcurrentJoinQueriesAndAppends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.RegisterTable("dim", dim); err != nil {
+	if err := sc.RegisterTable(context.Background(), "dim", dim); err != nil {
 		t.Fatal(err)
 	}
 
@@ -529,7 +538,7 @@ func TestConcurrentJoinQueriesAndAppends(t *testing.T) {
 		}
 	}
 	count := func() uint64 {
-		res, err := sc.Run(mkPlan())
+		res, err := sc.Run(context.Background(), mkPlan())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -551,7 +560,7 @@ func TestConcurrentJoinQueriesAndAppends(t *testing.T) {
 					return
 				default:
 				}
-				res, err := sc.Run(mkPlan())
+				res, err := sc.Run(context.Background(), mkPlan())
 				if err != nil {
 					t.Error(err)
 					return
@@ -572,7 +581,7 @@ func TestConcurrentJoinQueriesAndAppends(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sc.AppendTable("dim", batch); err != nil {
+		if err := sc.AppendTable(context.Background(), "dim", batch); err != nil {
 			t.Fatal(err)
 		}
 	}

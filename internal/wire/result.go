@@ -33,13 +33,24 @@ func EncodeResult(codecName string, res *engine.Result) ([]byte, error) {
 		}
 	}
 
-	e.uint(uint64(len(res.Scan)))
-	for i := range res.Scan {
-		r := &res.Scan[i]
+	if err := encodeScanRows(e, res.Scan); err != nil {
+		return nil, err
+	}
+
+	encodeMetrics(e, &res.Metrics)
+	return e.buf, nil
+}
+
+// encodeScanRows appends a length-prefixed scan-row section, shared by the
+// result frame and the v3 chunk frame.
+func encodeScanRows(e *enc, scan []engine.ScanRow) error {
+	e.uint(uint64(len(scan)))
+	for i := range scan {
+		r := &scan[i]
 		e.uint(r.ID)
 		n := len(r.U64s)
 		if len(r.Bytes) != n || len(r.Strs) != n {
-			return nil, fmt.Errorf("wire: encode result: scan row %d has ragged projections (%d/%d/%d)",
+			return fmt.Errorf("wire: encode result: scan row %d has ragged projections (%d/%d/%d)",
 				i, len(r.U64s), len(r.Bytes), len(r.Strs))
 		}
 		e.uint(uint64(n))
@@ -49,9 +60,53 @@ func EncodeResult(codecName string, res *engine.Result) ([]byte, error) {
 			e.str(r.Strs[j])
 		}
 	}
+	return nil
+}
 
-	encodeMetrics(e, &res.Metrics)
+// decodeScanRows parses a scan-row section into dst.
+func decodeScanRows(d *dec, dst *[]engine.ScanRow) {
+	nScan := d.uint()
+	for i := uint64(0); i < nScan && d.err == nil; i++ {
+		var r engine.ScanRow
+		r.ID = d.uint()
+		n := d.uint()
+		// Each projected cell consumes ≥ 3 payload bytes, bounding the
+		// allocation a hostile count can demand.
+		if !d.checkCount(n, 3, "scan columns") {
+			break
+		}
+		if d.err == nil && n > 0 {
+			r.U64s = make([]uint64, n)
+			r.Bytes = make([][]byte, n)
+			r.Strs = make([]string, n)
+			for j := uint64(0); j < n && d.err == nil; j++ {
+				r.U64s[j] = d.uint()
+				r.Bytes[j] = d.bytes()
+				r.Strs[j] = d.str()
+			}
+		}
+		*dst = append(*dst, r)
+	}
+}
+
+// EncodeScanChunk builds a MsgResultChunk payload: one batch of scan rows.
+func EncodeScanChunk(rows []engine.ScanRow) ([]byte, error) {
+	e := &enc{}
+	if err := encodeScanRows(e, rows); err != nil {
+		return nil, err
+	}
 	return e.buf, nil
+}
+
+// DecodeScanChunk parses a MsgResultChunk payload.
+func DecodeScanChunk(p []byte) ([]engine.ScanRow, error) {
+	d := newDec(p)
+	var rows []engine.ScanRow
+	decodeScanRows(d, &rows)
+	if err := d.close("scan chunk"); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // DecodeResult parses a MsgResult payload.
@@ -76,28 +131,7 @@ func DecodeResult(p []byte) (codecName string, res *engine.Result, err error) {
 		res.Groups = append(res.Groups, g)
 	}
 
-	nScan := d.uint()
-	for i := uint64(0); i < nScan && d.err == nil; i++ {
-		var r engine.ScanRow
-		r.ID = d.uint()
-		n := d.uint()
-		// Each projected cell consumes ≥ 3 payload bytes, bounding the
-		// allocation a hostile count can demand.
-		if !d.checkCount(n, 3, "scan columns") {
-			break
-		}
-		if d.err == nil && n > 0 {
-			r.U64s = make([]uint64, n)
-			r.Bytes = make([][]byte, n)
-			r.Strs = make([]string, n)
-			for j := uint64(0); j < n && d.err == nil; j++ {
-				r.U64s[j] = d.uint()
-				r.Bytes[j] = d.bytes()
-				r.Strs[j] = d.str()
-			}
-		}
-		res.Scan = append(res.Scan, r)
-	}
+	decodeScanRows(d, &res.Scan)
 
 	decodeMetrics(d, &res.Metrics)
 	if err := d.close("result"); err != nil {

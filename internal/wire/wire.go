@@ -16,7 +16,12 @@
 //
 // A connection opens with a Hello/Welcome version handshake; after that the
 // client sends request frames (MsgRegister, MsgRun) and the server answers
-// each with exactly one response frame (MsgOK, MsgResult, or MsgError).
+// each with exactly one terminal response frame (MsgOK, MsgResult, or
+// MsgError). Two exceptions, both introduced in v3 for query lifecycle
+// management: a MsgRun's terminal response may be preceded by any number of
+// MsgResultChunk frames carrying scan rows, and the client may send MsgCancel
+// while a MsgRun is in flight — Cancel gets no response of its own, the
+// canceled run's terminal frame closes the exchange.
 //
 // # Payloads
 //
@@ -41,8 +46,11 @@ import (
 //
 // History: v1 introduced the protocol; v2 added shard-aware plan framing
 // (identifier-range scoping + partial-result mode) and median collections in
-// result frames.
-const Version = 2
+// result frames; v3 added query lifecycle management — the MsgCancel frame
+// (abort the connection's in-flight plan) and chunked scan streaming (a
+// MsgRun answered by zero or more MsgResultChunk frames before its terminal
+// MsgResult/MsgError).
+const Version = 3
 
 // MaxFrame bounds a frame's payload (1 GiB), protecting both ends from
 // corrupt or hostile length prefixes.
@@ -67,10 +75,22 @@ const (
 	MsgRun
 	// MsgOK acknowledges a request with no result payload (server → client).
 	MsgOK
-	// MsgResult carries a plan's result (server → client).
+	// MsgResult carries a plan's result (server → client). For scan plans it
+	// is preceded by the scan rows in MsgResultChunk frames; its own Scan
+	// section is then empty.
 	MsgResult
 	// MsgError carries a request-level failure (server → client).
 	MsgError
+	// MsgCancel (client → server) asks the server to abort the connection's
+	// in-flight plan; the aborted MsgRun still gets its terminal response
+	// (normally a MsgError). Cancel itself is never answered, so a Cancel
+	// that crosses the response in flight is silently ignored — cancellation
+	// is best-effort on an untrusted server, and the client enforces its own
+	// deadline regardless.
+	MsgCancel
+	// MsgResultChunk carries one batch of scan rows (server → client),
+	// letting large scans stream instead of materializing in one frame.
+	MsgResultChunk
 )
 
 // String implements fmt.Stringer.
@@ -92,6 +112,10 @@ func (t MsgType) String() string {
 		return "result"
 	case MsgError:
 		return "error"
+	case MsgCancel:
+		return "cancel"
+	case MsgResultChunk:
+		return "result-chunk"
 	}
 	return fmt.Sprintf("MsgType(%d)", byte(t))
 }

@@ -426,3 +426,60 @@ func TestRegisterRejectsJunk(t *testing.T) {
 		t.Fatal("empty ref accepted")
 	}
 }
+
+func TestScanChunkRoundTrip(t *testing.T) {
+	rows := []engine.ScanRow{
+		{ID: 7, U64s: []uint64{42, 0}, Bytes: [][]byte{nil, {1, 2, 3}}, Strs: []string{"", "x"}},
+		{ID: 9, U64s: []uint64{1}, Bytes: [][]byte{nil}, Strs: []string{"hello"}},
+		{ID: 11},
+	}
+	payload, err := EncodeScanChunk(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeScanChunk(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("chunk round trip:\n got %+v\nwant %+v", got, rows)
+	}
+	// Empty chunks survive too (a shard whose slice selected nothing).
+	payload, err = EncodeScanChunk(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeScanChunk(payload); err != nil || len(got) != 0 {
+		t.Fatalf("empty chunk: (%v, %v)", got, err)
+	}
+}
+
+func TestScanChunkRejectsHostilePayloads(t *testing.T) {
+	// A huge row count over a tiny payload must fail the count guard, not
+	// allocate.
+	if _, err := DecodeScanChunk([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}); err == nil {
+		t.Fatal("hostile row count accepted")
+	}
+	// Ragged projections are refused at encode time.
+	if _, err := EncodeScanChunk([]engine.ScanRow{{ID: 1, U64s: []uint64{1}}}); err == nil {
+		t.Fatal("ragged scan row encoded")
+	}
+	// Trailing garbage is refused.
+	payload, err := EncodeScanChunk([]engine.ScanRow{{ID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeScanChunk(append(payload, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestCancelFrameType(t *testing.T) {
+	// The v3 frame types must keep their identities (they cross processes).
+	if MsgCancel.String() != "cancel" || MsgResultChunk.String() != "result-chunk" {
+		t.Fatalf("v3 frame names: %v, %v", MsgCancel, MsgResultChunk)
+	}
+	if Version != 3 {
+		t.Fatalf("protocol version = %d, want 3", Version)
+	}
+}

@@ -7,8 +7,11 @@
 // than Paillier, paired with SPLASHE, a splayed encoding that defeats
 // frequency attacks on deterministically encrypted dimensions.
 //
-// The typical flow mirrors the paper's three client requests (§4.1):
+// The typical flow mirrors the paper's three client requests (§4.1). Every
+// request takes a context.Context, so queries can be canceled mid-flight or
+// bounded by a deadline, and options configure each query:
 //
+//	ctx := context.Background()
 //	cluster := seabed.NewCluster(seabed.ClusterConfig{Workers: 16})
 //	proxy, _ := seabed.NewProxy(masterSecret, cluster)
 //
@@ -16,11 +19,23 @@
 //	proxy.CreatePlan(schema, samples, seabed.PlannerOptions{})
 //
 //	// 2. Upload Data: plaintext rows → encrypted columnar tables.
-//	proxy.Upload("sales", data, seabed.ModeSeabed)
+//	proxy.Upload(ctx, "sales", data, seabed.ModeSeabed)
 //
 //	// 3. Query Data: unmodified SQL → decrypted rows + latency breakdown.
-//	res, _ := proxy.Query("SELECT SUM(revenue) FROM sales WHERE country = 'CA'",
-//	    seabed.ModeSeabed, seabed.QueryOptions{})
+//	res, _ := proxy.Query(ctx, "SELECT SUM(revenue) FROM sales WHERE country = 'CA'",
+//	    seabed.WithTimeout(30*time.Second))
+//	rows, _ := res.All()
+//
+// Canceling ctx aborts the query at every layer — the in-process worker
+// pool, the wire-protocol exchange with a seabed-server, a shard scatter —
+// and Query returns ctx.Err() promptly. Large scans can stream instead of
+// materializing:
+//
+//	res, _ := proxy.Query(ctx, "SELECT revenue FROM sales WHERE day > 180",
+//	    seabed.WithStreaming())
+//	for row, err := range res.Rows() { // decrypts chunk by chunk
+//	    ...
+//	}
 //
 // The package re-exports the system's building blocks — the ASHE, SPLASHE,
 // DET, ORE and Paillier schemes, the columnar store, the Spark-like engine,
@@ -29,8 +44,11 @@
 package seabed
 
 import (
+	"time"
+
 	"seabed/internal/client"
 	"seabed/internal/engine"
+	"seabed/internal/idlist"
 	"seabed/internal/netsim"
 	"seabed/internal/planner"
 	"seabed/internal/remote"
@@ -67,9 +85,11 @@ type (
 	// Server hosts a Cluster behind a TCP listener (cmd/seabed-server wraps
 	// it; embed it to serve from your own process).
 	Server = server.Server
-	// QueryOptions tunes one query execution.
-	QueryOptions = client.QueryOptions
-	// QueryResult is a decrypted result with its latency breakdown.
+	// QueryOption tunes one query execution (see the With… options).
+	QueryOption = client.QueryOption
+	// QueryResult is a decrypted result with its latency breakdown. Rows
+	// yields the decrypted rows (incrementally for streamed scans); All
+	// materializes them.
 	QueryResult = client.QueryResult
 	// Row is one decrypted result row.
 	Row = client.Row
@@ -156,6 +176,52 @@ func DialShardedCluster(addrs ...string) (*ShardedCluster, error) { return shard
 func NewProxy(masterSecret []byte, cluster ClusterBackend) (*Proxy, error) {
 	return client.NewProxy(masterSecret, cluster)
 }
+
+// Query options -----------------------------------------------------------
+
+// WithMode selects the encryption mode a query runs under: ModeSeabed (the
+// default), ModeNoEnc, or ModePaillier. The table must have been uploaded
+// under that mode.
+func WithMode(m Mode) QueryOption { return client.WithMode(m) }
+
+// WithTimeout bounds a query's end-to-end execution; past the deadline every
+// layer is canceled and the query returns context.DeadlineExceeded. It
+// composes with any deadline already on the caller's context (the earlier
+// one wins).
+func WithTimeout(d time.Duration) QueryOption { return client.WithTimeout(d) }
+
+// WithExpectedGroups feeds the group-inflation heuristic (§4.5) the expected
+// number of distinct groups.
+func WithExpectedGroups(n int) QueryOption { return client.WithExpectedGroups(n) }
+
+// WithoutInflation turns the group-inflation optimization off.
+func WithoutInflation() QueryOption { return client.WithoutInflation() }
+
+// WithForceInflate overrides the computed group-inflation factor.
+func WithForceInflate(n int) QueryOption { return client.WithForceInflate(n) }
+
+// WithSelectivity appends the §6.1 random-selection filter: each row is
+// chosen independently with probability prob in (0, 1), deterministically
+// from seed.
+func WithSelectivity(prob float64, seed uint64) QueryOption {
+	return client.WithSelectivity(prob, seed)
+}
+
+// WithCodec overrides the identifier-list codec (the Figure 8 sweep).
+func WithCodec(c idlist.Codec) QueryOption { return client.WithCodec(c) }
+
+// WithCompressAtDriver moves result compression from workers to the driver
+// (the §4.5 ablation).
+func WithCompressAtDriver() QueryOption { return client.WithCompressAtDriver() }
+
+// WithServerOnly skips client-side decryption, matching experiments that
+// measure only server latency (§6.7).
+func WithServerOnly() QueryOption { return client.WithServerOnly() }
+
+// WithStreaming makes a scan query stream: QueryResult.Rows yields rows as
+// result chunks arrive, decrypting incrementally instead of materializing
+// the whole scan.
+func WithStreaming() QueryOption { return client.WithStreaming() }
 
 // BuildTable assembles a plaintext source table from full-length columns.
 func BuildTable(name string, cols []Column, parts int) (*Table, error) {

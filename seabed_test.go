@@ -1,6 +1,7 @@
 package seabed_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func newTestSystem(t *testing.T) *seabed.Proxy {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := proxy.Upload("t", src, seabed.ModeNoEnc, seabed.ModeSeabed); err != nil {
+	if err := proxy.Upload(context.Background(), "t", src, seabed.ModeNoEnc, seabed.ModeSeabed); err != nil {
 		t.Fatal(err)
 	}
 	return proxy
@@ -39,11 +40,15 @@ func newTestSystem(t *testing.T) *seabed.Proxy {
 
 func TestFacadeEndToEnd(t *testing.T) {
 	proxy := newTestSystem(t)
-	res, err := proxy.Query("SELECT SUM(m) FROM t WHERE d = 'a'", seabed.ModeSeabed, seabed.QueryOptions{})
+	res, err := proxy.Query(context.Background(), "SELECT SUM(m) FROM t WHERE d = 'a'")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := res.Rows[0].Values[0].I64; got != 40 {
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows[0].Values[0].I64; got != 40 {
 		t.Fatalf("sum = %d, want 40", got)
 	}
 }
