@@ -36,6 +36,10 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units by name — e.g. the engine's
+	// kernel benchmarks report "rows/s" — so throughput rows land in the
+	// artifact alongside the standard metrics.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the BENCH_<sha>.json document.
@@ -77,9 +81,25 @@ func parseBench(line string) (Benchmark, bool) {
 			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			// Custom b.ReportMetric units (e.g. "rows/s"). A unit contains a
+			// non-numeric rune, which tells it apart from a stray number.
+			if v, err := strconv.ParseFloat(val, 64); err == nil && !numericToken(unit) {
+				if b.Extra == nil {
+					b.Extra = make(map[string]float64)
+				}
+				b.Extra[unit] = v
+			}
 		}
 	}
 	return b, seen
+}
+
+// numericToken reports whether s parses as a number (so it cannot be a
+// metric unit).
+func numericToken(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
 }
 
 // convert reads bench output from r and writes the JSON report to w.

@@ -12,6 +12,7 @@ pkg: seabed
 cpu: Test CPU
 BenchmarkTable1_OperationCosts-8   	       1	 123456789 ns/op	  4096 B/op	      42 allocs/op
 BenchmarkFig6_LatencyVsRows-8      	       2	  98765432 ns/op
+BenchmarkKernelFilterSumU64-8      	    2024	    560806 ns/op	 467443508 rows/s	       0 B/op	       0 allocs/op
 PASS
 ok  	seabed	12.345s
 `
@@ -25,7 +26,7 @@ func TestConvert(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Commit != "abc123" || len(rep.Benchmarks) != 2 {
+	if rep.Commit != "abc123" || len(rep.Benchmarks) != 3 {
 		t.Fatalf("report = %+v", rep)
 	}
 	b := rep.Benchmarks[0]
@@ -33,8 +34,15 @@ func TestConvert(t *testing.T) {
 		b.Iterations != 1 || b.NsPerOp != 123456789 || b.BytesPerOp != 4096 || b.AllocsPerOp != 42 {
 		t.Fatalf("benchmark 0 = %+v", b)
 	}
-	if rep.Benchmarks[1].BytesPerOp != 0 {
+	if rep.Benchmarks[1].BytesPerOp != 0 || rep.Benchmarks[1].Extra != nil {
 		t.Fatalf("benchmark 1 = %+v", rep.Benchmarks[1])
+	}
+	// Custom ReportMetric units (the kernel benchmarks' rows/s) must land in
+	// Extra without disturbing the standard columns.
+	k := rep.Benchmarks[2]
+	if k.Name != "BenchmarkKernelFilterSumU64" || k.NsPerOp != 560806 ||
+		k.AllocsPerOp != 0 || k.Extra["rows/s"] != 467443508 {
+		t.Fatalf("benchmark 2 = %+v", k)
 	}
 }
 

@@ -90,6 +90,7 @@ func Experiments() []Experiment {
 		{"fig10b", "Figure 10b: SPLASHE storage overhead", Fig10b},
 		{"links", "§6.6: client link sensitivity", Links},
 		{"ablations", "Design ablations (compression site, inflation, codecs, stragglers)", Ablations},
+		{"kernels", "Executor kernel throughput (vectorized vs reference evaluator)", Kernels},
 	}
 }
 

@@ -14,8 +14,8 @@ func testCfg() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -1,0 +1,402 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"seabed/internal/store"
+)
+
+// This file implements phase 2 of the vectorized executor: run the compiled
+// kernels (compile.go / kernel.go) over one partition in fixed-size batches.
+// Each batch fills a reusable selection vector with the indices of surviving
+// rows — the join probe and every predicate kernel compact it in place — and
+// the accumulator kernels then consume it in tight per-kind loops over the
+// raw store.Column slices.
+
+// batchRows is the executor's batch size. It equals ScanChunkRows so a fully
+// surviving batch fills exactly one streaming scan chunk, and at 1024 rows
+// the selection and join vectors (4 KiB each) stay resident in L1 while the
+// per-batch bookkeeping amortizes to noise. It must divide cancelCheckRows
+// so cancellation polls land on batch boundaries.
+const batchRows = ScanChunkRows
+
+// taskState is one map task's execution state: the compiled plan bound to a
+// partition plus the reusable batch buffers. All per-batch workspace lives
+// here, so the steady-state u64 filter+sum path allocates nothing.
+type taskState struct {
+	cp   *compiledPlan
+	part *store.Partition
+	pc   partCols
+	res  *mapResult
+
+	selBuf  []int32
+	joinBuf []int32
+	b       batch
+
+	g     grouper
+	arena scanArena
+}
+
+// newTaskState binds the compiled plan to a partition and sizes the
+// workspace the plan's shape needs.
+func (cp *compiledPlan) newTaskState(part *store.Partition) *taskState {
+	ts := &taskState{cp: cp, part: part, res: &mapResult{}}
+	cp.bindPart(part, &ts.pc)
+	ts.selBuf = make([]int32, batchRows)
+	if cp.pl.Join != nil {
+		ts.joinBuf = make([]int32, 0, batchRows)
+	}
+	pl := cp.pl
+	switch {
+	case len(pl.Project) > 0:
+		// scan: arena allocated lazily, one chunk at a time
+	case pl.GroupBy == nil:
+		ts.res.single = newPartial(pl.Aggs)
+	default:
+		ts.g.init(cp)
+	}
+	return ts
+}
+
+// execute runs the batch loop over partition rows [i0, i1], observing ctx
+// every cancelCheckRows rows like the reference evaluator.
+func (ts *taskState) execute(ctx context.Context, i0, i1 int) error {
+	cp := ts.cp
+	startID := ts.part.StartID
+	scan := len(cp.pl.Project) > 0
+	grouped := cp.pl.GroupBy != nil
+	// With no predicates and no join every batch survives whole, so the
+	// selection vector would be the identity: the dense kernels consume the
+	// contiguous interval directly (and ASHE id-lists grow by whole ranges).
+	dense := len(cp.preds) == 0 && ts.pc.leftKey == nil && !scan && !grouped
+	processed := 0
+
+	for lo := i0; lo <= i1; lo += batchRows {
+		if processed&(cancelCheckRows-1) == 0 && processed > 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		hi := min(lo+batchRows-1, i1)
+		n := hi - lo + 1
+		processed += n
+
+		if dense {
+			ts.res.rowsSelected += uint64(n)
+			ts.res.single.rows += uint64(n)
+			for ai := range cp.aggs {
+				cp.aggs[ai].dense(&ts.pc, &ts.res.single.aggs[ai], lo, hi, startID)
+			}
+			continue
+		}
+
+		sel := ts.selBuf[:n]
+		for k := range sel {
+			sel[k] = int32(lo + k)
+		}
+		ts.b.sel = sel
+		ts.b.join = nil
+		if ts.pc.leftKey != nil {
+			ts.probe()
+		}
+		for _, pred := range cp.preds {
+			pred(&ts.pc, &ts.b, startID)
+			if len(ts.b.sel) == 0 {
+				break
+			}
+		}
+		survivors := len(ts.b.sel)
+		ts.res.rowsSelected += uint64(survivors)
+		if survivors == 0 {
+			continue
+		}
+
+		switch {
+		case scan:
+			ts.projectScan(startID)
+		case !grouped:
+			ts.res.single.rows += uint64(survivors)
+			for ai := range cp.aggs {
+				cp.aggs[ai].bulk(&ts.pc, &ts.res.single.aggs[ai], &ts.b, startID)
+			}
+		default:
+			ts.accumulateGroups(startID)
+		}
+	}
+	return nil
+}
+
+// probe runs the broadcast-join hash probe over the batch: unmatched rows
+// drop from the selection vector (inner join), matched rows record their
+// right-table row in the join vector. The probe is typed by the key kind —
+// u64 keys hash directly and byte keys use Go's allocation-free
+// map[string]([]byte) lookup, so no per-row key materializes.
+func (ts *taskState) probe() {
+	key := ts.cp
+	col := ts.pc.leftKey
+	out := ts.b.sel[:0]
+	join := ts.joinBuf[:0]
+	switch col.Kind {
+	case store.U64:
+		h := key.joinU64
+		for _, i := range ts.b.sel {
+			if j, ok := h[col.U64[i]]; ok {
+				out = append(out, i)
+				join = append(join, j)
+			}
+		}
+	case store.Bytes:
+		h := key.joinStr
+		for _, i := range ts.b.sel {
+			if j, ok := h[string(col.Bytes[i])]; ok {
+				out = append(out, i)
+				join = append(join, j)
+			}
+		}
+	default:
+		h := key.joinStr
+		for _, i := range ts.b.sel {
+			if j, ok := h[col.Str[i]]; ok {
+				out = append(out, i)
+				join = append(join, j)
+			}
+		}
+	}
+	ts.b.sel, ts.b.join, ts.joinBuf = out, join, join
+}
+
+// --- group-by path ---
+
+// u64Key is the allocation-free group key for plaintext u64 grouping
+// columns: the value and the inflation suffix (−1 when inflation is off),
+// both comparable, neither touching a string.
+type u64Key struct {
+	v      uint64
+	suffix int32
+}
+
+// strKey is the group key for Str columns and for inflated Bytes columns.
+type strKey struct {
+	s      string
+	suffix int32
+}
+
+// grouper locates the partial for each surviving row's group with
+// kind-specialized maps. u64 keys stay u64 end to end (plus a one-entry
+// cache for runs of equal keys); un-inflated byte keys probe a string-keyed
+// map with Go's allocation-free []byte-conversion lookup, paying one string
+// allocation per distinct group, not per row.
+type grouper struct {
+	aggs    []Agg
+	kind    store.Kind
+	right   bool
+	inflate int
+	seed    uint64
+
+	u64   map[u64Key]*partial
+	str   map[strKey]*partial
+	plain map[string]*partial // Bytes keys, inflation off
+
+	lastU64 u64Key
+	lastP   *partial
+}
+
+func (g *grouper) init(cp *compiledPlan) {
+	g.aggs = cp.pl.Aggs
+	g.kind = groupColKind(cp)
+	g.right = cp.groupCol.isRight()
+	g.seed = cp.seed
+	if cp.pl.GroupBy.Inflate > 1 {
+		g.inflate = cp.pl.GroupBy.Inflate
+	}
+	switch {
+	case g.kind == store.U64:
+		g.u64 = make(map[u64Key]*partial)
+	case g.kind == store.Bytes && g.inflate == 0:
+		g.plain = make(map[string]*partial)
+	default:
+		g.str = make(map[strKey]*partial)
+	}
+}
+
+func groupColKind(cp *compiledPlan) store.Kind {
+	if cp.groupCol.isRight() {
+		return cp.groupCol.right.Kind
+	}
+	return cp.pl.Table.Parts[0].Cols[cp.groupCol.idx].Kind
+}
+
+// accumulateGroups scatters the batch's survivors into their group partials
+// and runs the compiled row accumulators — no AggKind switch, no u64 key
+// ever rendered as a string.
+func (ts *taskState) accumulateGroups(startID uint64) {
+	g := &ts.g
+	col := ts.pc.group
+	for k, i := range ts.b.sel {
+		j := ts.b.joinAt(k)
+		idx := i
+		if g.right {
+			idx = j
+		}
+		rowID := startID + uint64(i)
+		suffix := int32(-1)
+		if g.inflate > 0 {
+			suffix = int32(splitmix64(g.seed^rowID^0xa5a5) % uint64(g.inflate))
+		}
+
+		var p *partial
+		switch {
+		case g.u64 != nil:
+			key := u64Key{v: col.U64[idx], suffix: suffix}
+			if g.lastP != nil && key == g.lastU64 {
+				p = g.lastP
+			} else {
+				p = g.u64[key]
+				if p == nil {
+					p = newPartial(g.aggs)
+					g.u64[key] = p
+				}
+				g.lastU64, g.lastP = key, p
+			}
+		case g.plain != nil:
+			p = g.plain[string(col.Bytes[idx])]
+			if p == nil {
+				p = newPartial(g.aggs)
+				g.plain[string(col.Bytes[idx])] = p
+			}
+		default:
+			key := strKey{suffix: suffix}
+			if g.kind == store.Bytes {
+				key.s = string(col.Bytes[idx])
+			} else {
+				key.s = col.Str[idx]
+			}
+			p = g.str[key]
+			if p == nil {
+				p = newPartial(g.aggs)
+				g.str[key] = p
+			}
+		}
+
+		p.rows++
+		for ai := range ts.cp.aggs {
+			ts.cp.aggs[ai].row(&ts.pc, &p.aggs[ai], i, j, rowID)
+		}
+	}
+}
+
+// fold converts the grouper's typed maps into the map-stage output contract
+// (groupKey-keyed partials), which the shuffle/reduce and shuffle-size
+// accounting consume unchanged.
+func (g *grouper) fold(res *mapResult) {
+	n := len(g.u64) + len(g.str) + len(g.plain)
+	res.groups = make(map[groupKey]*partial, n)
+	for k, p := range g.u64 {
+		res.groups[groupKey{kind: store.U64, u64: k.v, suffix: int(k.suffix)}] = p
+	}
+	for k, p := range g.str {
+		res.groups[groupKey{kind: g.kind, str: k.s, suffix: int(k.suffix)}] = p
+	}
+	for s, p := range g.plain {
+		res.groups[groupKey{kind: store.Bytes, str: s, suffix: -1}] = p
+	}
+}
+
+// --- scan path ---
+
+// scanArena backs scan projection output in chunks of up to
+// ScanChunkRows×width values: the per-row value slices of ScanRow are
+// carved from one backing array per chunk instead of three allocations per
+// row. A chunk is sized to the batch that triggers it — a fully surviving
+// batch allocates exactly one streaming chunk's worth, while a selective
+// scan's chunks stay proportional to its survivors, so retained ScanRows
+// never pin arrays much larger than the rows they carry.
+type scanArena struct {
+	u64 []uint64
+	byt [][]byte
+	str []string
+	off int
+}
+
+// projectScan gathers the batch's surviving rows into ScanRows, writing the
+// projected values directly into the arena's current chunk.
+func (ts *taskState) projectScan(startID uint64) {
+	width := len(ts.pc.project)
+	a := &ts.arena
+	if need := len(ts.b.sel) * width; a.off+need > len(a.u64) {
+		a.u64 = make([]uint64, need)
+		a.byt = make([][]byte, need)
+		a.str = make([]string, need)
+		a.off = 0
+	}
+	for k, i := range ts.b.sel {
+		lo, hi := a.off, a.off+width
+		row := ScanRow{
+			ID:    startID + uint64(i),
+			U64s:  a.u64[lo:hi:hi],
+			Bytes: a.byt[lo:hi:hi],
+			Strs:  a.str[lo:hi:hi],
+		}
+		a.off = hi
+		for pi, col := range ts.pc.project {
+			idx := i
+			if ts.cp.project[pi].isRight() {
+				idx = ts.b.joinAt(k)
+			}
+			switch col.Kind {
+			case store.U64:
+				row.U64s[pi] = col.U64[idx]
+			case store.Bytes:
+				row.Bytes[pi] = col.Bytes[idx]
+			default:
+				row.Strs[pi] = col.Str[idx]
+			}
+		}
+		ts.res.scan = append(ts.res.scan, row)
+	}
+}
+
+// runMapTask executes the compiled plan's map stage on one partition. It
+// observes ctx at the injected I/O stall and once per cancelCheckRows rows
+// of the batch loop, so a canceled query abandons even a single huge
+// partition promptly. Binding and compilation are excluded from the
+// measured task duration, matching the reference evaluator's accounting.
+func (cp *compiledPlan) runMapTask(ctx context.Context, c *Cluster, part *store.Partition) (*mapResult, error) {
+	if c.cfg.TaskSleep > 0 {
+		t := time.NewTimer(c.cfg.TaskSleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	ts := cp.newTaskState(part)
+	i0, i1 := rangeBounds(part, cp.pl.Range)
+	ts.res.rowsScanned = uint64(i1 - i0 + 1)
+
+	start := time.Now()
+	if err := ts.execute(ctx, i0, i1); err != nil {
+		return nil, err
+	}
+	if cp.pl.GroupBy != nil && len(cp.pl.Project) == 0 {
+		ts.g.fold(ts.res)
+	}
+
+	// Worker-side compression of ASHE identifier lists (§4.5): encode here,
+	// inside the measured task, unless the ablation moved it to the driver.
+	if !cp.pl.CompressAtDriver {
+		if ts.res.single != nil {
+			if err := encodePartialIDs(ts.res.single, cp.codec); err != nil {
+				return nil, err
+			}
+		}
+		for _, pg := range ts.res.groups {
+			if err := encodePartialIDs(pg, cp.codec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ts.res.elapsed = time.Since(start)
+	ts.res.bytes = cp.pl.partialBytes(ts.res, cp.codec)
+	return ts.res, nil
+}

@@ -9,6 +9,17 @@
 // the NoEnc / Seabed / Paillier comparisons of §6 all run through the same
 // code path.
 //
+// Execution is vectorized and two-phase. Compile (once per Run, compile.go):
+// the plan binds against the partition layout and lowers to typed kernels —
+// per-operator predicate kernels, per-kind accumulator kernels, a join index
+// typed by key kind. Execute (batch.go): each partition runs in
+// ScanChunkRows-sized batches over a reusable selection vector that the join
+// probe and predicate kernels compact in place; accumulators then consume
+// the survivors in tight loops over the raw column slices, with zero
+// steady-state allocations on the u64 filter/sum/group-key paths. The
+// pre-vectorization row-at-a-time interpreter is retained behind
+// RunReference (reference.go) for differential testing and benchmarking.
+//
 // Tasks execute for real — the actual cryptography runs — but the reported
 // server latency is computed by a list scheduler that places the measured
 // task durations onto a configured number of simulated workers and adds

@@ -475,9 +475,24 @@ func TestJoin(t *testing.T) {
 
 func TestSimulatedScalingImprovesWithWorkers(t *testing.T) {
 	tbl, _, _ := fixture(t, 200000, 32)
+	// The OPE filter keeps each map task's measured duration in the
+	// milliseconds: the vectorized executor runs a bare ASHE sum over 6k
+	// rows in microseconds, where goroutine-scheduling jitter would drown
+	// the simulated-scaling signal. Each cluster also gets one untimed
+	// warmup run so cold caches don't skew the compared measurements.
 	run := func(workers int) *Result {
-		res, err := NewCluster(Config{Workers: workers}).Run(context.Background(), &Plan{
-			Table: tbl, Aggs: []Agg{{Kind: AggAsheSum, Col: "v_ashe"}}})
+		plan := func() *Plan {
+			return &Plan{
+				Table:   tbl,
+				Filters: []Filter{{Kind: FilterOpeCmp, Col: "v_ope", Op: sqlparse.OpGe, Bytes: opeKey.Encrypt(0)}},
+				Aggs:    []Agg{{Kind: AggAsheSum, Col: "v_ashe"}},
+			}
+		}
+		c := NewCluster(Config{Workers: workers})
+		if _, err := c.Run(context.Background(), plan()); err != nil { // warmup
+			t.Fatal(err)
+		}
+		res, err := c.Run(context.Background(), plan())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -497,13 +512,32 @@ func TestSimulatedScalingImprovesWithWorkers(t *testing.T) {
 
 func TestStragglerInjection(t *testing.T) {
 	tbl, _, _ := fixture(t, 50000, 16)
-	base, err := NewCluster(Config{Workers: 16, Seed: 1}).Run(context.Background(), &Plan{
-		Table: tbl, Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}}})
+	// An OPE filter keeps per-task durations well above timer noise — the
+	// vectorized executor finishes a plain sum over 3k rows in microseconds,
+	// too fast to compare two separately-measured runs reliably.
+	plan := func() *Plan {
+		return &Plan{
+			Table:   tbl,
+			Filters: []Filter{{Kind: FilterOpeCmp, Col: "v_ope", Op: sqlparse.OpGe, Bytes: opeKey.Encrypt(0)}},
+			Aggs:    []Agg{{Kind: AggPlainSum, Col: "v"}},
+		}
+	}
+	// One untimed warmup per cluster: the baseline otherwise measures cold
+	// caches while the straggler run measures warm ones, which can eat the
+	// injected 10x.
+	baseCluster := NewCluster(Config{Workers: 16, Seed: 1})
+	if _, err := baseCluster.Run(context.Background(), plan()); err != nil {
+		t.Fatal(err)
+	}
+	base, err := baseCluster.Run(context.Background(), plan())
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := NewCluster(Config{Workers: 16, Seed: 1, StragglerProb: 1, StragglerFactor: 10}).Run(context.Background(), &Plan{
-		Table: tbl, Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}}})
+	slowCluster := NewCluster(Config{Workers: 16, Seed: 1, StragglerProb: 1, StragglerFactor: 10})
+	if _, err := slowCluster.Run(context.Background(), plan()); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := slowCluster.Run(context.Background(), plan())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -553,6 +587,11 @@ func TestPlanValidation(t *testing.T) {
 		{Table: tbl, Aggs: []Agg{{Kind: AggPlainSum, Col: "nope"}}},
 		{Table: tbl, Aggs: []Agg{{Kind: AggCount}}, GroupBy: &GroupBy{Col: "nope"}},
 		{Table: tbl, Aggs: []Agg{{Kind: AggCount}}, Filters: []Filter{{Kind: FilterPlainCmp, Col: "nope"}}},
+		// Join key kinds must match: the typed join index can never pair a
+		// u64 left key with a bytes right key, so the plan is rejected
+		// instead of silently joining nothing.
+		{Table: tbl, Aggs: []Agg{{Kind: AggCount}},
+			Join: &Join{Right: tbl, LeftCol: "v", RightCol: "d_det"}},
 	}
 	for i, p := range cases {
 		if _, err := cluster().Run(context.Background(), p); err == nil {

@@ -1,0 +1,403 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/big"
+	"time"
+
+	"seabed/internal/idlist"
+	"seabed/internal/ope"
+	"seabed/internal/store"
+)
+
+// This file retains the pre-vectorization row-at-a-time interpreter as a
+// straight-line reference evaluator. It is not a production path: the
+// differential tests run every query category through both executors and
+// demand identical results, and the kernel benchmarks (and the bench
+// package's "kernels" experiment) use it as the before-side of the
+// vectorization speedup. It must stay behaviorally frozen — fix bugs in
+// both executors or in neither.
+
+// referencePlan is the reference evaluator's per-Run state: the plan, its
+// codec, and the flattened right side with a string-keyed join hash (the
+// representation the interpreter always used).
+type referencePlan struct {
+	pl       *Plan
+	codec    idlist.Codec
+	right    map[string]*store.Column
+	joinHash map[string]int
+}
+
+// compileReference prepares the reference evaluator's run state; it is the
+// counterpart of Plan.compile for the interpreter.
+func (pl *Plan) compileReference(codec idlist.Codec) (*referencePlan, error) {
+	rp := &referencePlan{pl: pl, codec: codec}
+	if pl.Join != nil {
+		var err error
+		rp.right, err = flattenRight(pl.Join.Right, pl.Join.RightCols, pl.Join.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		rp.joinHash = buildJoinHash(rp.right, pl.Join.RightCol)
+	}
+	return rp, nil
+}
+
+// boundCols resolves every column a plan references against a partition and
+// the optional broadcast join.
+type boundCols struct {
+	filters    []*store.Column
+	aggs       []*store.Column
+	companions []*store.Column
+	group      *store.Column
+	project    []*store.Column
+
+	// joined columns come from the flattened right table.
+	filterRight  []bool
+	aggRight     []bool
+	groupRight   bool
+	projectRight []bool
+
+	leftKey  *store.Column
+	joinHash map[string]int
+	right    map[string]*store.Column
+}
+
+// hashKeyOf renders a join key value as a map key. Only the reference
+// evaluator pays this per-probe string materialization; the vectorized
+// executor's join index is typed by key kind.
+func hashKeyOf(c *store.Column, i int) string {
+	switch c.Kind {
+	case store.U64:
+		var b [8]byte
+		v := c.U64[i]
+		for j := 0; j < 8; j++ {
+			b[j] = byte(v >> (8 * j))
+		}
+		return string(b[:])
+	case store.Bytes:
+		return string(c.Bytes[i])
+	default:
+		return c.Str[i]
+	}
+}
+
+// buildJoinHash indexes the right table's key column.
+func buildJoinHash(right map[string]*store.Column, keyCol string) map[string]int {
+	key := right[keyCol]
+	h := make(map[string]int, key.Len())
+	for i := 0; i < key.Len(); i++ {
+		h[hashKeyOf(key, i)] = i
+	}
+	return h
+}
+
+// bind resolves the plan's columns against one partition.
+func (pl *Plan) bind(part *store.Partition, right map[string]*store.Column, joinHash map[string]int) (*boundCols, error) {
+	b := &boundCols{right: right, joinHash: joinHash}
+	resolve := func(name string) (*store.Column, bool, error) {
+		if c := part.Col(name); c != nil {
+			return c, false, nil
+		}
+		if right != nil {
+			if c, ok := right[name]; ok {
+				return c, true, nil
+			}
+		}
+		return nil, false, fmt.Errorf("engine: unknown column %q", name)
+	}
+	for _, f := range pl.Filters {
+		if f.Kind == FilterRandom {
+			b.filters = append(b.filters, nil)
+			b.filterRight = append(b.filterRight, false)
+			continue
+		}
+		c, r, err := resolve(f.Col)
+		if err != nil {
+			return nil, err
+		}
+		b.filters = append(b.filters, c)
+		b.filterRight = append(b.filterRight, r)
+	}
+	for _, a := range pl.Aggs {
+		if a.Kind == AggCount {
+			b.aggs = append(b.aggs, nil)
+			b.companions = append(b.companions, nil)
+			b.aggRight = append(b.aggRight, false)
+			continue
+		}
+		c, r, err := resolve(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		var comp *store.Column
+		if a.Companion != "" {
+			comp, _, err = resolve(a.Companion)
+			if err != nil {
+				return nil, err
+			}
+		}
+		b.aggs = append(b.aggs, c)
+		b.companions = append(b.companions, comp)
+		b.aggRight = append(b.aggRight, r)
+	}
+	if pl.GroupBy != nil {
+		c, r, err := resolve(pl.GroupBy.Col)
+		if err != nil {
+			return nil, err
+		}
+		b.group, b.groupRight = c, r
+	}
+	for _, name := range pl.Project {
+		c, r, err := resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		b.project = append(b.project, c)
+		b.projectRight = append(b.projectRight, r)
+	}
+	if pl.Join != nil {
+		c := part.Col(pl.Join.LeftCol)
+		if c == nil {
+			return nil, fmt.Errorf("engine: join key %q missing from left table", pl.Join.LeftCol)
+		}
+		b.leftKey = c
+	}
+	return b, nil
+}
+
+// runMapTask executes the plan's map stage on one partition with the
+// original row-at-a-time loop: per-row switches over FilterKind and AggKind,
+// string-keyed join probes, and string-folded group keys. It observes ctx
+// at the injected I/O stall and once per cancelCheckRows rows.
+func (rp *referencePlan) runMapTask(ctx context.Context, c *Cluster, part *store.Partition) (*mapResult, error) {
+	pl := rp.pl
+	if c.cfg.TaskSleep > 0 {
+		t := time.NewTimer(c.cfg.TaskSleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	b, err := pl.bind(part, rp.right, rp.joinHash)
+	if err != nil {
+		return nil, err
+	}
+	res := &mapResult{}
+
+	i0, i1 := rangeBounds(part, pl.Range)
+	res.rowsScanned = uint64(i1 - i0 + 1)
+
+	start := time.Now()
+	if pl.GroupBy == nil && len(pl.Project) == 0 {
+		res.single = newPartial(pl.Aggs)
+	} else if pl.GroupBy != nil {
+		res.groups = make(map[groupKey]*partial)
+	}
+
+	inflate := 0
+	if pl.GroupBy != nil && pl.GroupBy.Inflate > 1 {
+		inflate = pl.GroupBy.Inflate
+	}
+
+	for i := i0; i <= i1; i++ {
+		if (i-i0)&(cancelCheckRows-1) == cancelCheckRows-1 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		rowID := part.StartID + uint64(i)
+		joinIdx := -1
+		if b.leftKey != nil {
+			idx, ok := b.joinHash[hashKeyOf(b.leftKey, i)]
+			if !ok {
+				continue // inner join: unmatched rows drop
+			}
+			joinIdx = idx
+		}
+		// Filters (conjunction).
+		ok := true
+		for fi := range pl.Filters {
+			f := &pl.Filters[fi]
+			switch f.Kind {
+			case FilterRandom:
+				if f.Prob < 1 && splitmix64(f.Seed^rowID) >= uint64(f.Prob*float64(1<<63))<<1 {
+					ok = false
+				}
+			case FilterPlainCmp:
+				col := b.filters[fi]
+				j := i
+				if b.filterRight[fi] {
+					j = joinIdx
+				}
+				if !cmpMatch(f.Op, cmpU64(col.U64[j], f.U64)) {
+					ok = false
+				}
+			case FilterStrCmp:
+				col := b.filters[fi]
+				j := i
+				if b.filterRight[fi] {
+					j = joinIdx
+				}
+				v := col.Str[j]
+				var cmp int
+				switch {
+				case v < f.Str:
+					cmp = -1
+				case v > f.Str:
+					cmp = 1
+				}
+				if !cmpMatch(f.Op, cmp) {
+					ok = false
+				}
+			case FilterDetEq:
+				col := b.filters[fi]
+				j := i
+				if b.filterRight[fi] {
+					j = joinIdx
+				}
+				if bytes.Equal(col.Bytes[j], f.Bytes) == f.Negate {
+					ok = false
+				}
+			case FilterOpeCmp:
+				col := b.filters[fi]
+				j := i
+				if b.filterRight[fi] {
+					j = joinIdx
+				}
+				if !cmpMatch(f.Op, ope.Compare(col.Bytes[j], f.Bytes)) {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		res.rowsSelected++
+
+		// Scan mode: project and continue.
+		if len(pl.Project) > 0 {
+			row := ScanRow{ID: rowID,
+				U64s:  make([]uint64, len(b.project)),
+				Bytes: make([][]byte, len(b.project)),
+				Strs:  make([]string, len(b.project))}
+			for pi, col := range b.project {
+				j := i
+				if b.projectRight[pi] {
+					j = joinIdx
+				}
+				switch col.Kind {
+				case store.U64:
+					row.U64s[pi] = col.U64[j]
+				case store.Bytes:
+					row.Bytes[pi] = col.Bytes[j]
+				default:
+					row.Strs[pi] = col.Str[j]
+				}
+			}
+			res.scan = append(res.scan, row)
+			continue
+		}
+
+		// Locate the group partial.
+		var pg *partial
+		if pl.GroupBy == nil {
+			pg = res.single
+		} else {
+			key := groupKey{kind: b.group.Kind, suffix: -1}
+			j := i
+			if b.groupRight {
+				j = joinIdx
+			}
+			switch b.group.Kind {
+			case store.U64:
+				key.u64 = b.group.U64[j]
+			case store.Bytes:
+				key.str = string(b.group.Bytes[j])
+			default:
+				key.str = b.group.Str[j]
+			}
+			if inflate > 0 {
+				key.suffix = int(splitmix64(c.cfg.Seed^rowID^0xa5a5) % uint64(inflate))
+			}
+			pg = res.groups[key]
+			if pg == nil {
+				pg = newPartial(pl.Aggs)
+				res.groups[key] = pg
+			}
+		}
+		pg.rows++
+
+		// Accumulate aggregates.
+		for ai := range pl.Aggs {
+			st := &pg.aggs[ai]
+			col := b.aggs[ai]
+			j := i
+			if col != nil && b.aggRight[ai] {
+				j = joinIdx
+			}
+			switch st.kind {
+			case AggCount:
+				st.u64++
+			case AggPlainSum:
+				st.u64 += col.U64[j]
+			case AggPlainSumSq:
+				st.u64 += col.U64[j] * col.U64[j]
+			case AggAsheSum:
+				st.u64 += col.U64[j]
+				st.ids.Append(rowID)
+			case AggPaillierSum:
+				pl.Aggs[ai].PK.AddInto(st.pail, new(big.Int).SetBytes(col.Bytes[j]))
+			case AggPlainMin:
+				if !st.seen || col.U64[j] < st.u64 {
+					st.u64, st.seen = col.U64[j], true
+				}
+			case AggPlainMax:
+				if !st.seen || col.U64[j] > st.u64 {
+					st.u64, st.seen = col.U64[j], true
+				}
+			case AggOpeMin:
+				if !st.seen || ope.Less(col.Bytes[j], st.ope) {
+					st.ope, st.argID, st.seen = col.Bytes[j], rowID, true
+					st.takeCompanion(b.companions[ai], j)
+				}
+			case AggOpeMax:
+				if !st.seen || ope.Less(st.ope, col.Bytes[j]) {
+					st.ope, st.argID, st.seen = col.Bytes[j], rowID, true
+					st.takeCompanion(b.companions[ai], j)
+				}
+			case AggPlainMedian:
+				st.medU64 = append(st.medU64, col.U64[j])
+			case AggOpeMedian:
+				st.medOpe = append(st.medOpe, col.Bytes[j])
+				st.medIDs = append(st.medIDs, rowID)
+				if comp := b.companions[ai]; comp != nil {
+					st.medComp = append(st.medComp, comp.U64[j])
+				}
+			}
+		}
+	}
+
+	// Worker-side compression of ASHE identifier lists (§4.5): encode here,
+	// inside the measured task, unless the ablation moved it to the driver.
+	if !pl.CompressAtDriver {
+		if res.single != nil {
+			if err := encodePartialIDs(res.single, rp.codec); err != nil {
+				return nil, err
+			}
+		}
+		for _, pg := range res.groups {
+			if err := encodePartialIDs(pg, rp.codec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.elapsed = time.Since(start)
+	res.bytes = pl.partialBytes(res, rp.codec)
+	return res, nil
+}

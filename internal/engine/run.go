@@ -22,12 +22,42 @@ type ScanSink func(rows []ScanRow) error
 // ScanChunkRows is the batch size streaming executions hand to a ScanSink,
 // and the row count per MsgResultChunk frame on the wire. It bounds how much
 // scan output is in flight between the engine and an incremental decrypter.
+// It is also the executor's batch size (batchRows): at 1024 rows the
+// selection vector stays L1-resident while per-batch overhead amortizes
+// away, and one fully surviving batch fills exactly one streaming chunk, so
+// the scan arena, the sink contract, and the wire frame all share a unit.
 const ScanChunkRows = 1024
 
-// Run executes a plan and returns its result and cost metrics. The context
-// is checked between map tasks and periodically within them; when it is
-// canceled the worker pool drains and Run returns ctx.Err().
+// mapRunner executes the map stage of an already-compiled plan on one
+// partition. Two implementations exist: the vectorized compiledPlan
+// (compile.go / batch.go) and the retained row-at-a-time referencePlan
+// (reference.go).
+type mapRunner interface {
+	runMapTask(ctx context.Context, c *Cluster, part *store.Partition) (*mapResult, error)
+}
+
+// Run executes a plan and returns its result and cost metrics. Execution is
+// two-phase: the plan is compiled once — filters to typed predicate
+// kernels, aggregates to typed accumulator kernels, the join hash typed by
+// key kind — and the compiled kernels then run over every partition in
+// batches (see batch.go). The context is checked between map tasks and
+// periodically within them; when it is canceled the worker pool drains and
+// Run returns ctx.Err().
 func (c *Cluster) Run(ctx context.Context, pl *Plan) (*Result, error) {
+	return c.run(ctx, pl, false)
+}
+
+// RunReference executes a plan with the retained row-at-a-time reference
+// evaluator instead of the vectorized executor. Results and cost accounting
+// are identical by construction — the differential tests enforce it — but
+// the map stage interprets the plan per row. It exists for differential
+// testing and as the before-side of kernel benchmarks; production paths
+// (server, shards) always use Run.
+func (c *Cluster) RunReference(ctx context.Context, pl *Plan) (*Result, error) {
+	return c.run(ctx, pl, true)
+}
+
+func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, error) {
 	if pl.Table == nil {
 		return nil, errors.New("engine: plan has no table")
 	}
@@ -40,6 +70,16 @@ func (c *Cluster) Run(ctx context.Context, pl *Plan) (*Result, error) {
 	for _, a := range pl.Aggs {
 		if a.Kind == AggPaillierSum && a.PK == nil {
 			return nil, errors.New("engine: Paillier aggregate without public key")
+		}
+	}
+	if pl.Join != nil {
+		// The join index is typed by the key kind, so a kind-mismatched join
+		// (say plaintext u64 probing DET bytes) can never match — reject it
+		// here instead of silently returning an empty result.
+		lk, lerr := pl.Table.ColKind(pl.Join.LeftCol)
+		rk, rerr := pl.Join.Right.ColKind(pl.Join.RightCol)
+		if lerr == nil && rerr == nil && lk != rk {
+			return nil, fmt.Errorf("engine: join key kinds differ (%v left vs %v right)", lk, rk)
 		}
 	}
 	codec := pl.Codec
@@ -55,22 +95,24 @@ func (c *Cluster) Run(ctx context.Context, pl *Plan) (*Result, error) {
 
 	var metrics Metrics
 
-	// Broadcast join preparation (driver side, measured).
-	var right map[string]*store.Column
-	var joinHash map[string]int
-	if pl.Join != nil {
-		start := time.Now()
-		var err error
-		right, err = flattenRight(pl.Join.Right, pl.Join.RightCols, pl.Join.RightCol)
-		if err != nil {
-			return nil, err
-		}
-		joinHash = buildJoinHash(right, pl.Join.RightCol)
-		metrics.DriverTime += time.Since(start)
+	// Phase 1 — compile (driver side, measured): bind the plan against the
+	// partition layout, build the typed join index, and lower filters and
+	// aggregates to kernels. Every map task shares the compiled plan.
+	start := time.Now()
+	var runner mapRunner
+	var err error
+	if reference {
+		runner, err = pl.compileReference(codec)
+	} else {
+		runner, err = pl.compile(c.cfg.Seed, codec)
 	}
+	if err != nil {
+		return nil, err
+	}
+	metrics.DriverTime += time.Since(start)
 
-	// Map stage: one task per partition, executed with bounded real
-	// parallelism, each measured individually.
+	// Phase 2 — map stage: one task per partition, executed with bounded
+	// real parallelism, each measured individually.
 	parts := pl.Table.Parts
 	results := make([]*mapResult, len(parts))
 	errs := make([]error, len(parts))
@@ -91,7 +133,7 @@ func (c *Cluster) Run(ctx context.Context, pl *Plan) (*Result, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = pl.runMapTask(ctx, c, parts[i], right, joinHash, codec)
+			results[i], errs[i] = runner.runMapTask(ctx, c, parts[i])
 		}(i)
 	}
 	wg.Wait()
@@ -143,8 +185,11 @@ func (c *Cluster) Run(ctx context.Context, pl *Plan) (*Result, error) {
 // (whose Scan field stays nil). For plans without a projection — or a nil
 // sink — it is identical to Run. In process the map stage still materializes
 // before the first batch is delivered; the streaming contract is about what
-// the caller must buffer, which is one batch, not the whole scan. A sink
-// error aborts the run and is returned as-is.
+// the caller must buffer, which is one batch, not the whole scan. The
+// executor's scan kernels already project into ScanChunkRows-sized arena
+// chunks (batch.go), so the batches handed to sink reference whole backing
+// arrays rather than row-sized allocations. A sink error aborts the run and
+// is returned as-is.
 func (c *Cluster) RunStream(ctx context.Context, pl *Plan, sink ScanSink) (*Result, error) {
 	res, err := c.Run(ctx, pl)
 	if err != nil || sink == nil || len(pl.Project) == 0 {
@@ -400,11 +445,11 @@ func (pl *Plan) finishPartial(p *partial, key groupKey, codec idlist.Codec) (Gro
 				av.MedOpe = st.medOpe
 				av.MedIDs = st.medIDs
 				av.MedComp = st.medComp
-				bytes += len(st.medOpe) * (64 + 16)
+				bytes += opeMedianBytes(st.medOpe)
 				break
 			}
 			av.Ope, av.ArgID, av.U64 = collapseOpeMedian(st.medOpe, st.medIDs, st.medComp)
-			bytes += 64 + 16
+			bytes += len(av.Ope) + 16
 		}
 		g.Aggs[i] = av
 	}

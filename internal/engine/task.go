@@ -1,20 +1,24 @@
 package engine
 
 import (
-	"bytes"
-	"context"
 	"fmt"
 	"math/big"
 	"time"
 
 	"seabed/internal/idlist"
-	"seabed/internal/ope"
 	"seabed/internal/sqlparse"
 	"seabed/internal/store"
 )
 
+// This file holds the execution state shared by the vectorized executor
+// (compile.go / kernel.go / batch.go) and the retained row-at-a-time
+// reference evaluator (reference.go): aggregate accumulators, map-task
+// output, and the shuffle-size accounting both paths must agree on.
+
 // cancelCheckRows is how often (in rows) a map task polls its context: a
-// power of two so the hot loop's check is one mask and compare.
+// power of two so the hot loop's check is one mask and compare. It is a
+// whole multiple of batchRows, so the vectorized executor checks on batch
+// boundaries at exactly the same row granularity as the reference loop.
 const cancelCheckRows = 1 << 16
 
 // groupKey identifies a group within map/reduce bookkeeping. Bytes keys are
@@ -75,24 +79,28 @@ type mapResult struct {
 	rowsSelected uint64
 }
 
-// boundCols resolves every column a plan references against a partition and
-// the optional broadcast join.
-type boundCols struct {
-	filters    []*store.Column
-	aggs       []*store.Column
-	companions []*store.Column
-	group      *store.Column
-	project    []*store.Column
-
-	// joined columns come from the flattened right table.
-	filterRight  []bool
-	aggRight     []bool
-	groupRight   bool
-	projectRight []bool
-
-	leftKey  *store.Column
-	joinHash map[string]int
-	right    map[string]*store.Column
+// rangeBounds intersects a partition with the plan's optional IDRange frame
+// (§4.5 scatter-gather shard scoping) and returns the index interval
+// [i0, i1] of in-scope rows. Row identifiers are contiguous within a
+// partition, so the scope is a simple interval; a partition wholly outside
+// yields i1 < i0 and scans nothing.
+func rangeBounds(part *store.Partition, r *IDRange) (i0, i1 int) {
+	n := part.NumRows()
+	i0, i1 = 0, n-1
+	if r == nil || n == 0 {
+		return i0, i1
+	}
+	first, last := part.StartID, part.StartID+uint64(n)-1
+	if r.Lo > last || r.Hi < first || r.Lo > r.Hi {
+		return 0, -1
+	}
+	if r.Lo > first {
+		i0 = int(r.Lo - first)
+	}
+	if r.Hi < last {
+		i1 = int(r.Hi - first)
+	}
+	return i0, i1
 }
 
 // flattenRight concatenates the right table's partitions per column.
@@ -125,107 +133,6 @@ func flattenRight(t *store.Table, cols []string, key string) (map[string]*store.
 		out[name] = full
 	}
 	return out, nil
-}
-
-// hashKeyOf renders a join/group key value as a map key.
-func hashKeyOf(c *store.Column, i int) string {
-	switch c.Kind {
-	case store.U64:
-		var b [8]byte
-		v := c.U64[i]
-		for j := 0; j < 8; j++ {
-			b[j] = byte(v >> (8 * j))
-		}
-		return string(b[:])
-	case store.Bytes:
-		return string(c.Bytes[i])
-	default:
-		return c.Str[i]
-	}
-}
-
-// buildJoinHash indexes the right table's key column.
-func buildJoinHash(right map[string]*store.Column, keyCol string) map[string]int {
-	key := right[keyCol]
-	h := make(map[string]int, key.Len())
-	for i := 0; i < key.Len(); i++ {
-		h[hashKeyOf(key, i)] = i
-	}
-	return h
-}
-
-// bind resolves the plan's columns against one partition.
-func (pl *Plan) bind(part *store.Partition, right map[string]*store.Column, joinHash map[string]int) (*boundCols, error) {
-	b := &boundCols{right: right, joinHash: joinHash}
-	resolve := func(name string) (*store.Column, bool, error) {
-		if c := part.Col(name); c != nil {
-			return c, false, nil
-		}
-		if right != nil {
-			if c, ok := right[name]; ok {
-				return c, true, nil
-			}
-		}
-		return nil, false, fmt.Errorf("engine: unknown column %q", name)
-	}
-	for _, f := range pl.Filters {
-		if f.Kind == FilterRandom {
-			b.filters = append(b.filters, nil)
-			b.filterRight = append(b.filterRight, false)
-			continue
-		}
-		c, r, err := resolve(f.Col)
-		if err != nil {
-			return nil, err
-		}
-		b.filters = append(b.filters, c)
-		b.filterRight = append(b.filterRight, r)
-	}
-	for _, a := range pl.Aggs {
-		if a.Kind == AggCount {
-			b.aggs = append(b.aggs, nil)
-			b.companions = append(b.companions, nil)
-			b.aggRight = append(b.aggRight, false)
-			continue
-		}
-		c, r, err := resolve(a.Col)
-		if err != nil {
-			return nil, err
-		}
-		var comp *store.Column
-		if a.Companion != "" {
-			comp, _, err = resolve(a.Companion)
-			if err != nil {
-				return nil, err
-			}
-		}
-		b.aggs = append(b.aggs, c)
-		b.companions = append(b.companions, comp)
-		b.aggRight = append(b.aggRight, r)
-	}
-	if pl.GroupBy != nil {
-		c, r, err := resolve(pl.GroupBy.Col)
-		if err != nil {
-			return nil, err
-		}
-		b.group, b.groupRight = c, r
-	}
-	for _, name := range pl.Project {
-		c, r, err := resolve(name)
-		if err != nil {
-			return nil, err
-		}
-		b.project = append(b.project, c)
-		b.projectRight = append(b.projectRight, r)
-	}
-	if pl.Join != nil {
-		c := part.Col(pl.Join.LeftCol)
-		if c == nil {
-			return nil, fmt.Errorf("engine: join key %q missing from left table", pl.Join.LeftCol)
-		}
-		b.leftKey = c
-	}
-	return b, nil
 }
 
 // splitmix64 is the deterministic per-row hash behind FilterRandom and group
@@ -265,259 +172,8 @@ func cmpU64(a, b uint64) int {
 	return 0
 }
 
-// runMapTask executes the plan's map stage on one partition. It observes ctx
-// at the injected I/O stall and once per cancelCheckRows rows of the scan
-// loop, so a canceled query abandons even a single huge partition promptly.
-func (pl *Plan) runMapTask(ctx context.Context, c *Cluster, part *store.Partition, right map[string]*store.Column, joinHash map[string]int, codec idlist.Codec) (*mapResult, error) {
-	if c.cfg.TaskSleep > 0 {
-		t := time.NewTimer(c.cfg.TaskSleep)
-		select {
-		case <-ctx.Done():
-			t.Stop()
-			return nil, ctx.Err()
-		case <-t.C:
-		}
-	}
-	b, err := pl.bind(part, right, joinHash)
-	if err != nil {
-		return nil, err
-	}
-	res := &mapResult{}
-	n := part.NumRows()
-
-	// Shard scoping (§4.5 scatter-gather): restrict the task to the rows of
-	// this partition whose global identifiers fall inside pl.Range. Row
-	// identifiers are contiguous within a partition, so the scope is a simple
-	// index interval [i0, i1]; a partition wholly outside scans nothing.
-	i0, i1 := 0, n-1
-	if pl.Range != nil && n > 0 {
-		first, last := part.StartID, part.StartID+uint64(n)-1
-		if pl.Range.Lo > last || pl.Range.Hi < first || pl.Range.Lo > pl.Range.Hi {
-			i0, i1 = 0, -1
-		} else {
-			if pl.Range.Lo > first {
-				i0 = int(pl.Range.Lo - first)
-			}
-			if pl.Range.Hi < last {
-				i1 = int(pl.Range.Hi - first)
-			}
-		}
-	}
-	res.rowsScanned = uint64(i1 - i0 + 1)
-
-	start := time.Now()
-	if pl.GroupBy == nil && len(pl.Project) == 0 {
-		res.single = newPartial(pl.Aggs)
-	} else if pl.GroupBy != nil {
-		res.groups = make(map[groupKey]*partial)
-	}
-
-	inflate := 0
-	if pl.GroupBy != nil && pl.GroupBy.Inflate > 1 {
-		inflate = pl.GroupBy.Inflate
-	}
-
-	for i := i0; i <= i1; i++ {
-		if (i-i0)&(cancelCheckRows-1) == cancelCheckRows-1 && ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		rowID := part.StartID + uint64(i)
-		joinIdx := -1
-		if b.leftKey != nil {
-			idx, ok := b.joinHash[hashKeyOf(b.leftKey, i)]
-			if !ok {
-				continue // inner join: unmatched rows drop
-			}
-			joinIdx = idx
-		}
-		// at maps a side flag to the row index without allocating (hot loop).
-		// Filters (conjunction).
-		ok := true
-		for fi := range pl.Filters {
-			f := &pl.Filters[fi]
-			switch f.Kind {
-			case FilterRandom:
-				if f.Prob < 1 && splitmix64(f.Seed^rowID) >= uint64(f.Prob*float64(1<<63))<<1 {
-					ok = false
-				}
-			case FilterPlainCmp:
-				col := b.filters[fi]
-				j := i
-				if b.filterRight[fi] {
-					j = joinIdx
-				}
-				if !cmpMatch(f.Op, cmpU64(col.U64[j], f.U64)) {
-					ok = false
-				}
-			case FilterStrCmp:
-				col := b.filters[fi]
-				j := i
-				if b.filterRight[fi] {
-					j = joinIdx
-				}
-				v := col.Str[j]
-				var cmp int
-				switch {
-				case v < f.Str:
-					cmp = -1
-				case v > f.Str:
-					cmp = 1
-				}
-				if !cmpMatch(f.Op, cmp) {
-					ok = false
-				}
-			case FilterDetEq:
-				col := b.filters[fi]
-				j := i
-				if b.filterRight[fi] {
-					j = joinIdx
-				}
-				if bytes.Equal(col.Bytes[j], f.Bytes) == f.Negate {
-					ok = false
-				}
-			case FilterOpeCmp:
-				col := b.filters[fi]
-				j := i
-				if b.filterRight[fi] {
-					j = joinIdx
-				}
-				if !cmpMatch(f.Op, ope.Compare(col.Bytes[j], f.Bytes)) {
-					ok = false
-				}
-			}
-			if !ok {
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		res.rowsSelected++
-
-		// Scan mode: project and continue.
-		if len(pl.Project) > 0 {
-			row := ScanRow{ID: rowID,
-				U64s:  make([]uint64, len(b.project)),
-				Bytes: make([][]byte, len(b.project)),
-				Strs:  make([]string, len(b.project))}
-			for pi, col := range b.project {
-				j := i
-				if b.projectRight[pi] {
-					j = joinIdx
-				}
-				switch col.Kind {
-				case store.U64:
-					row.U64s[pi] = col.U64[j]
-				case store.Bytes:
-					row.Bytes[pi] = col.Bytes[j]
-				default:
-					row.Strs[pi] = col.Str[j]
-				}
-			}
-			res.scan = append(res.scan, row)
-			continue
-		}
-
-		// Locate the group partial.
-		var pg *partial
-		if pl.GroupBy == nil {
-			pg = res.single
-		} else {
-			key := groupKey{kind: b.group.Kind, suffix: -1}
-			j := i
-			if b.groupRight {
-				j = joinIdx
-			}
-			switch b.group.Kind {
-			case store.U64:
-				key.u64 = b.group.U64[j]
-			case store.Bytes:
-				key.str = string(b.group.Bytes[j])
-			default:
-				key.str = b.group.Str[j]
-			}
-			if inflate > 0 {
-				key.suffix = int(splitmix64(c.cfg.Seed^rowID^0xa5a5) % uint64(inflate))
-			}
-			pg = res.groups[key]
-			if pg == nil {
-				pg = newPartial(pl.Aggs)
-				res.groups[key] = pg
-			}
-		}
-		pg.rows++
-
-		// Accumulate aggregates.
-		for ai := range pl.Aggs {
-			st := &pg.aggs[ai]
-			col := b.aggs[ai]
-			j := i
-			if col != nil && b.aggRight[ai] {
-				j = joinIdx
-			}
-			switch st.kind {
-			case AggCount:
-				st.u64++
-			case AggPlainSum:
-				st.u64 += col.U64[j]
-			case AggPlainSumSq:
-				st.u64 += col.U64[j] * col.U64[j]
-			case AggAsheSum:
-				st.u64 += col.U64[j]
-				st.ids.Append(rowID)
-			case AggPaillierSum:
-				pl.Aggs[ai].PK.AddInto(st.pail, new(big.Int).SetBytes(col.Bytes[j]))
-			case AggPlainMin:
-				if !st.seen || col.U64[j] < st.u64 {
-					st.u64, st.seen = col.U64[j], true
-				}
-			case AggPlainMax:
-				if !st.seen || col.U64[j] > st.u64 {
-					st.u64, st.seen = col.U64[j], true
-				}
-			case AggOpeMin:
-				if !st.seen || ope.Less(col.Bytes[j], st.ope) {
-					st.ope, st.argID, st.seen = col.Bytes[j], rowID, true
-					st.takeCompanion(b.companions[ai], j)
-				}
-			case AggOpeMax:
-				if !st.seen || ope.Less(st.ope, col.Bytes[j]) {
-					st.ope, st.argID, st.seen = col.Bytes[j], rowID, true
-					st.takeCompanion(b.companions[ai], j)
-				}
-			case AggPlainMedian:
-				st.medU64 = append(st.medU64, col.U64[j])
-			case AggOpeMedian:
-				st.medOpe = append(st.medOpe, col.Bytes[j])
-				st.medIDs = append(st.medIDs, rowID)
-				if comp := b.companions[ai]; comp != nil {
-					st.medComp = append(st.medComp, comp.U64[j])
-				}
-			}
-		}
-	}
-
-	// Worker-side compression of ASHE identifier lists (§4.5): encode here,
-	// inside the measured task, unless the ablation moved it to the driver.
-	if !pl.CompressAtDriver {
-		if res.single != nil {
-			if err := encodePartialIDs(res.single, codec); err != nil {
-				return nil, err
-			}
-		}
-		for _, pg := range res.groups {
-			if err := encodePartialIDs(pg, codec); err != nil {
-				return nil, err
-			}
-		}
-	}
-	res.elapsed = time.Since(start)
-	res.bytes = pl.partialBytes(res, codec)
-	return res, nil
-}
-
-// encodedIDBytes holds codec output per agg between map and reduce; it rides
-// in the aggState to keep shuffle sizes honest.
+// encodePartialIDs compresses ASHE identifier lists at the worker (§4.5);
+// the codec output size rides in the aggState to keep shuffle sizes honest.
 func encodePartialIDs(p *partial, codec idlist.Codec) error {
 	for i := range p.aggs {
 		st := &p.aggs[i]
@@ -575,7 +231,7 @@ func (pl *Plan) partialBytes(res *mapResult, codec idlist.Codec) int {
 			case AggPlainMedian:
 				total += 8 * len(st.medU64)
 			case AggOpeMedian:
-				total += len(st.medOpe) * (64 + 16)
+				total += opeMedianBytes(st.medOpe)
 			}
 		}
 	}
@@ -593,6 +249,17 @@ func (pl *Plan) partialBytes(res *mapResult, codec idlist.Codec) int {
 			total += len(row.Bytes[i])
 			total += len(row.Strs[i])
 		}
+	}
+	return total
+}
+
+// opeMedianBytes sizes a collected OPE median shuffle payload from the
+// actual ciphertext lengths (OPE ciphertexts are variable-length), plus the
+// row identifier and companion value each element carries.
+func opeMedianBytes(medOpe [][]byte) int {
+	total := 0
+	for _, ct := range medOpe {
+		total += len(ct) + 16
 	}
 	return total
 }

@@ -159,6 +159,27 @@ func Read(r io.Reader) (*Table, error) {
 		t.Parts = append(t.Parts, p)
 		t.rows += uint64(p.NumRows())
 	}
+	// Partitions decode independently, so a hostile stream can declare a
+	// different column set per partition. Every in-process constructor
+	// (Build, appends, SplitRanges) produces one layout for the whole table,
+	// and the engine binds plans against that shared layout once per run
+	// (Partition.ColIndex) — so reject divergent layouts here, at the trust
+	// boundary, instead of letting a compiled column index read past (or
+	// into the wrong) column of a later partition.
+	if len(t.Parts) > 1 {
+		ref := t.Parts[0]
+		for pi, p := range t.Parts[1:] {
+			if len(p.Cols) != len(ref.Cols) {
+				return nil, fmt.Errorf("store: partition %d has %d columns, want %d", pi+1, len(p.Cols), len(ref.Cols))
+			}
+			for ci := range p.Cols {
+				if p.Cols[ci].Name != ref.Cols[ci].Name || p.Cols[ci].Kind != ref.Cols[ci].Kind {
+					return nil, fmt.Errorf("store: partition %d column %d is %q/%v, want %q/%v",
+						pi+1, ci, p.Cols[ci].Name, p.Cols[ci].Kind, ref.Cols[ci].Name, ref.Cols[ci].Kind)
+				}
+			}
+		}
+	}
 	return t, nil
 }
 

@@ -112,12 +112,25 @@ func (p *Partition) NumRows() int {
 
 // Col returns the named column, or nil.
 func (p *Partition) Col(name string) *Column {
-	for i := range p.Cols {
-		if p.Cols[i].Name == name {
-			return &p.Cols[i]
-		}
+	if i := p.ColIndex(name); i >= 0 {
+		return &p.Cols[i]
 	}
 	return nil
+}
+
+// ColIndex returns the position of the named column in the partition's
+// layout, or -1. Every partition of a table shares one layout (Build slices
+// whole columns and appends validate names and kinds), so an index resolved
+// against any partition addresses the same column in all of them — the
+// property a compile-once query executor needs to bind names once per run
+// instead of once per partition.
+func (p *Partition) ColIndex(name string) int {
+	for i := range p.Cols {
+		if p.Cols[i].Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // Table is a partitioned columnar table.

@@ -96,6 +96,61 @@ func TestColLookup(t *testing.T) {
 	if got := tbl.ColNames(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
 		t.Fatalf("ColNames = %v", got)
 	}
+	// ColIndex resolves the shared layout: the same index must address the
+	// same column in every partition (the compile-once executor's contract).
+	for want, name := range []string{"a", "b", "c"} {
+		if got := tbl.Parts[0].ColIndex(name); got != want {
+			t.Fatalf("ColIndex(%q) = %d, want %d", name, got, want)
+		}
+		for _, p := range tbl.Parts {
+			if p.Cols[want].Name != name {
+				t.Fatalf("partition layout diverges at %d", want)
+			}
+		}
+	}
+	if tbl.Parts[0].ColIndex("zz") != -1 {
+		t.Fatal("ColIndex of unknown column should be -1")
+	}
+}
+
+// TestReadRejectsDivergentLayouts pins the trust-boundary check: partitions
+// decode independently, so a hostile register/append frame can declare a
+// different column set per partition. The compile-once executor binds
+// column indices against partition 0's layout, so Read must refuse such a
+// table instead of letting a later partition be indexed out of range (a
+// server-crashing panic) or into the wrong column.
+func TestReadRejectsDivergentLayouts(t *testing.T) {
+	cols := func(names ...string) []Column {
+		out := make([]Column, len(names))
+		for i, n := range names {
+			out[i] = Column{Name: n, Kind: U64, U64: []uint64{1, 2}}
+		}
+		return out
+	}
+	for name, hostile := range map[string]*Table{
+		"missing-column": {Name: "h", Parts: []*Partition{
+			{StartID: 1, Cols: cols("a", "b")},
+			{StartID: 3, Cols: cols("a")},
+		}},
+		"reordered-columns": {Name: "h", Parts: []*Partition{
+			{StartID: 1, Cols: cols("a", "b")},
+			{StartID: 3, Cols: cols("b", "a")},
+		}},
+		"kind-mismatch": {Name: "h", Parts: []*Partition{
+			{StartID: 1, Cols: cols("a")},
+			{StartID: 3, Cols: []Column{{Name: "a", Kind: Str, Str: []string{"x", "y"}}}},
+		}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := hostile.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Read(&buf); err == nil {
+				t.Fatal("Read accepted a table with divergent partition layouts")
+			}
+		})
+	}
 }
 
 func TestSerializeRoundtrip(t *testing.T) {
