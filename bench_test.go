@@ -49,3 +49,4 @@ func BenchmarkFig10b_SplasheStorage(b *testing.B)      { runExperiment(b, "fig10
 func BenchmarkLinks_ClientLinkSweep(b *testing.B)      { runExperiment(b, "links") }
 func BenchmarkAblations_DesignChoices(b *testing.B)    { runExperiment(b, "ablations") }
 func BenchmarkKernels_ExecutorThroughput(b *testing.B) { runExperiment(b, "kernels") }
+func BenchmarkRecovery_DurableReplay(b *testing.B)     { runExperiment(b, "recovery") }

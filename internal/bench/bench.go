@@ -91,6 +91,7 @@ func Experiments() []Experiment {
 		{"links", "§6.6: client link sensitivity", Links},
 		{"ablations", "Design ablations (compression site, inflation, codecs, stragglers)", Ablations},
 		{"kernels", "Executor kernel throughput (vectorized vs reference evaluator)", Kernels},
+		{"recovery", "Durable-store recovery throughput (segment load + WAL replay MB/s)", Recovery},
 	}
 }
 

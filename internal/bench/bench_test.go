@@ -14,8 +14,8 @@ func testCfg() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -56,6 +56,8 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"fig10b":    "enhanced",
 		"links":     "10Mbps",
 		"ablations": "packing speedup",
+		"kernels":   "vectorized=",
+		"recovery":  "wal replay",
 	}
 	cfg := testCfg()
 	for _, e := range Experiments() {

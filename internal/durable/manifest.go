@@ -1,0 +1,131 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The manifest is the store's commit point: a small JSON file listing, per
+// table, the segment files that make up its durable contents. Every
+// state-changing operation (register, compaction) writes the whole manifest
+// to MANIFEST.tmp, fsyncs it, and renames it over MANIFEST — rename is
+// atomic on POSIX filesystems, so a crash leaves either the old or the new
+// manifest, never a torn one. Files a crashed operation wrote but never
+// committed into the manifest are orphans; Open deletes them.
+//
+// JSON is a deliberate choice over a binary format: the manifest is tiny
+// (tens of entries), rewritten rarely, and being able to `cat` it is worth
+// more than the bytes.
+
+const (
+	manifestName = "MANIFEST"
+	manifestTmp  = "MANIFEST.tmp"
+	// manifestFormat versions the manifest layout itself, so a future
+	// incompatible change can be detected instead of misparsed.
+	manifestFormat = 1
+)
+
+// manifest is the on-disk registry of committed table state.
+type manifest struct {
+	// Format is the manifest layout version (manifestFormat).
+	Format int `json:"format"`
+	// Version increments on every commit; recovery logs it so operators can
+	// correlate a data directory with the write that produced it.
+	Version uint64 `json:"version"`
+	// NextID feeds table-directory allocation (t000001, t000002, …).
+	NextID int `json:"next_id"`
+	// Tables lists every live table.
+	Tables []manifestTable `json:"tables"`
+}
+
+// manifestTable is one table's committed state.
+type manifestTable struct {
+	// ID names the table's directory under the store root. Directories use
+	// generated IDs, not refs: refs are arbitrary client strings (they
+	// contain '#' mode suffixes and could contain path separators) and must
+	// never touch the filesystem namespace.
+	ID string `json:"id"`
+	// Ref is the wire-protocol table reference this table serves.
+	Ref string `json:"ref"`
+	// Segments are the table's immutable segment files, in append order,
+	// relative to the table directory.
+	Segments []string `json:"segments"`
+}
+
+// loadManifest reads dir's manifest; a missing file is an empty store.
+func loadManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return &manifest{Format: manifestFormat, NextID: 1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("durable: parse manifest: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("durable: manifest format %d, this build reads %d", m.Format, manifestFormat)
+	}
+	if m.NextID < 1 {
+		m.NextID = 1
+	}
+	return &m, nil
+}
+
+// commit durably replaces dir's manifest: write-temp, fsync, rename, fsync
+// the directory so the rename itself survives power loss.
+func (m *manifest) commit(dir string) error {
+	m.Version++
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("durable: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: write manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("durable: commit manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// table returns the entry for id, or nil.
+func (m *manifest) table(id string) *manifestTable {
+	for i := range m.Tables {
+		if m.Tables[i].ID == id {
+			return &m.Tables[i]
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making recent renames and creations in it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

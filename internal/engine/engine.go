@@ -76,6 +76,9 @@ const DefaultWorkers = 16
 // Cluster executes plans under a Config.
 type Cluster struct {
 	cfg Config
+	// plans caches compiled plans by fingerprint so repeated query shapes
+	// skip compilation (plancache.go).
+	plans planCache
 }
 
 // NewCluster returns a Cluster, applying Config defaults.

@@ -97,14 +97,17 @@ func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, e
 
 	// Phase 1 — compile (driver side, measured): bind the plan against the
 	// partition layout, build the typed join index, and lower filters and
-	// aggregates to kernels. Every map task shares the compiled plan.
+	// aggregates to kernels. Every map task shares the compiled plan, and
+	// repeated query shapes share it across runs through the fingerprint
+	// cache (plancache.go). The reference evaluator compiles fresh every
+	// run, staying an independent oracle for the differential tests.
 	start := time.Now()
 	var runner mapRunner
 	var err error
 	if reference {
 		runner, err = pl.compileReference(codec)
 	} else {
-		runner, err = pl.compile(c.cfg.Seed, codec)
+		runner, err = c.compiled(pl, codec)
 	}
 	if err != nil {
 		return nil, err

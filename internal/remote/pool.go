@@ -78,10 +78,23 @@ func (p *Pool) dialFirst() (net.Conn, error) {
 	return conn, nil
 }
 
-// dial opens and handshakes one connection.
+// dial opens and handshakes one connection, verifying the server still
+// declares the shard identity recorded at DialPool. Daemons are
+// restartable (a durable seabed-server comes back on the same address), so
+// a redial may reach a different process than the first handshake did — if
+// that process was restarted with the wrong -shard flag, serving it would
+// silently query misplaced rows. Identity mismatch fails the dial instead.
 func (p *Pool) dial() (net.Conn, error) {
-	conn, _, _, _, err := p.handshake()
-	return conn, err
+	conn, _, shardIndex, shardCount, err := p.handshake()
+	if err != nil {
+		return nil, err
+	}
+	if shardIndex != p.shardIndex || shardCount != p.shardCount {
+		conn.Close()
+		return nil, fmt.Errorf("remote: server %s now declares shard %d/%d, but declared %d/%d when first dialed (restarted with a different -shard flag?)",
+			p.addr, shardIndex, shardCount, p.shardIndex, p.shardCount)
+	}
+	return conn, nil
 }
 
 // handshake opens one connection and performs the Hello/Welcome exchange.

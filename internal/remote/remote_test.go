@@ -387,3 +387,60 @@ func TestDialRejectsDeadServer(t *testing.T) {
 		t.Fatal("dialing a closed listener succeeded")
 	}
 }
+
+// TestRedialVerifiesShardIdentity restarts the daemon behind a pool's
+// address with a different shard identity; the next request — which redials
+// because its pooled socket died with the old process — must fail with the
+// identity mismatch rather than run against misplaced rows.
+func TestRedialVerifiesShardIdentity(t *testing.T) {
+	serve := func(ln net.Listener, shardIdx, shardCount int) (*server.Server, chan error) {
+		srv := server.New(engine.NewCluster(engine.Config{Workers: 4}))
+		srv.ShardIndex, srv.ShardCount = shardIdx, shardCount
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		return srv, done
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv, done := serve(ln, 1, 3)
+	rc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	if idx, count := rc.Shard(); idx != 1 || count != 3 {
+		t.Fatalf("recorded identity %d/%d, want 1/3", idx, count)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// Same address, different -shard flag: the restartable-daemon footgun.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv2, done2 := serve(ln2, 2, 3)
+	t.Cleanup(func() {
+		srv2.Close() //nolint:errcheck // test teardown
+		<-done2
+	})
+	err = rc.RegisterTable(context.Background(), "x", mustTable(t))
+	if err == nil || !strings.Contains(err.Error(), "declares shard 2/3") {
+		t.Fatalf("redial against a re-sharded daemon returned %v, want identity mismatch", err)
+	}
+}
+
+// mustTable builds a minimal table for identity-check requests.
+func mustTable(t *testing.T) *store.Table {
+	t.Helper()
+	tbl, err := store.Build("x", []store.Column{{Name: "v", Kind: store.U64, U64: []uint64{1}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"seabed/internal/durable"
 	"seabed/internal/engine"
 	"seabed/internal/store"
 	"seabed/internal/wire"
@@ -44,6 +45,16 @@ type Server struct {
 
 	mu     sync.RWMutex
 	tables map[string]*store.Table
+
+	// tableMu serializes table mutations (registers and appends) with each
+	// other, keeping their read-validate-persist-swap sequences atomic
+	// without holding the registry lock across a WAL fsync — queries keep
+	// resolving tables while an append waits on the disk.
+	tableMu sync.Mutex
+	// durable, when non-nil, persists the registry: registers flush
+	// segments and appends journal to the WAL before they are acknowledged.
+	durable  *durable.Store
+	recovery durable.RecoveryStats
 
 	lnMu   sync.Mutex
 	ln     net.Listener
@@ -78,6 +89,8 @@ type TableStat struct {
 	Ref   string
 	Rows  uint64
 	Parts int
+	// Bytes is the table's estimated resident memory.
+	Bytes uint64
 }
 
 // Stats is a point-in-time snapshot of a server's activity: connection and
@@ -97,6 +110,17 @@ type Stats struct {
 	// or server shutdown.
 	Canceled uint64
 	Errors   uint64
+	// TableCount and ResidentBytes size the registry: how many tables are
+	// live and their estimated in-memory footprint (Table 5's "memory
+	// size", summed).
+	TableCount    int
+	ResidentBytes uint64
+	// PlanCacheHits/Misses report the engine's compiled-plan cache: a proxy
+	// issuing repeated query shapes should see the hit counter climb.
+	PlanCacheHits, PlanCacheMisses uint64
+	// Recovery reports what the durable store rebuilt at boot (zero without
+	// a -data-dir).
+	Recovery durable.RecoveryStats
 	Tables   []TableStat
 }
 
@@ -115,11 +139,16 @@ func (s *Server) Stats() Stats {
 	s.lnMu.Lock()
 	st.ConnsActive = len(s.active)
 	s.lnMu.Unlock()
+	st.PlanCacheHits, st.PlanCacheMisses = s.cluster.PlanCacheStats()
+	st.Recovery = s.recovery
 	s.mu.RLock()
 	for ref, t := range s.tables {
-		st.Tables = append(st.Tables, TableStat{Ref: ref, Rows: t.NumRows(), Parts: len(t.Parts)})
+		bytes := t.MemBytes()
+		st.Tables = append(st.Tables, TableStat{Ref: ref, Rows: t.NumRows(), Parts: len(t.Parts), Bytes: bytes})
+		st.ResidentBytes += bytes
 	}
 	s.mu.RUnlock()
+	st.TableCount = len(st.Tables)
 	sort.Slice(st.Tables, func(a, b int) bool { return st.Tables[a].Ref < st.Tables[b].Ref })
 	return st
 }
@@ -130,10 +159,29 @@ func (st Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "conns=%d active=%d registers=%d appends=%d runs=%d in-flight=%d canceled=%d errors=%d",
 		st.ConnsTotal, st.ConnsActive, st.Registers, st.Appends, st.Runs, st.RunsActive, st.Canceled, st.Errors)
+	fmt.Fprintf(&b, "\ntables=%d resident=%s plan-cache=%d/%d hit/miss",
+		st.TableCount, fmtBytes(st.ResidentBytes), st.PlanCacheHits, st.PlanCacheMisses)
+	if r := st.Recovery; r.Tables > 0 || r.Duration > 0 {
+		fmt.Fprintf(&b, "\nrecovered %d tables (%s, %d segments, %d wal records, %d torn tails) in %v",
+			r.Tables, fmtBytes(uint64(r.Bytes)), r.Segments, r.WALRecords, r.TornTails, r.Duration)
+	}
 	for _, t := range st.Tables {
-		fmt.Fprintf(&b, "\n  table %q: %d rows, %d partitions", t.Ref, t.Rows, t.Parts)
+		fmt.Fprintf(&b, "\n  table %q: %d rows, %d partitions, %s", t.Ref, t.Rows, t.Parts, fmtBytes(t.Bytes))
 	}
 	return b.String()
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 // New returns a server executing plans on the given cluster.
@@ -145,15 +193,40 @@ func New(cluster *engine.Cluster) *Server {
 	}
 }
 
-// RegisterTable adds or replaces a table in the registry. The wire path uses
-// it for MsgRegister frames; embedders can call it directly to preload
-// tables.
+// UseDurable backs the server's registry with a disk store: the tables d
+// recovered at Open load into the registry, later registers flush as
+// segments, and appends journal to the write-ahead log before they are
+// acknowledged. Call it before Serve; the server does not close d (the
+// owner does, after the server has drained).
+func (s *Server) UseDurable(d *durable.Store) {
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	s.mu.Lock()
+	for ref, t := range d.Tables() {
+		s.tables[ref] = t
+	}
+	s.mu.Unlock()
+	s.durable = d
+	s.recovery = d.Recovery()
+}
+
+// RegisterTable adds or replaces a table in the registry — durably first,
+// when a durable store is attached, so an acknowledged upload is on disk.
+// The wire path uses it for MsgRegister frames; embedders can call it
+// directly to preload tables.
 func (s *Server) RegisterTable(ref string, t *store.Table) error {
 	if ref == "" {
 		return errors.New("server: empty table ref")
 	}
 	if t == nil {
 		return errors.New("server: nil table")
+	}
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	if s.durable != nil {
+		if err := s.durable.Register(ref, t); err != nil {
+			return err
+		}
 	}
 	s.mu.Lock()
 	s.tables[ref] = t
@@ -527,12 +600,16 @@ func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
 	if err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}
-	// Copy-on-write under the registry lock: queries in flight keep reading
-	// the table they resolved; the grown table replaces it atomically.
-	s.mu.Lock()
+	// tableMu makes the read-validate-journal-swap sequence atomic against
+	// other registry mutations without holding the registry lock across the
+	// durable journal's fsync: queries keep resolving tables while the disk
+	// writes.
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	s.mu.RLock()
 	cur := s.tables[ref]
+	s.mu.RUnlock()
 	if cur == nil {
-		s.mu.Unlock()
 		return wire.MsgError, wire.EncodeError(fmt.Sprintf("server: unknown table ref %q (register it first)", ref))
 	}
 	// Idempotent replay: a client whose connection died after the append was
@@ -544,17 +621,30 @@ func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
 	// correct for shard tables, whose identifier sequences carry gaps — and
 	// a batch falling inside such a gap (identifiers this shard never held)
 	// is NOT a replay; it falls through and fails the append check below.
+	// Replay detection also covers the durable crash window where a batch
+	// was journaled and recovered but its acknowledgement was lost: the
+	// retried batch is acked without re-journaling.
 	if batch.NumRows() > 0 && cur.Covers(batch.Parts[0].StartID, batch.EndID()) {
-		s.mu.Unlock()
 		s.logf("append to %q replayed (rows %d-%d already applied)",
 			ref, batch.Parts[0].StartID, batch.EndID())
 		return wire.MsgOK, nil
 	}
 	grown, err := cur.WithAppended(batch)
 	if err != nil {
-		s.mu.Unlock()
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}
+	// Journal before acknowledging: under fsync=always the MsgOK below
+	// promises the batch survives a crash, so the WAL record must be
+	// durable first. A journal failure leaves the in-memory table unchanged
+	// and the client sees the error.
+	if s.durable != nil {
+		if err := s.durable.Append(ref, batch); err != nil {
+			return wire.MsgError, wire.EncodeError(err.Error())
+		}
+	}
+	// Copy-on-write swap: queries in flight keep reading the table they
+	// resolved; the grown table replaces it atomically.
+	s.mu.Lock()
 	s.tables[ref] = grown
 	s.mu.Unlock()
 	s.logf("appended %d rows to %q (now %d rows)", batch.NumRows(), ref, grown.NumRows())

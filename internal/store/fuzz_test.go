@@ -1,0 +1,124 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRead feeds hostile bytes to the table decoder. Read sits at two trust
+// boundaries — wire.DecodeRegister hands it network payloads from untrusted
+// clients, and durable recovery hands it segment and WAL bytes off disk —
+// so it must reject malformed input with an error: never a panic, and never
+// an allocation sized from a declared count the stream doesn't back (the
+// incremental-append discipline in serialize.go). The seed corpus is real
+// serializations of the three upload modes' column shapes (NoEnc strings,
+// Seabed ASHE/DET columns, Paillier ciphertext blobs) plus targeted
+// mutations: truncations, a huge declared row count, and a huge blob length.
+func FuzzRead(f *testing.F) {
+	for _, tbl := range fuzzSeedTables(f) {
+		var buf bytes.Buffer
+		if _, err := tbl.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(append([]byte(nil), valid...))
+		// Truncations: torn tails at awkward offsets.
+		for _, cut := range []int{1, len(valid) / 3, len(valid) - 1} {
+			if cut < len(valid) {
+				f.Add(append([]byte(nil), valid[:cut]...))
+			}
+		}
+	}
+	// A header claiming 2^62 rows of a U64 column with no bytes behind it.
+	hostile := []byte(magic)
+	hostile = append(hostile, 1, 't') // name "t"
+	hostile = append(hostile, 1)      // one partition
+	hostile = append(hostile, 1)      // startID 1
+	hostile = append(hostile, 1)      // one column
+	hostile = binary.AppendUvarint(hostile, 1<<62)
+	hostile = append(hostile, 1, 'c', 0) // column "c", kind U64
+	f.Add(append([]byte(nil), hostile...))
+	// A Bytes row declaring a 2^40-byte blob.
+	blob := []byte(magic)
+	blob = append(blob, 1, 't', 1, 1, 1, 1) // name, 1 part, startID, 1 col, 1 row
+	blob = append(blob, 1, 'c', 1)          // column "c", kind Bytes
+	blob = binary.AppendUvarint(blob, 1<<40)
+	f.Add(append([]byte(nil), blob...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must be internally consistent and must
+		// re-serialize: Read's output feeds straight into the engine and
+		// back onto disk during durable compaction.
+		var rows uint64
+		for _, p := range tbl.Parts {
+			n := p.NumRows()
+			for i := range p.Cols {
+				if got := p.Cols[i].Len(); got != n {
+					t.Fatalf("ragged partition: column %q has %d rows, sibling has %d", p.Cols[i].Name, got, n)
+				}
+			}
+			rows += uint64(n)
+		}
+		if rows != tbl.NumRows() {
+			t.Fatalf("NumRows %d, partitions hold %d", tbl.NumRows(), rows)
+		}
+		var buf bytes.Buffer
+		if _, err := tbl.WriteTo(&buf); err != nil {
+			t.Fatalf("re-serialize accepted table: %v", err)
+		}
+		again, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read re-serialized table: %v", err)
+		}
+		if again.NumRows() != tbl.NumRows() || len(again.Parts) != len(tbl.Parts) {
+			t.Fatalf("round trip drifted: %d rows/%d parts vs %d rows/%d parts",
+				again.NumRows(), len(again.Parts), tbl.NumRows(), len(tbl.Parts))
+		}
+	})
+}
+
+// fuzzSeedTables builds small tables with the column shapes each upload mode
+// produces.
+func fuzzSeedTables(f *testing.F) []*Table {
+	f.Helper()
+	build := func(name string, cols []Column) *Table {
+		tbl, err := Build(name, cols, 2)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return tbl
+	}
+	return []*Table{
+		// NoEnc: plaintext integers and strings.
+		build("noenc", []Column{
+			{Name: "m", Kind: U64, U64: []uint64{10, 20, 30, 40}},
+			{Name: "country", Kind: Str, Str: []string{"CA", "US", "CA", "DE"}},
+		}),
+		// Seabed: ASHE bodies are U64 words, DET/OPE dimensions are short blobs.
+		build("seabed", []Column{
+			{Name: "m_ashe", Kind: U64, U64: []uint64{0xdeadbeef, 0xfeedface, 7, 1 << 60}},
+			{Name: "d_det", Kind: Bytes, Bytes: [][]byte{
+				{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08},
+				{0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18},
+				{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08},
+				{0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x28},
+			}},
+		}),
+		// Paillier: long ciphertext blobs (trimmed to keep the corpus small).
+		build("paillier", []Column{
+			{Name: "m_pail", Kind: Bytes, Bytes: [][]byte{
+				bytes.Repeat([]byte{0xAB}, 128),
+				bytes.Repeat([]byte{0xCD}, 128),
+				bytes.Repeat([]byte{0xEF}, 128),
+				bytes.Repeat([]byte{0x01}, 128),
+			}},
+		}),
+		// Degenerate but legal: an empty table.
+		build("empty", []Column{{Name: "u", Kind: U64}}),
+	}
+}

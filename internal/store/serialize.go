@@ -119,37 +119,45 @@ func Read(r io.Reader) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("store: column %q: %v", cname, err)
 			}
+			// Counts and lengths are untrusted (this decoder sits behind
+			// wire.DecodeRegister and reads segment files off disk), so no
+			// allocation may be sized from a declared count alone: slices
+			// grow by append with a capped initial capacity, and every blob
+			// reads in bounded chunks. Memory use is therefore proportional
+			// to bytes actually present in the stream, never to a hostile
+			// header claiming 2^60 rows.
 			c := Column{Name: cname, Kind: Kind(kind)}
 			switch c.Kind {
 			case U64:
-				c.U64 = make([]uint64, nRows)
+				c.U64 = make([]uint64, 0, preallocRows(nRows))
 				var buf [8]byte
-				for i := range c.U64 {
+				for i := uint64(0); i < nRows; i++ {
 					if _, err := io.ReadFull(br, buf[:]); err != nil {
 						return nil, fmt.Errorf("store: column %q row %d: %v", cname, i, err)
 					}
-					c.U64[i] = binary.LittleEndian.Uint64(buf[:])
+					c.U64 = append(c.U64, binary.LittleEndian.Uint64(buf[:]))
 				}
 			case Bytes:
-				c.Bytes = make([][]byte, nRows)
-				for i := range c.Bytes {
+				c.Bytes = make([][]byte, 0, preallocRows(nRows))
+				for i := uint64(0); i < nRows; i++ {
 					n, err := binary.ReadUvarint(br)
 					if err != nil {
 						return nil, fmt.Errorf("store: column %q row %d: %v", cname, i, err)
 					}
-					c.Bytes[i] = make([]byte, n)
-					if _, err := io.ReadFull(br, c.Bytes[i]); err != nil {
+					b, err := readBlob(br, n)
+					if err != nil {
 						return nil, fmt.Errorf("store: column %q row %d: %v", cname, i, err)
 					}
+					c.Bytes = append(c.Bytes, b)
 				}
 			case Str:
-				c.Str = make([]string, nRows)
-				for i := range c.Str {
+				c.Str = make([]string, 0, preallocRows(nRows))
+				for i := uint64(0); i < nRows; i++ {
 					s, err := readString(br)
 					if err != nil {
 						return nil, fmt.Errorf("store: column %q row %d: %v", cname, i, err)
 					}
-					c.Str[i] = s
+					c.Str = append(c.Str, s)
 				}
 			default:
 				return nil, fmt.Errorf("store: column %q: unknown kind %d", cname, kind)
@@ -215,9 +223,41 @@ func readString(br *bufio.Reader) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("store: read string length: %v", err)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(br, buf); err != nil {
+	buf, err := readBlob(br, n)
+	if err != nil {
 		return "", fmt.Errorf("store: read string: %v", err)
 	}
 	return string(buf), nil
+}
+
+// maxPrealloc caps any allocation sized from an untrusted declared count:
+// larger claims must earn their memory by actually delivering bytes.
+const maxPrealloc = 1 << 16
+
+// preallocRows clamps a declared row count to a safe initial capacity.
+func preallocRows(n uint64) int {
+	return int(min(n, maxPrealloc))
+}
+
+// readBlob reads exactly n declared bytes, growing in bounded chunks so a
+// hostile length cannot force a huge allocation before the stream runs dry.
+func readBlob(br *bufio.Reader, n uint64) ([]byte, error) {
+	if n <= maxPrealloc {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, maxPrealloc)
+	var chunk [32 << 10]byte
+	for remaining := n; remaining > 0; {
+		step := min(remaining, uint64(len(chunk)))
+		if _, err := io.ReadFull(br, chunk[:step]); err != nil {
+			return nil, err
+		}
+		buf = append(buf, chunk[:step]...)
+		remaining -= step
+	}
+	return buf, nil
 }

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"seabed/internal/client"
+	"seabed/internal/durable"
 	"seabed/internal/engine"
 	"seabed/internal/idlist"
 	"seabed/internal/netsim"
@@ -85,6 +86,12 @@ type (
 	// Server hosts a Cluster behind a TCP listener (cmd/seabed-server wraps
 	// it; embed it to serve from your own process).
 	Server = server.Server
+	// DurableStore is the disk-backed table store a restartable server
+	// mounts (cmd/seabed-server's -data-dir): segment files + write-ahead
+	// log + crash recovery. Attach one with Server.UseDurable.
+	DurableStore = durable.Store
+	// DurableOptions configures OpenDurableStore.
+	DurableOptions = durable.Options
 	// QueryOption tunes one query execution (see the With… options).
 	QueryOption = client.QueryOption
 	// QueryResult is a decrypted result with its latency breakdown. Rows
@@ -159,6 +166,20 @@ func NewCluster(cfg ClusterConfig) *Cluster { return engine.NewCluster(cfg) }
 // NewServer wraps a cluster in a wire-protocol TCP server; call
 // ListenAndServe (or Serve) on the result.
 func NewServer(cluster *Cluster) *Server { return server.New(cluster) }
+
+// Fsync policies for OpenDurableStore.
+const (
+	// FsyncAlways syncs the WAL before every append acknowledgement.
+	FsyncAlways = durable.FsyncAlways
+	// FsyncBatch amortizes syncs, trading a bounded loss window for
+	// memory-speed acknowledgements.
+	FsyncBatch = durable.FsyncBatch
+)
+
+// OpenDurableStore mounts (creating or recovering) a disk-backed table
+// store; attach it to a Server with UseDurable to make the daemon
+// restartable.
+func OpenDurableStore(opts DurableOptions) (*DurableStore, error) { return durable.Open(opts) }
 
 // DialCluster connects to a running seabed-server and returns a backend
 // usable wherever an in-process *Cluster is: pass it to NewProxy to run the
