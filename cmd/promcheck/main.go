@@ -1,0 +1,68 @@
+// Command promcheck validates a Prometheus text exposition, the CI guard for
+// seabed-server's /metrics endpoint. It reads the exposition from stdin (or a
+// file argument), runs the format checks internal/obs enforces — TYPE lines
+// before samples, parseable samples, cumulative histogram buckets whose +Inf
+// equals _count — and optionally asserts that required metric families are
+// present:
+//
+//	curl -s localhost:7688/metrics | promcheck -require seabed_request_seconds,seabed_wal_fsync_seconds
+//
+// Exit status: 0 when the exposition is valid and every required family is
+// present, 1 otherwise (with a diagnosis on stderr).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seabed/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+
+	fams, err := obs.ValidateExposition(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	missing := 0
+	if *require != "" {
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			if _, ok := fams[want]; !ok {
+				fmt.Fprintf(os.Stderr, "promcheck: %s: required family %q is missing\n", name, want)
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: %d families ok\n", name, len(fams))
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	seabed-bench [-run name[,name...]] [-scale N] [-workers N] [-quick] [-trials N]
-//	             [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	             [-cpuprofile out.pprof] [-memprofile out.pprof] [-trace]
 //
 // Without -run, every experiment runs in paper order. Row counts are the
 // paper's divided by -scale (default 10,000); shapes, not absolute numbers,
@@ -15,6 +15,10 @@
 //
 //	seabed-bench -run kernels -cpuprofile cpu.pprof
 //	go tool pprof cpu.pprof
+//
+// -trace prints the slowest query's span tree (parse/translate/run/decrypt,
+// plus the engine's stage breakdown) after each experiment, so a regression
+// in one experiment points at its slowest stage without a re-run.
 package main
 
 import (
@@ -45,6 +49,7 @@ func run() int {
 	seed := flag.Int64("seed", 42, "generator seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
+	trace := flag.Bool("trace", false, "print the slowest query's span tree after each experiment")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +60,9 @@ func run() int {
 	}
 
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Quick: *quick, Trials: *trials, Seed: *seed}
+	if *trace {
+		bench.EnableTracing()
+	}
 
 	selected := bench.Experiments()
 	if *runFlag != "" {
@@ -110,6 +118,11 @@ func run() int {
 		if err := e.Run(cfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "seabed-bench: %s: %v\n", e.Name, err)
 			return 1
+		}
+		if *trace {
+			if sp := bench.TakeSlowestTrace(); sp != nil {
+				fmt.Printf("slowest query in %s (%v):\n%s", e.Name, sp.Duration(), sp)
+			}
 		}
 		fmt.Printf("--- %s done in %.1fs ---\n", e.Name, time.Since(start).Seconds())
 	}

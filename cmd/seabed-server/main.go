@@ -30,14 +30,25 @@
 //
 // With -metrics, the daemon prints per-connection and per-table statistics
 // on SIGUSR1 — `kill -USR1 $(pidof seabed-server)` shows whether shards
-// stayed balanced.
+// stayed balanced; -metrics-format selects the rendering (text or json).
+//
+// With -debug-addr the daemon serves its debug plane over HTTP on a second
+// listener: /metrics (Prometheus text exposition of request, WAL, and
+// recovery latency series), /stats (the SIGUSR1 snapshot as JSON), and
+// /debug/pprof/ (the standard Go profiles):
+//
+//	seabed-server -addr :7687 -debug-addr :7688
+//	curl -s localhost:7688/metrics | grep seabed_request_seconds
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -78,6 +89,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "seed for straggler injection and group inflation")
 	shard := flag.String("shard", "", "shard identity i/n in a sharded deployment (e.g. 0/3)")
 	metrics := flag.Bool("metrics", false, "print per-connection/table stats on SIGUSR1")
+	metricsFormat := flag.String("metrics-format", "text", "SIGUSR1 stats rendering: text or json")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug listener (/metrics exposition, /stats JSON, /debug/pprof/); empty = disabled")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before connections are force-closed")
 	dataDir := flag.String("data-dir", "", "durable table storage directory (WAL + segment files); empty = in-memory only")
@@ -94,10 +107,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "seabed-server:", err)
 		os.Exit(2)
 	}
+	if *metricsFormat != "text" && *metricsFormat != "json" {
+		fmt.Fprintf(os.Stderr, "seabed-server: -metrics-format %q: want text or json\n", *metricsFormat)
+		os.Exit(2)
+	}
 	label := "seabed-server"
 	if shardCount > 1 {
 		label = fmt.Sprintf("seabed-server[%d/%d]", shardIdx, shardCount)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("daemon", label)
 
 	cluster := engine.NewCluster(engine.Config{
 		Workers:         *workers,
@@ -109,17 +127,13 @@ func main() {
 		srv.ShardIndex, srv.ShardCount = shardIdx, shardCount
 	}
 	if !*quiet {
-		srv.Logf = func(format string, args ...any) {
-			log.Printf(label+": "+format, args...)
-		}
+		srv.Log = logger
 	}
 	var dstore *durable.Store
 	if *dataDir != "" {
-		opts := durable.Options{Dir: *dataDir, Fsync: fsyncPolicy}
+		opts := durable.Options{Dir: *dataDir, Fsync: fsyncPolicy, Metrics: srv.Metrics()}
 		if !*quiet {
-			opts.Logf = func(format string, args ...any) {
-				log.Printf(label+": durable: "+format, args...)
-			}
+			opts.Log = logger.With("subsys", "durable")
 		}
 		dstore, err = durable.Open(opts)
 		if err != nil {
@@ -128,11 +142,27 @@ func main() {
 		}
 		srv.UseDurable(dstore)
 		r := dstore.Recovery()
-		log.Printf("%s: data-dir %s (fsync=%v): recovered %d tables, %d segments, %d wal records (%d torn tails), %d bytes in %v",
-			label, *dataDir, fsyncPolicy, r.Tables, r.Segments, r.WALRecords, r.TornTails, r.Bytes, r.Duration)
+		logger.Info("recovered data-dir",
+			"dir", *dataDir, "fsync", fsyncPolicy.String(),
+			"tables", r.Tables, "segments", r.Segments,
+			"wal_records", r.WALRecords, "torn_tails", r.TornTails,
+			"bytes", r.Bytes, "duration", r.Duration)
 	}
 	if *metrics {
-		watchMetrics(srv, label)
+		watchMetrics(srv, logger, *metricsFormat)
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, label+":", err)
+			os.Exit(1)
+		}
+		logger.Info("debug listener up", "debug_addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, srv.DebugHandler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Warn("debug listener failed", "err", err)
+			}
+		}()
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting, cancels
@@ -144,21 +174,21 @@ func main() {
 	closed := make(chan struct{})
 	go func() {
 		s := <-sig
-		log.Printf("%s: %v: draining (up to %v; signal again to force)", label, s, *drain)
+		logger.Info("draining", "signal", s.String(), "budget", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		go func() {
 			<-sig
-			log.Printf("%s: second signal: force-closing", label)
+			logger.Warn("second signal: force-closing")
 			cancel()
 		}()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("%s: drain incomplete (%v); connections force-closed", label, err)
+			logger.Warn("drain incomplete; connections force-closed", "err", err)
 		}
 		close(closed)
 	}()
 
-	log.Printf("%s: listening on %s (%d workers)", label, *addr, *workers)
+	logger.Info("listening", "addr", *addr, "workers", *workers)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, label+":", err)
 		os.Exit(1)
@@ -170,8 +200,8 @@ func main() {
 	<-closed
 	if dstore != nil {
 		if err := dstore.Close(); err != nil {
-			log.Printf("%s: close durable store: %v", label, err)
+			logger.Warn("close durable store", "err", err)
 		}
 	}
-	log.Printf("%s: bye", label)
+	logger.Info("bye")
 }

@@ -3,12 +3,12 @@
 package main
 
 import (
-	"log"
+	"log/slog"
 
 	"seabed/internal/server"
 )
 
 // watchMetrics is a no-op where SIGUSR1 does not exist.
-func watchMetrics(_ *server.Server, label string) {
-	log.Printf("%s: -metrics requires a unix platform (SIGUSR1); ignoring", label)
+func watchMetrics(_ *server.Server, logger *slog.Logger, _ string) {
+	logger.Warn("-metrics requires a unix platform (SIGUSR1); ignoring")
 }

@@ -3,7 +3,8 @@
 package main
 
 import (
-	"log"
+	"encoding/json"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -11,14 +12,25 @@ import (
 	"seabed/internal/server"
 )
 
-// watchMetrics prints a stats snapshot to the log whenever the daemon
-// receives SIGUSR1 (the -metrics flag).
-func watchMetrics(srv *server.Server, label string) {
+// watchMetrics prints a stats snapshot whenever the daemon receives SIGUSR1
+// (the -metrics flag), rendered per -metrics-format: "text" is the
+// human-oriented multi-line dump, "json" the same snapshot in the
+// machine-stable field names Stats.MarshalJSON defines.
+func watchMetrics(srv *server.Server, logger *slog.Logger, format string) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGUSR1)
 	go func() {
 		for range sig {
-			log.Printf("%s: stats: %s", label, srv.Stats())
+			if format == "json" {
+				b, err := json.Marshal(srv.Stats())
+				if err != nil {
+					logger.Warn("marshal stats", "err", err)
+					continue
+				}
+				os.Stderr.Write(append(b, '\n')) //nolint:errcheck // best-effort dump
+				continue
+			}
+			logger.Info("stats", "snapshot", srv.Stats().String())
 		}
 	}()
 }

@@ -38,6 +38,7 @@ func adaProxy(cfg Config) (*client.Proxy, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	proxy.TraceSink = recordTrace
 	proxy.Parts = cfg.Workers
 	if _, err := proxy.CreatePlan(ada.Schema, workload.AdASamples(), planner.Options{MaxStorageOverhead: 10}); err != nil {
 		return nil, 0, err

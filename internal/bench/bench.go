@@ -153,6 +153,7 @@ func syntheticProxy(cfg Config, rows, groups int, modes ...translate.Mode) (*cli
 	if err != nil {
 		return nil, err
 	}
+	proxy.TraceSink = recordTrace
 	// One partition per worker keeps per-task fixed costs (bind, slice
 	// allocation, GC) small relative to real per-row work at laptop scale.
 	proxy.Parts = cfg.Workers

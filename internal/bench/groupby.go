@@ -76,6 +76,7 @@ func Fig9bc(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	proxy.TraceSink = recordTrace
 	proxy.Parts = cfg.Workers
 	samples := workload.BDBSamples()
 	if _, err := proxy.CreatePlan(bdb.RankingsSchema, samples["rankings"], planner.Options{}); err != nil {

@@ -40,6 +40,7 @@ func Table2(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	proxy.TraceSink = recordTrace
 	if _, err := proxy.CreatePlan(tbl, samples, planner.Options{}); err != nil {
 		return err
 	}
@@ -209,6 +210,7 @@ func datasetSizes(src *store.Table, sch *schema.Table, samples []string) (sizeTr
 	if err != nil {
 		return out, err
 	}
+	proxy.TraceSink = recordTrace
 	if _, err := proxy.CreatePlan(sch, samples, planner.Options{}); err != nil {
 		return out, err
 	}

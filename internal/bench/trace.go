@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"sync"
+
+	"seabed/internal/obs"
+)
+
+// Trace capture for -trace: every proxy the bench package builds reports its
+// finished query traces to recordTrace (via client.Proxy.TraceSink), and the
+// driver drains the slowest one per experiment. Capture is off unless
+// EnableTracing was called, so the default bench run pays one atomic load per
+// query and keeps no spans alive.
+var traceState struct {
+	sync.Mutex
+	enabled bool
+	slowest *obs.Span
+}
+
+// EnableTracing turns on slowest-query trace capture for the process.
+func EnableTracing() {
+	traceState.Lock()
+	traceState.enabled = true
+	traceState.Unlock()
+}
+
+// TakeSlowestTrace returns the slowest query trace recorded since the last
+// call (nil if none) and resets the tracker, giving each experiment its own
+// slowest query.
+func TakeSlowestTrace() *obs.Span {
+	traceState.Lock()
+	defer traceState.Unlock()
+	sp := traceState.slowest
+	traceState.slowest = nil
+	return sp
+}
+
+// recordTrace is the TraceSink wired into every bench proxy.
+func recordTrace(sp *obs.Span) {
+	traceState.Lock()
+	defer traceState.Unlock()
+	if !traceState.enabled {
+		return
+	}
+	if traceState.slowest == nil || sp.Duration() > traceState.slowest.Duration() {
+		traceState.slowest = sp
+	}
+}

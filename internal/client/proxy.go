@@ -3,11 +3,13 @@ package client
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"seabed/internal/engine"
 	"seabed/internal/netsim"
+	"seabed/internal/obs"
 	"seabed/internal/paillier"
 	"seabed/internal/planner"
 	"seabed/internal/schema"
@@ -28,6 +30,18 @@ type Proxy struct {
 	Link netsim.Link
 	// Parts is the partition count for uploads (defaults to 4× workers).
 	Parts int
+
+	// SlowQueryThreshold, when positive, makes the proxy log any query whose
+	// end-to-end trace runs at least this long. The log line carries the
+	// trace ID and the rendered span tree, so a straggling shard (§6.2 skew)
+	// is visible without re-running the query under instrumentation.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query reports; nil uses slog.Default().
+	SlowQueryLog *slog.Logger
+	// TraceSink, when non-nil, receives every finished query trace. Hooks
+	// like seabed-bench's -trace flag use it to keep the slowest trace of an
+	// experiment without touching the query path.
+	TraceSink func(*obs.Span)
 
 	// tables is the guarded table registry, shared — as one pointer, lock
 	// included — with every WithCluster-derived proxy, so concurrent use of
@@ -232,15 +246,26 @@ func (p *Proxy) Table(table string, mode translate.Mode) (*store.Table, error) {
 // scatter — aborts, and Query returns ctx.Err(). Options select the mode and
 // tune the run; the default is the paper's system (translate.Seabed).
 func (p *Proxy) Query(ctx context.Context, sql string, opts ...QueryOption) (*QueryResult, error) {
+	root := obs.NewTrace("query")
+	parse := root.StartChild("parse")
 	q, err := sqlparse.Parse(sql)
+	parse.End()
 	if err != nil {
 		return nil, err
 	}
-	return p.RunQuery(ctx, q, opts...)
+	return p.runQuery(ctx, root, q, opts...)
 }
 
 // RunQuery is Query over a pre-parsed statement.
 func (p *Proxy) RunQuery(ctx context.Context, q *sqlparse.Query, opts ...QueryOption) (*QueryResult, error) {
+	return p.runQuery(ctx, obs.NewTrace("query"), q, opts...)
+}
+
+// runQuery executes a parsed statement under an open query trace. The trace
+// root spans parse (when Query minted it) through decrypt; it is finished —
+// ended, offered to TraceSink, and slow-query-logged — when the result is
+// complete: at return for materialized results, at drain for streams.
+func (p *Proxy) runQuery(ctx context.Context, root *obs.Span, q *sqlparse.Query, opts ...QueryOption) (*QueryResult, error) {
 	o := applyOptions(opts)
 	cancel := func() {}
 	if o.timeout != 0 {
@@ -248,11 +273,13 @@ func (p *Proxy) RunQuery(ctx context.Context, q *sqlparse.Query, opts ...QueryOp
 		// already-expired deadline and fails fast, as with net/http.
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 	}
+	trSpan := root.StartChild("translate")
 	tr, err := translate.Translate(q, p, p.ring, o.mode, translate.Options{
 		Workers:          p.cluster.Workers(),
 		ExpectedGroups:   o.expectedGroups,
 		DisableInflation: o.disableInflation,
 	})
+	trSpan.End()
 	if err != nil {
 		cancel()
 		return nil, err
@@ -276,11 +303,14 @@ func (p *Proxy) RunQuery(ctx context.Context, q *sqlparse.Query, opts ...QueryOp
 	// Streaming scan: hand the plan to the backend's streaming path and
 	// return immediately; rows decrypt incrementally as Rows is consumed.
 	if o.stream && len(tr.Client.ScanCols) > 0 && !o.serverOnly {
-		return p.streamQuery(ctx, cancel, tr), nil
+		return p.streamQuery(ctx, cancel, tr, root), nil
 	}
 	defer cancel()
+	defer p.finishTrace(root)
 
-	res, err := p.cluster.Run(ctx, tr.Server)
+	runSpan := root.StartChild("run")
+	res, err := p.cluster.Run(obs.ContextWithSpan(ctx, runSpan), tr.Server)
+	runSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -289,11 +319,14 @@ func (p *Proxy) RunQuery(ctx context.Context, q *sqlparse.Query, opts ...QueryOp
 			Metrics:     res.Metrics,
 			ServerTime:  res.Metrics.ServerTime,
 			NetworkTime: p.Link.TransferTime(res.Metrics.ResultBytes),
+			trace:       root,
 		}
 		qr.TotalTime = qr.ServerTime + qr.NetworkTime
 		return qr, nil
 	}
+	decSpan := root.StartChild("decrypt")
 	dec, err := Decrypt(tr, res, p.ring)
+	decSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -304,9 +337,30 @@ func (p *Proxy) RunQuery(ctx context.Context, q *sqlparse.Query, opts ...QueryOp
 		ServerTime:  res.Metrics.ServerTime,
 		NetworkTime: p.Link.TransferTime(res.Metrics.ResultBytes),
 		ClientTime:  dec.ClientTime,
+		trace:       root,
 	}
 	qr.TotalTime = qr.ServerTime + qr.NetworkTime + qr.ClientTime
 	return qr, nil
+}
+
+// finishTrace closes a query's trace root and delivers it: to TraceSink when
+// set, and to the slow-query log when the query ran past SlowQueryThreshold.
+func (p *Proxy) finishTrace(root *obs.Span) {
+	root.End()
+	if p.TraceSink != nil {
+		p.TraceSink(root)
+	}
+	if p.SlowQueryThreshold > 0 && root.Duration() >= p.SlowQueryThreshold {
+		lg := p.SlowQueryLog
+		if lg == nil {
+			lg = slog.Default()
+		}
+		lg.Warn("slow query",
+			"trace_id", fmt.Sprintf("%016x", root.TraceID()),
+			"duration", root.Duration(),
+			"threshold", p.SlowQueryThreshold,
+			"trace", root.String())
+	}
 }
 
 // WithCluster returns a proxy sharing this proxy's key ring and uploaded
@@ -316,7 +370,12 @@ func (p *Proxy) RunQuery(ctx context.Context, q *sqlparse.Query, opts ...QueryOp
 // safe to use concurrently. When the new backend is remote, follow up with
 // SyncTables to ship the tables to it.
 func (p *Proxy) WithCluster(cluster ClusterBackend) *Proxy {
-	return &Proxy{ring: p.ring, cluster: cluster, Link: p.Link, Parts: p.Parts, tables: p.tables}
+	return &Proxy{
+		ring: p.ring, cluster: cluster, Link: p.Link, Parts: p.Parts,
+		SlowQueryThreshold: p.SlowQueryThreshold, SlowQueryLog: p.SlowQueryLog,
+		TraceSink: p.TraceSink,
+		tables:    p.tables,
+	}
 }
 
 // QueryResult couples a query's decrypted rows with the end-to-end latency
@@ -336,4 +395,14 @@ type QueryResult struct {
 
 	rows   []Row
 	stream *rowStream
+	trace  *obs.Span
 }
+
+// Trace returns the query's span tree: parse/translate/run/decrypt at the
+// proxy, one "shard i" child per scatter target under run, and each daemon's
+// own breakdown (queue wait, map, shuffle, reduce) grafted beneath its rpc
+// span. Trace().FindSpan("run").SlowestChild("shard ") names the straggler
+// that dominated a skewed query (§6.2). For a streamed query the tree is
+// complete only once Rows has been drained; it is nil only for results that
+// never ran a query trace (zero-value QueryResults).
+func (r *QueryResult) Trace() *obs.Span { return r.trace }

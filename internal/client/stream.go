@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"iter"
+	"sync"
 	"time"
 
 	"seabed/internal/engine"
 	"seabed/internal/netsim"
+	"seabed/internal/obs"
 	"seabed/internal/translate"
 )
 
@@ -23,6 +25,10 @@ type rowStream struct {
 	dec     *decrypter
 	link    netsim.Link
 	drained bool
+	// run is the trace span covering the backend run; finish closes the query
+	// trace (slow-query log, TraceSink) once the stream ends for any reason.
+	run    *obs.Span
+	finish func()
 }
 
 // streamFinal carries the backend's terminal result (metrics, no rows) or
@@ -35,7 +41,7 @@ type streamFinal struct {
 // streamQuery launches the backend's streaming run and returns a QueryResult
 // whose rows arrive through Rows. cancel releases the query's timeout (and
 // with it the run) when the stream ends for any reason.
-func (p *Proxy) streamQuery(ctx context.Context, cancel context.CancelFunc, tr *translate.Translation) *QueryResult {
+func (p *Proxy) streamQuery(ctx context.Context, cancel context.CancelFunc, tr *translate.Translation, root *obs.Span) *QueryResult {
 	sctx, scancel := context.WithCancel(ctx)
 	s := &rowStream{
 		cancel:  func() { scancel(); cancel() },
@@ -44,9 +50,14 @@ func (p *Proxy) streamQuery(ctx context.Context, cancel context.CancelFunc, tr *
 		tr:      tr,
 		link:    p.Link,
 		dec:     newDecrypter(p.ring, tr.Server.Codec),
+		run:     root.StartChild("run"),
 	}
+	// A fully drained stream that is then Closed finishes twice; deliver the
+	// trace (TraceSink, slow-query log) only once.
+	var once sync.Once
+	s.finish = func() { once.Do(func() { p.finishTrace(root) }) }
 	go func() {
-		res, err := p.cluster.RunStream(sctx, tr.Server, func(rows []engine.ScanRow) error {
+		res, err := p.cluster.RunStream(obs.ContextWithSpan(sctx, s.run), tr.Server, func(rows []engine.ScanRow) error {
 			select {
 			case s.batches <- rows:
 				return nil
@@ -57,7 +68,7 @@ func (p *Proxy) streamQuery(ctx context.Context, cancel context.CancelFunc, tr *
 		close(s.batches)
 		s.final <- streamFinal{res: res, err: err}
 	}()
-	return &QueryResult{stream: s}
+	return &QueryResult{stream: s, trace: root}
 }
 
 // Rows yields the result rows in order. For a materialized result it ranges
@@ -106,6 +117,8 @@ func (r *QueryResult) Close() error {
 	if r.stream != nil {
 		r.stream.drained = true
 		r.stream.cancel()
+		r.stream.run.End()
+		r.stream.finish()
 	}
 	return nil
 }
@@ -123,6 +136,11 @@ func (s *rowStream) iterate(qr *QueryResult) iter.Seq2[Row, error] {
 		}
 		s.drained = true
 		defer s.cancel()
+		// End the run span when the backend run ends (the drain IS the run for
+		// a stream), then finish the whole trace. End is idempotent, so a
+		// Close after a full drain double-ends harmlessly.
+		defer s.finish()
+		defer s.run.End()
 		start := time.Now()
 		cols := s.tr.Client.ScanCols
 		for batch := range s.batches {

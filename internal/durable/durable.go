@@ -35,11 +35,13 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"seabed/internal/obs"
 	"seabed/internal/store"
 )
 
@@ -90,8 +92,12 @@ type Options struct {
 	// BatchBytes is FsyncBatch's sync threshold: unsynced WAL bytes that
 	// force an fsync. Default 1 MiB.
 	BatchBytes int64
-	// Logf, when non-nil, receives recovery and compaction events.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives structured recovery and compaction events.
+	Log *slog.Logger
+	// Metrics, when non-nil, receives the store's WAL latency histograms
+	// (seabed_wal_append_seconds, seabed_wal_fsync_seconds) — typically the
+	// owning server's registry, so one /metrics scrape covers both layers.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -143,6 +149,13 @@ type tableState struct {
 type Store struct {
 	opts Options
 
+	// WAL latency instruments (nil without Options.Metrics). mAppend brackets
+	// the whole journal write — serialize, record write, policy fsync — which
+	// is the latency an acknowledged append paid for durability; mFsync
+	// isolates the f.Sync call itself, the §6 disk-cost denominator.
+	mAppend *obs.Histogram
+	mFsync  *obs.Histogram
+
 	mu     sync.Mutex
 	man    *manifest
 	tables map[string]*tableState // by ref
@@ -174,6 +187,12 @@ func Open(opts Options) (*Store, error) {
 		man:       man,
 		tables:    make(map[string]*tableState, len(man.Tables)),
 		recovered: make(map[string]*store.Table, len(man.Tables)),
+	}
+	if opts.Metrics != nil {
+		s.mAppend = opts.Metrics.Histogram("seabed_wal_append_seconds",
+			"WAL journal latency per append: serialize, record write, and any policy fsync.", nil, nil)
+		s.mFsync = opts.Metrics.Histogram("seabed_wal_fsync_seconds",
+			"WAL fsync latency.", nil, nil)
 	}
 	if err := s.removeOrphans(); err != nil {
 		return nil, err
@@ -251,7 +270,7 @@ func (s *Store) recoverTable(mt manifestTable) (*tableState, *store.Table, Recov
 	stats.Bytes += goodBytes
 	if torn {
 		stats.TornTails++
-		s.logf("table %q: truncating torn wal tail at offset %d", mt.Ref, goodBytes)
+		s.log("truncating torn wal tail", "ref", mt.Ref, "offset", goodBytes)
 		if err := os.Truncate(walPath, goodBytes); err != nil {
 			return nil, nil, stats, fmt.Errorf("truncate torn wal: %w", err)
 		}
@@ -278,6 +297,7 @@ func (s *Store) recoverTable(mt manifestTable) (*tableState, *store.Table, Recov
 	if err != nil {
 		return nil, nil, stats, err
 	}
+	w.obsFsync = s.mFsync
 	st := &tableState{
 		id:       mt.ID,
 		segments: append([]string(nil), mt.Segments...),
@@ -338,6 +358,7 @@ func (s *Store) Register(ref string, t *store.Table) error {
 		if err != nil {
 			return err
 		}
+		w.obsFsync = s.mFsync
 		st.wal = w
 	}
 	// Empty the WAL — by folding any journaled batches into a segment of
@@ -390,12 +411,16 @@ func (s *Store) Append(ref string, batch *store.Table) error {
 		return fmt.Errorf("durable: append to %q rewinds identifiers (batch starts at %d, table ends at %d)",
 			ref, batch.Parts[0].StartID, st.endID)
 	}
+	journalStart := time.Now()
 	var buf bytes.Buffer
 	if _, err := batch.WriteTo(&buf); err != nil {
 		return fmt.Errorf("durable: serialize batch: %w", err)
 	}
 	if err := st.wal.append(buf.Bytes(), s.opts.Fsync == FsyncAlways, s.opts.BatchBytes); err != nil {
 		return err
+	}
+	if s.mAppend != nil {
+		s.mAppend.ObserveDuration(time.Since(journalStart))
 	}
 	if batch.NumRows() > 0 {
 		if st.pending == nil {
@@ -413,7 +438,7 @@ func (s *Store) Append(ref string, batch *store.Table) error {
 	// at the next append; until one succeeds the WAL simply keeps growing.
 	if st.wal.size >= s.opts.CompactBytes {
 		if err := s.compactLocked(ref, st); err != nil {
-			s.logf("table %q: compaction deferred: %v", ref, err)
+			s.log("compaction deferred", "ref", ref, "err", err)
 		}
 	}
 	return nil
@@ -445,7 +470,7 @@ func (s *Store) compactLocked(ref string, st *tableState) error {
 	if err := st.wal.reset(); err != nil {
 		return err
 	}
-	s.logf("table %q: compacted wal into %s (%d bytes, %d segments)", ref, seg, n, len(segments))
+	s.log("wal compacted", "ref", ref, "segment", seg, "bytes", n, "segments", len(segments))
 	return nil
 }
 
@@ -557,13 +582,13 @@ func (s *Store) removeOrphans() error {
 		}
 		if !e.IsDir() {
 			// Stray files at the root (a MANIFEST.tmp from a crashed commit).
-			s.logf("removing orphan file %s", name)
+			s.log("removing orphan file", "name", name)
 			os.Remove(filepath.Join(s.opts.Dir, name)) //nolint:errcheck // best-effort GC
 			continue
 		}
 		segs, ok := known[name]
 		if !ok {
-			s.logf("removing orphan table dir %s", name)
+			s.log("removing orphan table dir", "name", name)
 			os.RemoveAll(filepath.Join(s.opts.Dir, name)) //nolint:errcheck // best-effort GC
 			continue
 		}
@@ -575,16 +600,16 @@ func (s *Store) removeOrphans() error {
 			if f.Name() == walName || segs[f.Name()] {
 				continue
 			}
-			s.logf("removing orphan segment %s/%s", name, f.Name())
+			s.log("removing orphan segment", "dir", name, "name", f.Name())
 			os.Remove(filepath.Join(s.opts.Dir, name, f.Name())) //nolint:errcheck // best-effort GC
 		}
 	}
 	return nil
 }
 
-func (s *Store) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
-		s.opts.Logf(format, args...)
+func (s *Store) log(msg string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log.Info(msg, args...)
 	}
 }
 

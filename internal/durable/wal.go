@@ -9,7 +9,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
+	"seabed/internal/obs"
 	"seabed/internal/store"
 )
 
@@ -42,6 +44,9 @@ type wal struct {
 	path     string
 	size     int64
 	unsynced int64
+	// obsFsync, when non-nil, observes each f.Sync's latency (the store's
+	// seabed_wal_fsync_seconds histogram).
+	obsFsync *obs.Histogram
 	// broken latches a partial record write that could not be cut back:
 	// appending past it would strand acknowledged records behind a tear,
 	// so the log refuses further records until a restart recovers it.
@@ -103,8 +108,12 @@ func (w *wal) sync() error {
 	if w.unsynced == 0 {
 		return nil
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("durable: sync wal: %w", err)
+	}
+	if w.obsFsync != nil {
+		w.obsFsync.ObserveDuration(time.Since(start))
 	}
 	w.unsynced = 0
 	return nil

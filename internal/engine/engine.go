@@ -335,6 +335,15 @@ type Metrics struct {
 	// RowsScanned and RowsSelected count input rows and filter survivors.
 	RowsScanned  uint64
 	RowsSelected uint64
+	// TaskMin/TaskP50/TaskMax summarize the per-map-task duration
+	// distribution (straggler multipliers included) instead of dropping it
+	// after the makespan computation — the §6.2 skew signal, bounded to
+	// three numbers per shard. Across a shard merge Min takes the minimum,
+	// Max the maximum, and P50 the worst per-shard median: a conservative
+	// straggler indicator that never under-reports skew.
+	TaskMin time.Duration
+	TaskP50 time.Duration
+	TaskMax time.Duration
 }
 
 // Result is a plan's output.

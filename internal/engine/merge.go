@@ -198,6 +198,11 @@ func mergeMetrics(dst, src *Metrics, first bool) {
 			*d = s
 		}
 	}
+	minDur := func(d *time.Duration, s time.Duration) {
+		if first || s < *d {
+			*d = s
+		}
+	}
 	maxDur(&dst.MapTime, src.MapTime)
 	maxDur(&dst.ReduceTime, src.ReduceTime)
 	maxDur(&dst.ShuffleTime, src.ShuffleTime)
@@ -208,4 +213,7 @@ func mergeMetrics(dst, src *Metrics, first bool) {
 	dst.ReduceTasks += src.ReduceTasks
 	dst.RowsScanned += src.RowsScanned
 	dst.RowsSelected += src.RowsSelected
+	minDur(&dst.TaskMin, src.TaskMin)
+	maxDur(&dst.TaskP50, src.TaskP50)
+	maxDur(&dst.TaskMax, src.TaskMax)
 }

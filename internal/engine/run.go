@@ -7,10 +7,12 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"seabed/internal/idlist"
+	"seabed/internal/obs"
 	"seabed/internal/ope"
 	"seabed/internal/store"
 )
@@ -163,6 +165,7 @@ func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, e
 	}
 	metrics.MapTasks = len(results)
 	metrics.MapTime = makespan(durations, c.cfg.Workers)
+	metrics.TaskMin, metrics.TaskP50, metrics.TaskMax = taskSample(durations)
 
 	out := &Result{}
 	switch {
@@ -180,7 +183,45 @@ func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, e
 
 	metrics.ServerTime = metrics.MapTime + metrics.ShuffleTime + metrics.ReduceTime + metrics.DriverTime
 	out.Metrics = metrics
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		attachStageSpans(sp, &metrics)
+	}
 	return out, nil
+}
+
+// taskSample condenses the per-map-task duration distribution to the three
+// numbers Metrics retains (min/p50/max) — enough for scatter-span straggler
+// attribution without shipping every task's clock reading.
+func taskSample(durations []time.Duration) (min, p50, max time.Duration) {
+	if len(durations) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1]
+}
+
+// attachStageSpans reports the run's stage breakdown on the active trace
+// span. Stage times are the engine's cost model (makespans and modeled
+// shuffle), not wall-clock intervals, so the spans are laid out sequentially
+// ending now — the shape Table 5's per-stage accounting takes.
+func attachStageSpans(sp *obs.Span, m *Metrics) {
+	base := time.Now().Add(-m.ServerTime)
+	add := func(name string, d time.Duration) *obs.Span {
+		s := sp.AddSpan(name, base, d)
+		base = base.Add(d)
+		return s
+	}
+	mapSp := add("map", m.MapTime)
+	mapSp.SetAttr("tasks", strconv.Itoa(m.MapTasks))
+	mapSp.SetAttr("rows_scanned", strconv.FormatUint(m.RowsScanned, 10))
+	mapSp.SetAttr("rows_selected", strconv.FormatUint(m.RowsSelected, 10))
+	mapSp.SetAttr("task_p50", m.TaskP50.String())
+	mapSp.SetAttr("task_max", m.TaskMax.String())
+	add("shuffle", m.ShuffleTime).SetAttr("bytes", strconv.Itoa(m.ShuffleBytes))
+	reduceSp := add("reduce", m.ReduceTime)
+	reduceSp.SetAttr("tasks", strconv.Itoa(m.ReduceTasks))
+	add("driver", m.DriverTime).SetAttr("result_bytes", strconv.Itoa(m.ResultBytes))
 }
 
 // RunStream executes a plan like Run, but delivers scan rows to sink in

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks data against the Prometheus text exposition
+// format (version 0.0.4) and returns the metric families it declares
+// (name → type). It verifies:
+//
+//   - every line is a well-formed comment or sample (name{labels} value [ts])
+//   - each family has at most one # TYPE, appearing before its samples
+//   - sample names belong to a declared family (histogram samples may use the
+//     _bucket/_sum/_count suffixes)
+//   - counter and histogram sample values are non-negative
+//   - histogram buckets carry an le label, are cumulative (non-decreasing in
+//     le order), include le="+Inf", and the +Inf bucket equals _count
+//
+// The CI observability job and the debug-endpoint tests share this instead of
+// each hand-rolling a scrape parser.
+func ValidateExposition(data []byte) (map[string]string, error) {
+	families := make(map[string]string)
+	sampled := make(map[string]bool) // family name → saw a sample
+	type bucketKey struct{ name, labels string }
+	buckets := make(map[bucketKey][]lePoint)
+	counts := make(map[bucketKey]float64)
+
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, families, sampled); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, suffix := familyOf(s.name, families)
+		if fam == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, s.name)
+		}
+		sampled[fam] = true
+		typ := families[fam]
+		if (typ == "counter" || typ == "histogram") && s.value < 0 {
+			return nil, fmt.Errorf("line %d: %s %s has negative value %v", lineNo, typ, s.name, s.value)
+		}
+		if typ == "histogram" {
+			key := bucketKey{fam, s.labelsWithout("le")}
+			switch suffix {
+			case "_bucket":
+				le, ok := s.label("le")
+				if !ok {
+					return nil, fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, s.name)
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				buckets[key] = append(buckets[key], lePoint{bound, s.value})
+			case "_count":
+				counts[key] = s.value
+			case "_sum", "":
+				// _sum can be any float; a bare histogram-family sample name
+				// (no suffix) is invalid.
+				if suffix == "" {
+					return nil, fmt.Errorf("line %d: histogram family %s sample lacks _bucket/_sum/_count suffix", lineNo, fam)
+				}
+			}
+		}
+	}
+
+	for key, pts := range buckets {
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].le < pts[j].le })
+		hasInf := false
+		for i, p := range pts {
+			if i > 0 && p.value < pts[i-1].value {
+				return nil, fmt.Errorf("histogram %s%s buckets not cumulative at le=%v", key.name, key.labels, p.le)
+			}
+			if math.IsInf(p.le, 1) {
+				hasInf = true
+				if c, ok := counts[key]; ok && c != p.value {
+					return nil, fmt.Errorf("histogram %s%s +Inf bucket %v != _count %v", key.name, key.labels, p.value, c)
+				}
+			}
+		}
+		if !hasInf {
+			return nil, fmt.Errorf("histogram %s%s missing le=\"+Inf\" bucket", key.name, key.labels)
+		}
+	}
+	return families, nil
+}
+
+type lePoint struct{ le, value float64 }
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+func validateComment(line string, families map[string]string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := families[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s appears after its samples", name)
+		}
+		families[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, honoring histogram
+// suffixes: seabed_run_seconds_bucket belongs to seabed_run_seconds.
+func familyOf(name string, families map[string]string) (fam, suffix string) {
+	if _, ok := families[name]; ok {
+		return name, ""
+	}
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, sfx)
+		if base != name {
+			if t, ok := families[base]; ok && (t == "histogram" || t == "summary") {
+				return base, sfx
+			}
+		}
+	}
+	return "", ""
+}
+
+type sample struct {
+	name   string
+	labels []Attr
+	value  float64
+}
+
+func (s *sample) label(key string) (string, bool) {
+	for _, a := range s.labels {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// labelsWithout renders the sample's labels minus one key, sorted — the
+// grouping key that joins a histogram's _bucket series to its _count.
+func (s *sample) labelsWithout(drop string) string {
+	attrs := make([]Attr, 0, len(s.labels))
+	for _, a := range s.labels {
+		if a.Key != drop {
+			attrs = append(attrs, a)
+		}
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+	return renderLabels(attrs, "", 0)
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (*sample, error) {
+	s := &sample{}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return nil, fmt.Errorf("bad sample line %q", line)
+	}
+	s.name = line[:i]
+	rest := line[i:]
+
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return nil, fmt.Errorf("sample %s: %w", s.name, err)
+		}
+		s.labels = labels
+		rest = rest[end:]
+	}
+
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("sample %s: bad value section %q", s.name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("sample %s: %w", s.name, err)
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("sample %s: bad timestamp %q", s.name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isNameChar(c byte, first bool) bool {
+	alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+	return alpha || (!first && c >= '0' && c <= '9')
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0] == '{'; returns the
+// index just past the closing brace.
+func parseLabels(s string) (int, []Attr, error) {
+	var labels []Attr
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := i
+		for j < len(s) && isNameChar(s[j], j == i) {
+			j++
+		}
+		if j == i || j >= len(s) || s[j] != '=' {
+			return 0, nil, fmt.Errorf("bad label block at %q", s[i:])
+		}
+		key := s[i:j]
+		j++ // '='
+		if j >= len(s) || s[j] != '"' {
+			return 0, nil, fmt.Errorf("label %s: unquoted value", key)
+		}
+		j++
+		var val strings.Builder
+		for {
+			if j >= len(s) {
+				return 0, nil, fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := s[j]
+			if c == '"' {
+				j++
+				break
+			}
+			if c == '\\' {
+				j++
+				if j >= len(s) {
+					return 0, nil, fmt.Errorf("label %s: dangling escape", key)
+				}
+				switch s[j] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %s: bad escape \\%c", key, s[j])
+				}
+				j++
+				continue
+			}
+			val.WriteByte(c)
+			j++
+		}
+		labels = append(labels, Attr{Key: key, Val: val.String()})
+		i = j
+	}
+}

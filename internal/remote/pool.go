@@ -37,6 +37,11 @@ type Pool struct {
 	// shardIndex/shardCount hold the shard identity the server declared at
 	// handshake (count 0 = none declared).
 	shardIndex, shardCount int
+	// proto is the protocol version negotiated at the first handshake; every
+	// later dial must land on the same one, so request codecs can read it
+	// without a lock — and so a query's frames never change dialect when a
+	// redial swaps the socket out from under it.
+	proto uint64
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -65,29 +70,79 @@ func (p *Pool) Workers() int { return p.workers }
 // is 0 for a server that declared none.
 func (p *Pool) Shard() (index, count int) { return p.shardIndex, p.shardCount }
 
+// Protocol returns the protocol version negotiated at the first handshake.
+// Request codecs frame plans and results with it.
+func (p *Pool) Protocol() uint64 { return p.proto }
+
+// oldProtocolError reports a pre-v4 server that rejected our Hello outright
+// instead of negotiating. It carries the version the server asked for so the
+// dial path can retry the handshake speaking it.
+type oldProtocolError struct {
+	addr string
+	want uint64
+}
+
+func (e *oldProtocolError) Error() string {
+	return fmt.Sprintf("remote: server %s speaks protocol v%d and does not negotiate", e.addr, e.want)
+}
+
+// parseVersionReject recognizes the version-mismatch MsgError every server
+// build emits ("server: protocol version %d, want %d") and extracts the
+// version the server wants.
+func parseVersionReject(msg string) (want uint64, ok bool) {
+	var got uint64
+	if _, err := fmt.Sscanf(msg, "server: protocol version %d, want %d", &got, &want); err != nil {
+		return 0, false
+	}
+	return want, true
+}
+
 // dialFirst opens the pool's first connection and records the handshake
-// metadata (worker count, shard identity). Later dials from the request path
-// only validate the handshake, so the recorded fields stay immutable — and
-// therefore readable without a lock — after DialPool returns.
+// metadata (negotiated protocol, worker count, shard identity). Later dials
+// from the request path only validate the handshake, so the recorded fields
+// stay immutable — and therefore readable without a lock — after DialPool
+// returns.
+//
+// Old daemons are tolerated: a pre-v4 server rejects the v4 Hello with its
+// version-mismatch error rather than negotiating, and the dial retries once
+// speaking the version the server named (if this build still supports it).
 func (p *Pool) dialFirst() (net.Conn, error) {
-	conn, workers, shardIndex, shardCount, err := p.handshake()
+	conn, proto, workers, shardIndex, shardCount, err := p.handshake(wire.Version)
+	var old *oldProtocolError
+	if errors.As(err, &old) && old.want >= wire.MinVersion && old.want < wire.Version {
+		conn, proto, workers, shardIndex, shardCount, err = p.handshake(old.want)
+	}
 	if err != nil {
 		return nil, err
 	}
-	p.workers, p.shardIndex, p.shardCount = workers, shardIndex, shardCount
+	p.proto, p.workers, p.shardIndex, p.shardCount = proto, workers, shardIndex, shardCount
 	return conn, nil
 }
 
 // dial opens and handshakes one connection, verifying the server still
-// declares the shard identity recorded at DialPool. Daemons are
-// restartable (a durable seabed-server comes back on the same address), so
-// a redial may reach a different process than the first handshake did — if
-// that process was restarted with the wrong -shard flag, serving it would
-// silently query misplaced rows. Identity mismatch fails the dial instead.
+// declares the shard identity — and still speaks the protocol version —
+// recorded at DialPool. Daemons are restartable (a durable seabed-server
+// comes back on the same address), so a redial may reach a different process
+// than the first handshake did — if that process was restarted with the
+// wrong -shard flag, serving it would silently query misplaced rows, and if
+// it changed protocol dialect mid-pool, in-flight codecs would misframe.
+// Either mismatch fails the dial instead. (An old v3 daemon upgraded in
+// place keeps working: the redial offers v3 and the new server negotiates
+// down to it.)
 func (p *Pool) dial() (net.Conn, error) {
-	conn, _, shardIndex, shardCount, err := p.handshake()
+	conn, proto, _, shardIndex, shardCount, err := p.handshake(p.proto)
 	if err != nil {
+		var old *oldProtocolError
+		if errors.As(err, &old) {
+			return nil, fmt.Errorf("remote: server %s now speaks protocol v%d, but spoke v%d when first dialed (restarted with an older build?)",
+				p.addr, old.want, p.proto)
+		}
 		return nil, err
+	}
+	if proto != p.proto {
+		conn.Close()
+		return nil, fmt.Errorf("remote: server %s now negotiates protocol v%d, but negotiated v%d when first dialed",
+			p.addr, proto, p.proto)
 	}
 	if shardIndex != p.shardIndex || shardCount != p.shardCount {
 		conn.Close()
@@ -97,45 +152,51 @@ func (p *Pool) dial() (net.Conn, error) {
 	return conn, nil
 }
 
-// handshake opens one connection and performs the Hello/Welcome exchange.
-func (p *Pool) handshake() (net.Conn, int, int, int, error) {
+// handshake opens one connection and performs the Hello/Welcome exchange,
+// offering hello as the client's newest version. The returned proto is the
+// version the server negotiated (≤ hello).
+func (p *Pool) handshake(hello uint64) (net.Conn, uint64, int, int, int, error) {
 	conn, err := net.Dial("tcp", p.addr)
 	if err != nil {
-		return nil, 0, 0, 0, fmt.Errorf("remote: dial %s: %w", p.addr, err)
+		return nil, 0, 0, 0, 0, fmt.Errorf("remote: dial %s: %w", p.addr, err)
 	}
-	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello()); err != nil {
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHelloVersion(hello)); err != nil {
 		conn.Close()
-		return nil, 0, 0, 0, err
+		return nil, 0, 0, 0, 0, err
 	}
 	t, payload, err := wire.ReadFrame(conn)
 	if err != nil {
 		conn.Close()
-		return nil, 0, 0, 0, fmt.Errorf("remote: handshake with %s: %w", p.addr, err)
+		return nil, 0, 0, 0, 0, fmt.Errorf("remote: handshake with %s: %w", p.addr, err)
 	}
 	if t == wire.MsgError {
 		conn.Close()
-		return nil, 0, 0, 0, fmt.Errorf("remote: server %s: %s", p.addr, wire.DecodeError(payload))
+		msg := wire.DecodeError(payload)
+		if want, ok := parseVersionReject(msg); ok && want < hello {
+			return nil, 0, 0, 0, 0, &oldProtocolError{addr: p.addr, want: want}
+		}
+		return nil, 0, 0, 0, 0, fmt.Errorf("remote: server %s: %s", p.addr, msg)
 	}
 	if t != wire.MsgWelcome {
 		conn.Close()
-		return nil, 0, 0, 0, fmt.Errorf("remote: handshake with %s: unexpected %v frame", p.addr, t)
+		return nil, 0, 0, 0, 0, fmt.Errorf("remote: handshake with %s: unexpected %v frame", p.addr, t)
 	}
 	version, workers, shardIndex, shardCount, err := wire.DecodeWelcome(payload)
-	if version != wire.Version {
-		// Checked before the decode error so an older server — whose shorter
-		// Welcome fails to decode — gets the actionable "speaks protocol vN"
+	if version < wire.MinVersion || version > hello {
+		// Checked before the decode error so an alien server — whose Welcome
+		// may also fail to decode — gets the actionable "speaks protocol vN"
 		// diagnosis instead of the truncated-payload symptom. A version-0
 		// decode failure really is a malformed frame; report it as such.
 		if version != 0 || err == nil {
 			conn.Close()
-			return nil, 0, 0, 0, fmt.Errorf("remote: server %s speaks protocol v%d, want v%d", p.addr, version, wire.Version)
+			return nil, 0, 0, 0, 0, fmt.Errorf("remote: server %s negotiated protocol v%d, want v%d–v%d", p.addr, version, wire.MinVersion, hello)
 		}
 	}
 	if err != nil {
 		conn.Close()
-		return nil, 0, 0, 0, err
+		return nil, 0, 0, 0, 0, err
 	}
-	return conn, workers, shardIndex, shardCount, nil
+	return conn, version, workers, shardIndex, shardCount, nil
 }
 
 // get checks a connection out of the pool, dialing a fresh one if none is

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"seabed/internal/engine"
+	"seabed/internal/obs"
 	"seabed/internal/store"
 	"seabed/internal/wire"
 )
@@ -116,7 +117,19 @@ func (r *RemoteCluster) refOf(t *store.Table) (string, error) {
 // materialized behavior. Canceling ctx fires a Cancel frame at the daemon
 // and returns ctx.Err() promptly.
 func (r *RemoteCluster) RunRequest(ctx context.Context, req *wire.PlanRequest, sink engine.ScanSink) (*engine.Result, error) {
-	payload, err := wire.EncodePlan(req)
+	proto := r.pool.Protocol()
+	// Trace propagation (v4): stamp the query's trace ID into the plan frame
+	// and wrap the exchange in an rpc span; the daemon's span breakdown from
+	// the result frame is grafted under it. Against a v3 daemon the ID stays
+	// client-side and the rpc span simply has no children.
+	var rpc *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		req.TraceID = parent.TraceID()
+		rpc = parent.StartChild("rpc")
+		rpc.SetAttr("addr", r.pool.Addr())
+		defer rpc.End()
+	}
+	payload, err := wire.EncodePlan(req, proto)
 	if err != nil {
 		return nil, err
 	}
@@ -139,9 +152,12 @@ func (r *RemoteCluster) RunRequest(ctx context.Context, req *wire.PlanRequest, s
 	if respType != wire.MsgResult {
 		return nil, fmt.Errorf("remote: run: unexpected %v response", respType)
 	}
-	codecName, res, err := wire.DecodeResult(resp)
+	codecName, res, spans, err := wire.DecodeResult(resp, proto)
 	if err != nil {
 		return nil, err
+	}
+	if rpc != nil && len(spans) > 0 {
+		rpc.AttachFlat(spans)
 	}
 	// v3 servers ship every scan row in chunk frames and leave the terminal
 	// frame's scan section empty; tolerate rows there anyway.

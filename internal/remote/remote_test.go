@@ -28,7 +28,6 @@ import (
 func startServer(t *testing.T) *RemoteCluster {
 	t.Helper()
 	srv := server.New(engine.NewCluster(engine.Config{Workers: 4}))
-	srv.Logf = t.Logf
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -370,7 +369,7 @@ func TestDialDiagnosesOldProtocol(t *testing.T) {
 		wire.WriteFrame(conn, wire.MsgWelcome, []byte{1, 4}) //nolint:errcheck // test peer
 	}()
 	_, err = Dial(ln.Addr().String())
-	if err == nil || !strings.Contains(err.Error(), "speaks protocol v1") {
+	if err == nil || !strings.Contains(err.Error(), "negotiated protocol v1") {
 		t.Fatalf("err = %v, want a protocol-version diagnosis", err)
 	}
 }

@@ -17,16 +17,20 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seabed/internal/durable"
 	"seabed/internal/engine"
+	"seabed/internal/obs"
 	"seabed/internal/store"
 	"seabed/internal/wire"
 )
@@ -34,14 +38,21 @@ import (
 // Server owns a cluster, a table registry, and a listener.
 type Server struct {
 	cluster *engine.Cluster
-	// Logf, when non-nil, receives one line per connection event and
-	// request-level failure. Set it before Serve.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives structured connection events and
+	// request-level failures; run-related records carry the query's trace_id.
+	// Set it before Serve.
+	Log *slog.Logger
 	// ShardIndex/ShardCount declare this daemon's identity in a sharded
 	// deployment (the -shard i/n flag); they cross in the Welcome frame so
 	// clients can verify their address list matches the fleet's layout at
 	// connect time. ShardCount 0 declares none. Set them before Serve.
 	ShardIndex, ShardCount int
+	// MaxProtocol caps the protocol version this server negotiates (0 means
+	// wire.Version). Set to an older version — before Serve — to emulate a
+	// daemon of that vintage, handshake semantics included: a v3 cap rejects
+	// newer Hellos outright, exactly as a real v3 build does, which is how
+	// the interop tests exercise the client's downgrade path.
+	MaxProtocol int
 
 	mu     sync.RWMutex
 	tables map[string]*store.Table
@@ -82,6 +93,14 @@ type Server struct {
 	runsActive atomic.Int64
 	canceled   atomic.Uint64
 	reqErrors  atomic.Uint64
+
+	// obs: the server's metrics registry (one per Server so in-process
+	// multi-daemon tests don't collide) and the hot-path instruments. The
+	// registry also serves /metrics through DebugHandler.
+	obsReg     *obs.Registry
+	reqSeconds map[wire.MsgType]*obs.Histogram
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
 }
 
 // TableStat describes one registered table for monitoring.
@@ -171,6 +190,68 @@ func (st Stats) String() string {
 	return b.String()
 }
 
+// MarshalJSON renders the snapshot with stable snake_case field names — the
+// contract for `seabed-server -metrics-format=json` and the debug listener's
+// /stats endpoint, so dashboards don't break when Go field names shift.
+func (st Stats) MarshalJSON() ([]byte, error) {
+	type tableJSON struct {
+		Ref   string `json:"ref"`
+		Rows  uint64 `json:"rows"`
+		Parts int    `json:"parts"`
+		Bytes uint64 `json:"bytes"`
+	}
+	type recoveryJSON struct {
+		Tables          int     `json:"tables"`
+		Segments        int     `json:"segments"`
+		WALRecords      int     `json:"wal_records"`
+		TornTails       int     `json:"torn_tails"`
+		Bytes           int64   `json:"bytes"`
+		DurationSeconds float64 `json:"duration_seconds"`
+	}
+	out := struct {
+		ConnsTotal      uint64       `json:"conns_total"`
+		ConnsActive     int          `json:"conns_active"`
+		Registers       uint64       `json:"registers"`
+		Appends         uint64       `json:"appends"`
+		Runs            uint64       `json:"runs"`
+		RunsActive      int          `json:"runs_active"`
+		Canceled        uint64       `json:"canceled"`
+		Errors          uint64       `json:"errors"`
+		TableCount      int          `json:"table_count"`
+		ResidentBytes   uint64       `json:"resident_bytes"`
+		PlanCacheHits   uint64       `json:"plan_cache_hits"`
+		PlanCacheMisses uint64       `json:"plan_cache_misses"`
+		Recovery        recoveryJSON `json:"recovery"`
+		Tables          []tableJSON  `json:"tables"`
+	}{
+		ConnsTotal:      st.ConnsTotal,
+		ConnsActive:     st.ConnsActive,
+		Registers:       st.Registers,
+		Appends:         st.Appends,
+		Runs:            st.Runs,
+		RunsActive:      st.RunsActive,
+		Canceled:        st.Canceled,
+		Errors:          st.Errors,
+		TableCount:      st.TableCount,
+		ResidentBytes:   st.ResidentBytes,
+		PlanCacheHits:   st.PlanCacheHits,
+		PlanCacheMisses: st.PlanCacheMisses,
+		Recovery: recoveryJSON{
+			Tables:          st.Recovery.Tables,
+			Segments:        st.Recovery.Segments,
+			WALRecords:      st.Recovery.WALRecords,
+			TornTails:       st.Recovery.TornTails,
+			Bytes:           st.Recovery.Bytes,
+			DurationSeconds: st.Recovery.Duration.Seconds(),
+		},
+		Tables: make([]tableJSON, 0, len(st.Tables)),
+	}
+	for _, t := range st.Tables {
+		out.Tables = append(out.Tables, tableJSON{Ref: t.Ref, Rows: t.Rows, Parts: t.Parts, Bytes: t.Bytes})
+	}
+	return json.Marshal(out)
+}
+
 // fmtBytes renders a byte count with a binary unit.
 func fmtBytes(n uint64) string {
 	switch {
@@ -186,12 +267,75 @@ func fmtBytes(n uint64) string {
 
 // New returns a server executing plans on the given cluster.
 func New(cluster *engine.Cluster) *Server {
-	return &Server{
+	s := &Server{
 		cluster: cluster,
 		tables:  make(map[string]*store.Table),
 		active:  make(map[net.Conn]struct{}),
 	}
+	s.initMetrics()
+	return s
 }
+
+// initMetrics registers the server's instruments. Hot-path series (request
+// latency, bytes) are real instruments; counters the Stats snapshot already
+// tracks are mirrored as functions so the two views can never disagree.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.obsReg = r
+	s.reqSeconds = make(map[wire.MsgType]*obs.Histogram)
+	for _, t := range []wire.MsgType{wire.MsgRegister, wire.MsgAppend, wire.MsgRun} {
+		s.reqSeconds[t] = r.Histogram("seabed_request_seconds",
+			"Request latency from frame arrival to response written, by message type.",
+			nil, obs.Labels{"type": t.String()})
+	}
+	s.bytesIn = r.Counter("seabed_bytes_in_total", "Bytes received, frame headers included.", nil)
+	s.bytesOut = r.Counter("seabed_bytes_out_total", "Bytes sent, frame headers included.", nil)
+
+	cf := func(name, help string, labels obs.Labels, c *atomic.Uint64) {
+		r.CounterFunc(name, help, labels, func() float64 { return float64(c.Load()) })
+	}
+	cf("seabed_conns_total", "Connections accepted.", nil, &s.connsTotal)
+	cf("seabed_requests_total", "Requests received, by message type.", obs.Labels{"type": "register"}, &s.registers)
+	cf("seabed_requests_total", "Requests received, by message type.", obs.Labels{"type": "append"}, &s.appends)
+	cf("seabed_requests_total", "Requests received, by message type.", obs.Labels{"type": "run"}, &s.runs)
+	cf("seabed_runs_canceled_total", "Runs aborted by cancel, disconnect, or shutdown.", nil, &s.canceled)
+	cf("seabed_request_errors_total", "Requests answered with an error frame.", nil, &s.reqErrors)
+	r.GaugeFunc("seabed_conns_active", "Connections open right now.", nil, func() float64 {
+		s.lnMu.Lock()
+		defer s.lnMu.Unlock()
+		return float64(len(s.active))
+	})
+	r.GaugeFunc("seabed_runs_active", "Plans executing right now.", nil, func() float64 {
+		return float64(s.runsActive.Load())
+	})
+	r.CounterFunc("seabed_plan_cache_hits_total", "Compiled-plan cache hits.", nil, func() float64 {
+		h, _ := s.cluster.PlanCacheStats()
+		return float64(h)
+	})
+	r.CounterFunc("seabed_plan_cache_misses_total", "Compiled-plan cache misses.", nil, func() float64 {
+		_, m := s.cluster.PlanCacheStats()
+		return float64(m)
+	})
+	r.GaugeFunc("seabed_tables", "Registered tables.", nil, func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.tables))
+	})
+	r.GaugeFunc("seabed_resident_bytes", "Estimated resident memory of all registered tables.", nil, func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var b uint64
+		for _, t := range s.tables {
+			b += t.MemBytes()
+		}
+		return float64(b)
+	})
+}
+
+// Metrics returns the server's metrics registry. Embedders can register
+// their own instruments on it; durable stores attach their WAL latency
+// histograms through durable.Options.Metrics.
+func (s *Server) Metrics() *obs.Registry { return s.obsReg }
 
 // UseDurable backs the server's registry with a disk store: the tables d
 // recovered at Open load into the registry, later registers flush as
@@ -208,6 +352,14 @@ func (s *Server) UseDurable(d *durable.Store) {
 	s.mu.Unlock()
 	s.durable = d
 	s.recovery = d.Recovery()
+
+	// Recovery cost is a one-shot fact; export it as gauges so a scrape after
+	// boot shows what the restart paid (ROADMAP: recovery cost visibility).
+	rec := s.recovery
+	s.obsReg.Gauge("seabed_recovery_duration_seconds", "Wall-clock cost of the boot-time recovery replay.", nil).Set(rec.Duration.Seconds())
+	s.obsReg.Gauge("seabed_recovery_bytes", "Bytes of table data rebuilt at boot.", nil).Set(float64(rec.Bytes))
+	s.obsReg.Gauge("seabed_recovery_wal_records", "WAL records replayed at boot.", nil).Set(float64(rec.WALRecords))
+	s.obsReg.Gauge("seabed_recovery_tables", "Tables recovered at boot.", nil).Set(float64(rec.Tables))
 }
 
 // RegisterTable adds or replaces a table in the registry — durably first,
@@ -401,17 +553,25 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
+func (s *Server) log(msg string, args ...any) {
+	if s.Log != nil {
+		s.Log.Info(msg, args...)
+	}
+}
+
+func (s *Server) logErr(msg string, args ...any) {
+	if s.Log != nil {
+		s.Log.Warn(msg, args...)
 	}
 }
 
 // frame is one decoded wire frame in flight from the connection reader to
-// the request loop.
+// the request loop. at is the read timestamp: the gap to request processing
+// is the queue-wait span on a traced run.
 type frame struct {
 	t       wire.MsgType
 	payload []byte
+	at      time.Time
 }
 
 // serveConn runs one connection: handshake, then a request/response loop fed
@@ -426,29 +586,43 @@ func (s *Server) serveConn(conn net.Conn, quit <-chan struct{}) {
 
 	t, payload, err := wire.ReadFrame(conn)
 	if err != nil {
-		s.logf("%v: handshake read: %v", peer, err)
+		s.logErr("handshake read failed", "peer", peer, "err", err)
 		return
 	}
 	if t != wire.MsgHello {
-		s.logf("%v: expected hello, got %v", peer, t)
+		s.logErr("handshake expected hello", "peer", peer, "got", t.String())
 		return
 	}
 	version, err := wire.DecodeHello(payload)
 	if err != nil {
-		s.logf("%v: %v", peer, err)
+		s.logErr("handshake decode failed", "peer", peer, "err", err)
 		return
 	}
-	if version != wire.Version {
+	// Negotiate the connection's protocol version: the client's Hello carries
+	// its newest, the Welcome answers with min(client, server). A cap below
+	// v4 reproduces pre-negotiation semantics — those builds rejected every
+	// mismatch, and emulating them any other way would leave the client's
+	// downgrade path untested.
+	maxVer := uint64(wire.Version)
+	if s.MaxProtocol > 0 && uint64(s.MaxProtocol) < maxVer {
+		maxVer = uint64(s.MaxProtocol)
+	}
+	reject := version < wire.MinVersion
+	if maxVer < 4 {
+		reject = version != maxVer
+	}
+	if reject {
 		wire.WriteFrame(conn, wire.MsgError, //nolint:errcheck // closing anyway
-			wire.EncodeError(fmt.Sprintf("server: protocol version %d, want %d", version, wire.Version)))
-		s.logf("%v: version mismatch (%d)", peer, version)
+			wire.EncodeError(fmt.Sprintf("server: protocol version %d, want %d", version, maxVer)))
+		s.logErr("handshake version rejected", "peer", peer, "client_version", version, "max_version", maxVer)
 		return
 	}
-	if err := wire.WriteFrame(conn, wire.MsgWelcome, wire.EncodeWelcome(s.cluster.Workers(), s.ShardIndex, s.ShardCount)); err != nil {
-		s.logf("%v: handshake write: %v", peer, err)
+	proto := min(version, maxVer)
+	if err := wire.WriteFrame(conn, wire.MsgWelcome, wire.EncodeWelcome(proto, s.cluster.Workers(), s.ShardIndex, s.ShardCount)); err != nil {
+		s.logErr("handshake write failed", "peer", peer, "err", err)
 		return
 	}
-	s.logf("%v: connected (protocol v%d)", peer, version)
+	s.log("client connected", "peer", peer, "proto", proto)
 
 	// The reader goroutine owns the connection's read side for the rest of
 	// its life. It stops when the connection errors (including our deferred
@@ -463,8 +637,9 @@ func (s *Server) serveConn(conn net.Conn, quit <-chan struct{}) {
 			if err != nil {
 				return
 			}
+			s.bytesIn.Add(uint64(len(payload)) + 5)
 			select {
-			case frames <- frame{t, payload}:
+			case frames <- frame{t, payload, time.Now()}:
 			case <-connDone:
 				return
 			}
@@ -474,11 +649,11 @@ func (s *Server) serveConn(conn net.Conn, quit <-chan struct{}) {
 	for {
 		select {
 		case <-quit:
-			s.logf("%v: closing (shutdown)", peer)
+			s.log("closing connection (shutdown)", "peer", peer)
 			return
 		case f, ok := <-frames:
 			if !ok {
-				s.logf("%v: disconnected", peer)
+				s.log("client disconnected", "peer", peer)
 				return
 			}
 			var respType wire.MsgType
@@ -501,21 +676,25 @@ func (s *Server) serveConn(conn net.Conn, quit <-chan struct{}) {
 				// still delivers the run's terminal frame below — a client
 				// canceled by shutdown learns its query's fate — and then
 				// drops the connection.
-				respType, resp, keep = s.serveRun(conn, quit, frames, f.payload)
+				respType, resp, keep = s.serveRun(conn, quit, frames, f, proto)
 			default:
 				respType = wire.MsgError
 				resp = wire.EncodeError(fmt.Sprintf("server: unexpected %v frame", f.t))
 			}
 			if respType == wire.MsgError {
 				s.reqErrors.Add(1)
-				s.logf("%v: %v request failed: %s", peer, f.t, wire.DecodeError(resp))
+				s.logErr("request failed", "peer", peer, "type", f.t.String(), "err", wire.DecodeError(resp))
 			}
 			if err := wire.WriteFrame(conn, respType, resp); err != nil {
-				s.logf("%v: write response: %v", peer, err)
+				s.logErr("response write failed", "peer", peer, "err", err)
 				return
 			}
+			s.bytesOut.Add(uint64(len(resp)) + 5)
+			if h := s.reqSeconds[f.t]; h != nil {
+				h.ObserveDuration(time.Since(f.at))
+			}
 			if !keep {
-				s.logf("%v: closing mid-run", peer)
+				s.log("closing connection mid-run", "peer", peer)
 				return
 			}
 		}
@@ -528,7 +707,7 @@ func (s *Server) serveConn(conn net.Conn, quit <-chan struct{}) {
 // cancels the run's context. It returns the terminal response frame and
 // whether the connection should keep serving; ok == false also covers
 // protocol violations (a non-Cancel frame while the run is in flight).
-func (s *Server) serveRun(conn net.Conn, quit <-chan struct{}, frames <-chan frame, payload []byte) (wire.MsgType, []byte, bool) {
+func (s *Server) serveRun(conn net.Conn, quit <-chan struct{}, frames <-chan frame, f frame, proto uint64) (wire.MsgType, []byte, bool) {
 	s.runs.Add(1)
 	s.runsActive.Add(1)
 	defer s.runsActive.Add(-1)
@@ -541,7 +720,7 @@ func (s *Server) serveRun(conn net.Conn, quit <-chan struct{}, frames <-chan fra
 	}
 	done := make(chan runDone, 1)
 	go func() {
-		respType, resp := s.executeRun(ctx, conn, payload)
+		respType, resp := s.executeRun(ctx, conn, f, proto)
 		done <- runDone{respType, resp}
 	}()
 
@@ -576,7 +755,7 @@ func (s *Server) serveRun(conn net.Conn, quit <-chan struct{}, frames <-chan fra
 			// Pipelining into an in-flight run is a protocol violation from a
 			// client this server cannot trust: abandon the run and the
 			// connection.
-			s.logf("%v: unexpected %v frame while a run is in flight", conn.RemoteAddr(), f.t)
+			s.logErr("unexpected frame while a run is in flight", "peer", conn.RemoteAddr(), "type", f.t.String())
 			cancel()
 			keep = false
 		}
@@ -591,7 +770,7 @@ func (s *Server) handleRegister(payload []byte) (wire.MsgType, []byte) {
 	if err := s.RegisterTable(ref, t); err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}
-	s.logf("registered %q (%d rows, %d partitions)", ref, t.NumRows(), len(t.Parts))
+	s.log("table registered", "ref", ref, "rows", t.NumRows(), "parts", len(t.Parts))
 	return wire.MsgOK, nil
 }
 
@@ -625,8 +804,7 @@ func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
 	// was journaled and recovered but its acknowledgement was lost: the
 	// retried batch is acked without re-journaling.
 	if batch.NumRows() > 0 && cur.Covers(batch.Parts[0].StartID, batch.EndID()) {
-		s.logf("append to %q replayed (rows %d-%d already applied)",
-			ref, batch.Parts[0].StartID, batch.EndID())
+		s.log("append replayed", "ref", ref, "from", batch.Parts[0].StartID, "to", batch.EndID())
 		return wire.MsgOK, nil
 	}
 	grown, err := cur.WithAppended(batch)
@@ -647,18 +825,36 @@ func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
 	s.mu.Lock()
 	s.tables[ref] = grown
 	s.mu.Unlock()
-	s.logf("appended %d rows to %q (now %d rows)", batch.NumRows(), ref, grown.NumRows())
+	s.log("rows appended", "ref", ref, "rows", batch.NumRows(), "total", grown.NumRows())
 	return wire.MsgOK, nil
 }
 
 // executeRun decodes and runs one plan, writing scan rows to conn as
 // MsgResultChunk frames as the engine produces them, and returns the
-// terminal response frame.
-func (s *Server) executeRun(ctx context.Context, conn net.Conn, payload []byte) (wire.MsgType, []byte) {
-	req, err := wire.DecodePlan(payload)
+// terminal response frame. On a v4 connection carrying a trace ID the run
+// builds its span breakdown — queue wait, then the engine's stage spans —
+// and ships it in the result frame.
+func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto uint64) (wire.MsgType, []byte) {
+	req, err := wire.DecodePlan(f.payload, proto)
 	if err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}
+
+	// The daemon-side trace root. Queue wait — the gap between the frame
+	// leaving the socket and the run starting — is the paper's §6.2 signal
+	// for an overloaded daemon, distinct from a slow one.
+	var root *obs.Span
+	if proto >= 4 && req.TraceID != 0 {
+		root = obs.NewTraceWithID("daemon", req.TraceID)
+		root.SetAttr("trace", fmt.Sprintf("%016x", req.TraceID))
+		if s.ShardCount > 0 {
+			root.SetAttr("shard", fmt.Sprintf("%d/%d", s.ShardIndex, s.ShardCount))
+		}
+		root.AddSpan("queue", f.at, time.Since(f.at))
+		ctx = obs.ContextWithSpan(ctx, root)
+		s.log("run started", "trace_id", fmt.Sprintf("%016x", req.TraceID), "table", req.TableRef)
+	}
+
 	pl := req.Plan
 	pl.Table, err = s.lookup(req.TableRef)
 	if err != nil {
@@ -680,7 +876,11 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, payload []byte) 
 			if err != nil {
 				return err
 			}
-			return wire.WriteFrame(conn, wire.MsgResultChunk, chunk)
+			if err := wire.WriteFrame(conn, wire.MsgResultChunk, chunk); err != nil {
+				return err
+			}
+			s.bytesOut.Add(uint64(len(chunk)) + 5)
+			return nil
 		}
 	}
 	res, err := s.cluster.RunStream(ctx, pl, sink)
@@ -696,7 +896,12 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, payload []byte) 
 	if pl.Codec != nil {
 		codecName = pl.Codec.Name()
 	}
-	resp, err := wire.EncodeResult(codecName, res)
+	var spans []obs.FlatSpan
+	if root != nil {
+		root.End()
+		spans = obs.Flatten(root)
+	}
+	resp, err := wire.EncodeResult(codecName, res, spans, proto)
 	if err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}

@@ -57,7 +57,7 @@ func TestRejectsWrongProtocolVersion(t *testing.T) {
 	_, addr := startServer(t)
 	conn := dialRaw(t, addr)
 	e := wire.EncodeHello()
-	e[0] = 99 // corrupt the version varint (still a valid varint)
+	e[0] = 1 // corrupt the version varint to a pre-MinVersion value
 	if err := wire.WriteFrame(conn, wire.MsgHello, e); err != nil {
 		t.Fatal(err)
 	}
@@ -67,6 +67,31 @@ func TestRejectsWrongProtocolVersion(t *testing.T) {
 	}
 	if mt != wire.MsgError || !strings.Contains(wire.DecodeError(payload), "version") {
 		t.Fatalf("got (%v, %q), want a version-mismatch error", mt, wire.DecodeError(payload))
+	}
+}
+
+// TestNegotiatesDownNewerClient pins the forward-compatibility half of the v4
+// handshake: a client offering a version newer than the server's answers with
+// the server's own version in the Welcome rather than a rejection.
+func TestNegotiatesDownNewerClient(t *testing.T) {
+	_, addr := startServer(t)
+	conn := dialRaw(t, addr)
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHelloVersion(wire.Version+3)); err != nil {
+		t.Fatal(err)
+	}
+	mt, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != wire.MsgWelcome {
+		t.Fatalf("got %v frame, want welcome", mt)
+	}
+	v, _, _, _, err := wire.DecodeWelcome(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != wire.Version {
+		t.Fatalf("negotiated v%d, want v%d", v, wire.Version)
 	}
 }
 
@@ -108,7 +133,7 @@ func TestRunAgainstUnknownRefAnswersError(t *testing.T) {
 	payload, err := wire.EncodePlan(&wire.PlanRequest{
 		TableRef: "ghost@Seabed",
 		Plan:     &engine.Plan{Aggs: []engine.Agg{{Kind: engine.AggCount}}},
-	})
+	}, wire.Version)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +390,7 @@ func TestCloseRacesInflightQueries(t *testing.T) {
 	payload, err := wire.EncodePlan(&wire.PlanRequest{
 		TableRef: "t@NoEnc",
 		Plan:     &engine.Plan{Aggs: []engine.Agg{{Kind: engine.AggPlainSum, Col: "v"}}},
-	})
+	}, wire.Version)
 	if err != nil {
 		t.Fatal(err)
 	}

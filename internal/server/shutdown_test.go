@@ -45,7 +45,7 @@ func slowServer(t *testing.T, sleep time.Duration) (*Server, []byte) {
 	payload, err := wire.EncodePlan(&wire.PlanRequest{
 		TableRef: "t@NoEnc",
 		Plan:     &engine.Plan{Aggs: []engine.Agg{{Kind: engine.AggPlainSum, Col: "v"}}},
-	})
+	}, wire.Version)
 	if err != nil {
 		t.Fatal(err)
 	}

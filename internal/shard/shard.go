@@ -51,6 +51,7 @@ import (
 	"sync"
 
 	"seabed/internal/engine"
+	"seabed/internal/obs"
 	"seabed/internal/remote"
 	"seabed/internal/store"
 	"seabed/internal/wire"
@@ -392,7 +393,9 @@ func (c *Cluster) Run(ctx context.Context, pl *engine.Plan) (*engine.Result, err
 	}
 	results := make([]*engine.Result, len(c.shards))
 	if err := c.eachShard(ctx, func(ctx context.Context, i int, b Backend) error {
+		ctx, done := c.shardSpan(ctx, i)
 		res, err := b.RunRequest(ctx, reqs[i], nil)
+		done()
 		results[i] = res
 		return err
 	}); err != nil {
@@ -408,6 +411,20 @@ func (c *Cluster) Run(ctx context.Context, pl *engine.Plan) (*engine.Result, err
 
 	// Gather: fold the partial results exactly as a single engine would.
 	return engine.MergeResults(pl, results)
+}
+
+// shardSpan opens a per-shard scatter span ("shard i") under the context's
+// active query span and returns a context carrying it plus its End. The
+// per-shard spans are what make straggler skew visible at the trace root:
+// Trace().SlowestChild("shard ") answers "which shard dominated this query?"
+// (§6.2). Without an active span it returns ctx unchanged and a no-op.
+func (c *Cluster) shardSpan(ctx context.Context, i int) (context.Context, func()) {
+	parent := obs.SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, func() {}
+	}
+	sp := parent.StartChild(fmt.Sprintf("shard %d", i))
+	return obs.ContextWithSpan(ctx, sp), sp.End
 }
 
 // RunStream implements ClusterBackend. Scan plans stream shard by shard, in
@@ -426,7 +443,9 @@ func (c *Cluster) RunStream(ctx context.Context, pl *engine.Plan, sink engine.Sc
 	}
 	results := make([]*engine.Result, len(c.shards))
 	for i, b := range c.shards {
-		res, err := b.RunRequest(ctx, reqs[i], sink)
+		sctx, done := c.shardSpan(ctx, i)
+		res, err := b.RunRequest(sctx, reqs[i], sink)
+		done()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,275 @@
+// End-to-end query-trace tests: a 3-shard loopback deployment with an
+// injected straggler must produce ONE trace tree whose per-shard spans expose
+// the skew (§6.2), with every daemon's breakdown carrying the same trace ID —
+// including across a pool redial, and alongside an old (v3, trace-less) peer.
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"seabed/internal/client"
+	"seabed/internal/engine"
+	"seabed/internal/obs"
+	"seabed/internal/planner"
+	"seabed/internal/schema"
+	"seabed/internal/server"
+	"seabed/internal/shard"
+	"seabed/internal/store"
+	"seabed/internal/translate"
+)
+
+// startShardsWith launches n wire-protocol daemons, each with its own engine
+// config (cfgFor) and optional server tuning (tune, may be nil), and returns
+// the dialed cluster, the servers, and their addresses.
+func startShardsWith(t *testing.T, n int, cfgFor func(i int) engine.Config, tune func(i int, srv *server.Server)) (*shard.Cluster, []*server.Server, []string) {
+	t.Helper()
+	servers := make([]*server.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(engine.NewCluster(cfgFor(i)))
+		if tune != nil {
+			tune(i, srv)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		t.Cleanup(func() {
+			srv.Close() //nolint:errcheck // may already be closed by the test body
+			<-done
+		})
+		servers[i] = srv
+		addrs[i] = ln.Addr().String()
+	}
+	sc, err := shard.Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return sc, servers, addrs
+}
+
+// traceFixture uploads a small NoEnc sales table through a proxy bound to the
+// given cluster.
+func traceFixture(t *testing.T, cluster client.ClusterBackend) *client.Proxy {
+	t.Helper()
+	proxy, err := client.NewProxy([]byte("trace-test-master-secret-01234-x"), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Parts = 6
+	tbl := &schema.Table{
+		Name: "sales",
+		Columns: []schema.Column{
+			{Name: "revenue", Type: schema.Int64, Sensitive: true},
+		},
+	}
+	if _, err := proxy.CreatePlan(tbl, []string{"SELECT SUM(revenue) FROM sales"}, planner.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	revenue := make([]uint64, 600)
+	for i := range revenue {
+		revenue[i] = uint64(i % 97)
+	}
+	src, err := store.Build("sales", []store.Column{{Name: "revenue", Kind: store.U64, U64: revenue}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Upload(context.Background(), "sales", src, translate.NoEnc); err != nil {
+		t.Fatal(err)
+	}
+	return proxy
+}
+
+// daemonTraceIDs walks a query trace and collects the trace-ID attribute of
+// every daemon root span grafted under the per-shard rpc spans.
+func daemonTraceIDs(root *obs.Span) []string {
+	var ids []string
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		if s.Name() == "daemon" {
+			if v := s.Attr("trace"); v != "" {
+				ids = append(ids, v)
+			}
+		}
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return ids
+}
+
+// TestShardQueryTraceExposesStraggler is the tentpole acceptance test: one
+// trace for a 3-shard scatter, per-shard spans under run, the injected
+// straggler identifiable via SlowestChild, and every daemon breakdown
+// stamped with the query's trace ID.
+func TestShardQueryTraceExposesStraggler(t *testing.T) {
+	const straggler = 2
+	sc, _, _ := startShardsWith(t, 3, func(i int) engine.Config {
+		cfg := engine.Config{Workers: 2}
+		if i == straggler {
+			// A real wall-clock delay per map task on one shard: its scatter
+			// span must dominate the trace.
+			cfg.TaskSleep = 40 * time.Millisecond
+		}
+		return cfg
+	}, nil)
+	proxy := traceFixture(t, sc)
+
+	res, err := proxy.Query(context.Background(), "SELECT SUM(revenue) FROM sales", client.WithMode(translate.NoEnc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Trace()
+	if root == nil {
+		t.Fatal("QueryResult.Trace() = nil")
+	}
+	if root.Name() != "query" || root.TraceID() == 0 {
+		t.Fatalf("trace root = %q (id %#x), want a \"query\" root with a nonzero ID", root.Name(), root.TraceID())
+	}
+	for _, name := range []string{"parse", "translate", "run", "decrypt"} {
+		if root.FindSpan(name) == nil {
+			t.Fatalf("trace has no %q span:\n%s", name, root)
+		}
+	}
+	run := root.FindSpan("run")
+	for i := 0; i < 3; i++ {
+		if run.FindSpan(fmt.Sprintf("shard %d", i)) == nil {
+			t.Fatalf("run has no span for shard %d:\n%s", i, root)
+		}
+	}
+	if got := run.SlowestChild("shard "); got == nil || got.Name() != fmt.Sprintf("shard %d", straggler) {
+		t.Fatalf("SlowestChild = %v, want shard %d:\n%s", got, straggler, root)
+	}
+
+	// Every daemon reported its breakdown under the query's own trace ID.
+	want := fmt.Sprintf("%016x", root.TraceID())
+	ids := daemonTraceIDs(root)
+	if len(ids) != 3 {
+		t.Fatalf("found %d daemon spans, want 3:\n%s", len(ids), root)
+	}
+	for _, id := range ids {
+		if id != want {
+			t.Fatalf("daemon trace ID %s, want %s:\n%s", id, want, root)
+		}
+	}
+	// The daemon breakdown carries the engine's stage spans.
+	for _, name := range []string{"queue", "map", "reduce"} {
+		if root.FindSpan(name) == nil {
+			t.Fatalf("daemon breakdown has no %q span:\n%s", name, root)
+		}
+	}
+	// The straggler signal also lands in the merged metrics sample.
+	if res.Metrics.TaskMax < res.Metrics.TaskMin || res.Metrics.TaskMax == 0 {
+		t.Fatalf("task sample (min %v, p50 %v, max %v) not populated",
+			res.Metrics.TaskMin, res.Metrics.TaskP50, res.Metrics.TaskMax)
+	}
+}
+
+// TestTraceIDStableAcrossRedial restarts one daemon between two queries; the
+// second query's scatter redials it, and the daemon's reported breakdown must
+// carry the SECOND query's trace ID — the ID rides in each plan frame, not in
+// connection state.
+func TestTraceIDStableAcrossRedial(t *testing.T) {
+	sc, servers, addrs := startShardsWith(t, 3, func(i int) engine.Config {
+		return engine.Config{Workers: 2}
+	}, nil)
+	proxy := traceFixture(t, sc)
+
+	first, err := proxy.Query(context.Background(), "SELECT SUM(revenue) FROM sales", client.WithMode(translate.NoEnc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart daemon 1 on its own address: pooled sockets die, the next
+	// scatter redials.
+	if err := servers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addrs[1], err)
+	}
+	srv2 := server.New(engine.NewCluster(engine.Config{Workers: 2}))
+	done := make(chan error, 1)
+	go func() { done <- srv2.Serve(ln) }()
+	t.Cleanup(func() {
+		srv2.Close() //nolint:errcheck // test teardown
+		<-done
+	})
+	// The restarted daemon lost its tables; ship them again (idempotent on
+	// the surviving shards).
+	if err := proxy.SyncTables(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := proxy.Query(context.Background(), "SELECT SUM(revenue) FROM sales", client.WithMode(translate.NoEnc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Trace().TraceID() == second.Trace().TraceID() {
+		t.Fatal("two queries shared a trace ID")
+	}
+	want := fmt.Sprintf("%016x", second.Trace().TraceID())
+	for _, id := range daemonTraceIDs(second.Trace()) {
+		if id != want {
+			t.Fatalf("daemon trace ID %s after redial, want %s:\n%s", id, want, second.Trace())
+		}
+	}
+	if ids := daemonTraceIDs(second.Trace()); len(ids) != 3 {
+		t.Fatalf("found %d daemon spans after redial, want 3:\n%s", len(ids), second.Trace())
+	}
+}
+
+// TestTraceWithV3Peer runs the scatter with one daemon capped at protocol v3:
+// the query must still succeed with a complete client-side trace; the v3
+// shard simply contributes no daemon breakdown.
+func TestTraceWithV3Peer(t *testing.T) {
+	const oldPeer = 0
+	sc, _, _ := startShardsWith(t, 3, func(i int) engine.Config {
+		return engine.Config{Workers: 2}
+	}, func(i int, srv *server.Server) {
+		if i == oldPeer {
+			srv.MaxProtocol = 3
+		}
+	})
+	proxy := traceFixture(t, sc)
+
+	res, err := proxy.Query(context.Background(), "SELECT SUM(revenue) FROM sales", client.WithMode(translate.NoEnc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Trace()
+	run := root.FindSpan("run")
+	if run == nil {
+		t.Fatalf("no run span:\n%s", root)
+	}
+	for i := 0; i < 3; i++ {
+		if run.FindSpan(fmt.Sprintf("shard %d", i)) == nil {
+			t.Fatalf("run has no span for shard %d:\n%s", i, root)
+		}
+	}
+	// Exactly the two v4 daemons report breakdowns, both under this trace.
+	want := fmt.Sprintf("%016x", root.TraceID())
+	ids := daemonTraceIDs(root)
+	if len(ids) != 2 {
+		t.Fatalf("found %d daemon spans with a v3 peer, want 2:\n%s", len(ids), root)
+	}
+	for _, id := range ids {
+		if id != want {
+			t.Fatalf("daemon trace ID %s, want %s:\n%s", id, want, root)
+		}
+	}
+	// And the v3 shard's rpc span has no daemon child.
+	old := run.FindSpan(fmt.Sprintf("shard %d", oldPeer))
+	if old.FindSpan("daemon") != nil {
+		t.Fatalf("v3 shard reported a daemon breakdown:\n%s", root)
+	}
+}

@@ -23,10 +23,16 @@ type PlanRequest struct {
 	// Plan is the plan itself. Its Table and Join.Right pointers are nil in
 	// transit; the server rebinds them from the refs.
 	Plan *engine.Plan
+	// TraceID ties this plan to the proxy-side query trace (v4). Zero means
+	// untraced; on v3 connections it never crosses the wire. It lives on the
+	// request, not the connection, so a pool redial mid-query cannot change
+	// the ID a daemon reports back.
+	TraceID uint64
 }
 
-// EncodePlan serializes a plan request.
-func EncodePlan(req *PlanRequest) ([]byte, error) {
+// EncodePlan serializes a plan request for a connection negotiated at
+// version.
+func EncodePlan(req *PlanRequest, version uint64) ([]byte, error) {
 	pl := req.Plan
 	if pl == nil {
 		return nil, fmt.Errorf("wire: encode plan: nil plan")
@@ -103,12 +109,19 @@ func EncodePlan(req *PlanRequest) ([]byte, error) {
 		e.uint(pl.Range.Hi)
 	}
 	e.bool(pl.Partial)
+
+	// Trace propagation (v4). A v3 decoder rejects trailing bytes, so the
+	// field is strictly version-gated.
+	if version >= 4 {
+		e.uint(req.TraceID)
+	}
 	return e.buf, nil
 }
 
-// DecodePlan parses a plan request. The returned plan's Table and Join.Right
-// are nil; the caller resolves TableRef/JoinRef against its registry.
-func DecodePlan(p []byte) (*PlanRequest, error) {
+// DecodePlan parses a plan request framed at the connection's negotiated
+// version. The returned plan's Table and Join.Right are nil; the caller
+// resolves TableRef/JoinRef against its registry.
+func DecodePlan(p []byte, version uint64) (*PlanRequest, error) {
 	d := newDec(p)
 	req := &PlanRequest{Plan: &engine.Plan{}}
 	pl := req.Plan
@@ -175,6 +188,9 @@ func DecodePlan(p []byte) (*PlanRequest, error) {
 		pl.Range = &engine.IDRange{Lo: d.uint(), Hi: d.uint()}
 	}
 	pl.Partial = d.bool()
+	if version >= 4 {
+		req.TraceID = d.uint()
+	}
 	if err := d.close("plan"); err != nil {
 		return nil, err
 	}

@@ -7,14 +7,17 @@ import (
 
 	"seabed/internal/engine"
 	"seabed/internal/idlist"
+	"seabed/internal/obs"
 	"seabed/internal/store"
 )
 
-// EncodeResult serializes a MsgResult payload: the codec the engine actually
-// used (the client must decode identifier lists with the same one — the
-// in-process path communicates it by mutating the plan, the wire path carries
-// it here) followed by the result's groups, scan rows, and metrics.
-func EncodeResult(codecName string, res *engine.Result) ([]byte, error) {
+// EncodeResult serializes a MsgResult payload for a connection negotiated at
+// version: the codec the engine actually used (the client must decode
+// identifier lists with the same one — the in-process path communicates it by
+// mutating the plan, the wire path carries it here) followed by the result's
+// groups, scan rows, metrics, and — on v4 — the daemon's span breakdown for
+// the query trace (nil spans encode as an empty list).
+func EncodeResult(codecName string, res *engine.Result, spans []obs.FlatSpan, version uint64) ([]byte, error) {
 	e := &enc{}
 	e.str(codecName)
 
@@ -37,8 +40,64 @@ func EncodeResult(codecName string, res *engine.Result) ([]byte, error) {
 		return nil, err
 	}
 
-	encodeMetrics(e, &res.Metrics)
+	encodeMetrics(e, &res.Metrics, version)
+	if version >= 4 {
+		encodeSpans(e, spans)
+	}
 	return e.buf, nil
+}
+
+// encodeSpans appends a v4 span-record section: the daemon's trace breakdown,
+// flattened preorder with depths (obs.Flatten).
+func encodeSpans(e *enc, spans []obs.FlatSpan) {
+	e.uint(uint64(len(spans)))
+	for i := range spans {
+		s := &spans[i]
+		depth := s.Depth
+		if depth < 0 {
+			depth = 0
+		}
+		e.uint(uint64(depth))
+		e.str(s.Name)
+		e.int(int64(s.Start))
+		e.int(int64(s.Dur))
+		e.uint(uint64(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			e.str(a.Key)
+			e.str(a.Val)
+		}
+	}
+}
+
+// decodeSpans parses a v4 span-record section. Counts are hostile-guarded
+// like every other section; tree-shape sanity (depth sequences) is the
+// client's problem — obs.AttachFlat clamps rather than trusts.
+func decodeSpans(d *dec) []obs.FlatSpan {
+	n := d.uint()
+	// Each span record consumes ≥ 5 payload bytes (depth, empty name, start,
+	// dur, attr count).
+	if !d.checkCount(n, 5, "spans") || n == 0 {
+		return nil
+	}
+	spans := make([]obs.FlatSpan, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var s obs.FlatSpan
+		s.Depth = int(d.uint())
+		s.Name = d.str()
+		s.Start = time.Duration(d.int())
+		s.Dur = time.Duration(d.int())
+		nAttrs := d.uint()
+		if !d.checkCount(nAttrs, 2, "span attrs") {
+			break
+		}
+		for j := uint64(0); j < nAttrs && d.err == nil; j++ {
+			k := d.str()
+			v := d.str()
+			s.Attrs = append(s.Attrs, obs.Attr{Key: k, Val: v})
+		}
+		spans = append(spans, s)
+	}
+	return spans
 }
 
 // encodeScanRows appends a length-prefixed scan-row section, shared by the
@@ -109,8 +168,9 @@ func DecodeScanChunk(p []byte) ([]engine.ScanRow, error) {
 	return rows, nil
 }
 
-// DecodeResult parses a MsgResult payload.
-func DecodeResult(p []byte) (codecName string, res *engine.Result, err error) {
+// DecodeResult parses a MsgResult payload framed at the connection's
+// negotiated version.
+func DecodeResult(p []byte, version uint64) (codecName string, res *engine.Result, spans []obs.FlatSpan, err error) {
 	d := newDec(p)
 	codecName = d.str()
 	res = &engine.Result{}
@@ -133,11 +193,14 @@ func DecodeResult(p []byte) (codecName string, res *engine.Result, err error) {
 
 	decodeScanRows(d, &res.Scan)
 
-	decodeMetrics(d, &res.Metrics)
-	if err := d.close("result"); err != nil {
-		return "", nil, err
+	decodeMetrics(d, &res.Metrics, version)
+	if version >= 4 {
+		spans = decodeSpans(d)
 	}
-	return codecName, res, nil
+	if err := d.close("result"); err != nil {
+		return "", nil, nil, err
+	}
+	return codecName, res, spans, nil
 }
 
 func encodeAggValue(e *enc, av *engine.AggValue) {
@@ -253,7 +316,7 @@ func decodeAggValue(d *dec) engine.AggValue {
 	return av
 }
 
-func encodeMetrics(e *enc, m *engine.Metrics) {
+func encodeMetrics(e *enc, m *engine.Metrics, version uint64) {
 	e.int(int64(m.ServerTime))
 	e.int(int64(m.MapTime))
 	e.int(int64(m.ReduceTime))
@@ -265,9 +328,15 @@ func encodeMetrics(e *enc, m *engine.Metrics) {
 	e.int(int64(m.ReduceTasks))
 	e.uint(m.RowsScanned)
 	e.uint(m.RowsSelected)
+	// Per-task duration sample (v4).
+	if version >= 4 {
+		e.int(int64(m.TaskMin))
+		e.int(int64(m.TaskP50))
+		e.int(int64(m.TaskMax))
+	}
 }
 
-func decodeMetrics(d *dec, m *engine.Metrics) {
+func decodeMetrics(d *dec, m *engine.Metrics, version uint64) {
 	m.ServerTime = time.Duration(d.int())
 	m.MapTime = time.Duration(d.int())
 	m.ReduceTime = time.Duration(d.int())
@@ -279,4 +348,9 @@ func decodeMetrics(d *dec, m *engine.Metrics) {
 	m.ReduceTasks = int(d.int())
 	m.RowsScanned = d.uint()
 	m.RowsSelected = d.uint()
+	if version >= 4 {
+		m.TaskMin = time.Duration(d.int())
+		m.TaskP50 = time.Duration(d.int())
+		m.TaskMax = time.Duration(d.int())
+	}
 }

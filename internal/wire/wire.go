@@ -41,16 +41,25 @@ import (
 	"seabed/internal/idlist"
 )
 
-// Version is the protocol version exchanged in the Hello/Welcome handshake.
-// Servers reject clients speaking a different version.
+// Version is the newest protocol version this build speaks; MinVersion is the
+// oldest. The Hello/Welcome handshake negotiates within that window: the
+// client's Hello carries its Version, the server answers with
+// min(client, server) — the connection's negotiated version — and both sides
+// frame plans and results accordingly. A peer outside the window is rejected.
 //
 // History: v1 introduced the protocol; v2 added shard-aware plan framing
 // (identifier-range scoping + partial-result mode) and median collections in
 // result frames; v3 added query lifecycle management — the MsgCancel frame
 // (abort the connection's in-flight plan) and chunked scan streaming (a
 // MsgRun answered by zero or more MsgResultChunk frames before its terminal
-// MsgResult/MsgError).
-const Version = 3
+// MsgResult/MsgError); v4 added observability — a trace ID in the plan frame
+// and a span breakdown + per-task duration sample in the result frame — and,
+// because v4 fields are negotiated rather than assumed, the first version to
+// tolerate older peers at all.
+const (
+	Version    = 4
+	MinVersion = 3
+)
 
 // MaxFrame bounds a frame's payload (1 GiB), protecting both ends from
 // corrupt or hostile length prefixes.
@@ -157,10 +166,18 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 
 // Handshake payloads ------------------------------------------------------
 
-// EncodeHello builds a MsgHello payload.
+// EncodeHello builds a MsgHello payload advertising this build's newest
+// version.
 func EncodeHello() []byte {
+	return EncodeHelloVersion(Version)
+}
+
+// EncodeHelloVersion builds a MsgHello payload advertising an explicit
+// version — the client's retry path against a pre-v4 server, which rejects
+// rather than negotiates anything above its own version.
+func EncodeHelloVersion(version uint64) []byte {
 	e := &enc{}
-	e.uint(Version)
+	e.uint(version)
 	return e.buf
 }
 
@@ -171,12 +188,13 @@ func DecodeHello(p []byte) (version uint64, err error) {
 	return version, d.close("hello")
 }
 
-// EncodeWelcome builds a MsgWelcome payload. shardIndex/shardCount declare
-// the server's shard identity (the daemon's -shard i/n flag); shardCount 0
-// means the server declares none, which clients accept anywhere.
-func EncodeWelcome(workers, shardIndex, shardCount int) []byte {
+// EncodeWelcome builds a MsgWelcome payload. version is the connection's
+// negotiated protocol version. shardIndex/shardCount declare the server's
+// shard identity (the daemon's -shard i/n flag); shardCount 0 means the
+// server declares none, which clients accept anywhere.
+func EncodeWelcome(version uint64, workers, shardIndex, shardCount int) []byte {
 	e := &enc{}
-	e.uint(Version)
+	e.uint(version)
 	e.uint(uint64(workers))
 	e.uint(uint64(shardIndex))
 	e.uint(uint64(shardCount))

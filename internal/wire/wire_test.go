@@ -71,7 +71,7 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	if v != Version {
 		t.Fatalf("hello version %d, want %d", v, Version)
 	}
-	v, workers, shardIdx, shardCount, err := DecodeWelcome(EncodeWelcome(48, 1, 3))
+	v, workers, shardIdx, shardCount, err := DecodeWelcome(EncodeWelcome(Version, 48, 1, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +166,11 @@ func TestPlanRoundTrip(t *testing.T) {
 	}
 	for name, req := range plans {
 		t.Run(name, func(t *testing.T) {
-			payload, err := EncodePlan(req)
+			payload, err := EncodePlan(req, Version)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := DecodePlan(payload)
+			got, err := DecodePlan(payload, Version)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -199,27 +199,27 @@ func TestPlanRoundTrip(t *testing.T) {
 }
 
 func TestPlanEncodeRejectsBadRequests(t *testing.T) {
-	if _, err := EncodePlan(&PlanRequest{TableRef: "t"}); err == nil {
+	if _, err := EncodePlan(&PlanRequest{TableRef: "t"}, Version); err == nil {
 		t.Fatal("nil plan accepted")
 	}
-	if _, err := EncodePlan(&PlanRequest{Plan: &engine.Plan{}}); err == nil {
+	if _, err := EncodePlan(&PlanRequest{Plan: &engine.Plan{}}, Version); err == nil {
 		t.Fatal("empty table ref accepted")
 	}
 	join := &PlanRequest{TableRef: "t", Plan: &engine.Plan{Join: &engine.Join{LeftCol: "k", RightCol: "k"}}}
-	if _, err := EncodePlan(join); err == nil {
+	if _, err := EncodePlan(join, Version); err == nil {
 		t.Fatal("join without right-table ref accepted")
 	}
 }
 
 func TestPlanDecodeRejectsUnknownCodec(t *testing.T) {
 	req := &PlanRequest{TableRef: "t", Plan: &engine.Plan{Aggs: []engine.Agg{{Kind: engine.AggCount}}}}
-	payload, err := EncodePlan(req)
+	payload, err := EncodePlan(req, Version)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The codec name is the penultimate field; corrupt it wholesale by
 	// truncating the payload instead, which must also fail.
-	if _, err := DecodePlan(payload[:len(payload)-1]); err == nil {
+	if _, err := DecodePlan(payload[:len(payload)-1], Version); err == nil {
 		t.Fatal("truncated plan accepted")
 	}
 }
@@ -271,11 +271,11 @@ func TestResultRoundTrip(t *testing.T) {
 			MapTasks: 32, ReduceTasks: 4, RowsScanned: 1_000_000, RowsSelected: 993,
 		},
 	}
-	payload, err := EncodeResult(idlist.Default.Name(), res)
+	payload, err := EncodeResult(idlist.Default.Name(), res, nil, Version)
 	if err != nil {
 		t.Fatal(err)
 	}
-	codecName, got, err := DecodeResult(payload)
+	codecName, got, _, err := DecodeResult(payload, Version)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestDecodeResultRejectsHostileCounts(t *testing.T) {
 	e.uint(1)       // one scan row
 	e.uint(7)       // row id
 	e.uint(1 << 62) // hostile projection count
-	if _, _, err := DecodeResult(e.buf); err == nil {
+	if _, _, _, err := DecodeResult(e.buf, Version); err == nil {
 		t.Fatal("hostile scan-column count accepted")
 	}
 
@@ -318,7 +318,7 @@ func TestDecodeResultRejectsHostileCounts(t *testing.T) {
 	e.uint(0)       // agg u64
 	e.uint(0)       // ashe body
 	e.uint(1 << 62) // hostile range count
-	if _, _, err := DecodeResult(e.buf); err == nil {
+	if _, _, _, err := DecodeResult(e.buf, Version); err == nil {
 		t.Fatal("hostile id-list range count accepted")
 	}
 }
@@ -349,8 +349,8 @@ func TestDecodeResultRejectsOverflowedRange(t *testing.T) {
 	e.uint(0)              // arg id
 	e.bytes(nil)           // companion
 	e.uint(0)              // no scan rows
-	encodeMetrics(e, &engine.Metrics{})
-	if _, _, err := DecodeResult(e.buf); err == nil {
+	encodeMetrics(e, &engine.Metrics{}, Version)
+	if _, _, _, err := DecodeResult(e.buf, Version); err == nil {
 		t.Fatal("overflow-inverted range accepted")
 	}
 }
@@ -377,7 +377,7 @@ func TestAppendFrameRoundTrip(t *testing.T) {
 
 func TestResultEncodeRejectsRaggedScanRows(t *testing.T) {
 	res := &engine.Result{Scan: []engine.ScanRow{{ID: 1, U64s: []uint64{1, 2}, Bytes: [][]byte{nil}, Strs: []string{"", ""}}}}
-	if _, err := EncodeResult("", res); err == nil {
+	if _, err := EncodeResult("", res, nil, Version); err == nil {
 		t.Fatal("ragged scan row accepted")
 	}
 }
@@ -479,7 +479,7 @@ func TestCancelFrameType(t *testing.T) {
 	if MsgCancel.String() != "cancel" || MsgResultChunk.String() != "result-chunk" {
 		t.Fatalf("v3 frame names: %v, %v", MsgCancel, MsgResultChunk)
 	}
-	if Version != 3 {
-		t.Fatalf("protocol version = %d, want 3", Version)
+	if Version != 4 || MinVersion != 3 {
+		t.Fatalf("protocol versions = %d (min %d), want 4 (min 3)", Version, MinVersion)
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"seabed/internal/engine"
 	"seabed/internal/idlist"
 	"seabed/internal/netsim"
+	"seabed/internal/obs"
 	"seabed/internal/planner"
 	"seabed/internal/remote"
 	"seabed/internal/schema"
@@ -96,8 +97,18 @@ type (
 	QueryOption = client.QueryOption
 	// QueryResult is a decrypted result with its latency breakdown. Rows
 	// yields the decrypted rows (incrementally for streamed scans); All
-	// materializes them.
+	// materializes them; Trace returns the query's span tree.
 	QueryResult = client.QueryResult
+	// TraceSpan is one span of a query trace: QueryResult.Trace() returns
+	// the root, covering parse through decrypt at the proxy, per-shard
+	// scatter spans, and each daemon's queue/map/shuffle/reduce breakdown.
+	// TraceSpan.SlowestChild("shard ") on the run span names the straggler
+	// that dominated a skewed query (§6.2).
+	TraceSpan = obs.Span
+	// MetricsRegistry is a server's time-series metrics registry
+	// (Server.Metrics); WritePrometheus renders the text exposition that
+	// seabed-server's -debug-addr /metrics endpoint serves.
+	MetricsRegistry = obs.Registry
 	// Row is one decrypted result row.
 	Row = client.Row
 	// Value is one result cell.
