@@ -50,3 +50,4 @@ func BenchmarkLinks_ClientLinkSweep(b *testing.B)      { runExperiment(b, "links
 func BenchmarkAblations_DesignChoices(b *testing.B)    { runExperiment(b, "ablations") }
 func BenchmarkKernels_ExecutorThroughput(b *testing.B) { runExperiment(b, "kernels") }
 func BenchmarkRecovery_DurableReplay(b *testing.B)     { runExperiment(b, "recovery") }
+func BenchmarkColdScan_MappedSegments(b *testing.B)    { runExperiment(b, "coldscan") }

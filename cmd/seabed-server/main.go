@@ -20,6 +20,13 @@
 //
 //	seabed-server -addr :7687 -data-dir /var/lib/seabed -fsync always
 //
+// Recovery maps segment files instead of reading them: columns fault into
+// memory per query, and -max-resident caps how much faulted column data
+// stays resident (least-recently-pinned partitions evict back to their
+// mapping), so a daemon can serve tables larger than RAM:
+//
+//	seabed-server -addr :7687 -data-dir /var/lib/seabed -max-resident 256MiB
+//
 // A sharded deployment runs one daemon per shard, each declaring its
 // identity, and the client scatter-gathers across all of them:
 //
@@ -61,6 +68,40 @@ import (
 	"seabed/internal/server"
 )
 
+// parseByteSize parses a -max-resident value: a plain byte count or a
+// number with a binary/decimal suffix (64MiB, 2GB, 512k). Case-insensitive;
+// an empty string means 0 (unlimited).
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30}, {"tib", 1 << 40},
+		{"kb", 1e3}, {"mb", 1e6}, {"gb", 1e9}, {"tb", 1e12},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30}, {"t", 1 << 40},
+		{"b", 1},
+	}
+	lower := strings.ToLower(s)
+	mult := int64(1)
+	num := lower
+	for _, u := range units {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.mult
+			num = strings.TrimSpace(strings.TrimSuffix(lower, u.suffix))
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(num, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("byte size %q: want a count like 67108864, 64MiB, or 2GB", s)
+	}
+	return int64(n * float64(mult)), nil
+}
+
 // parseShard validates an "i/n" shard identity.
 func parseShard(s string) (i, n int, err error) {
 	if s == "" {
@@ -95,6 +136,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before connections are force-closed")
 	dataDir := flag.String("data-dir", "", "durable table storage directory (WAL + segment files); empty = in-memory only")
 	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always (ack after fsync) or batch (bounded loss window)")
+	maxResident := flag.String("max-resident", "", "budget for column data faulted in from mapped segments (e.g. 64MiB, 2GB); empty or 0 = unlimited")
 	flag.Parse()
 
 	shardIdx, shardCount, err := parseShard(*shard)
@@ -105,6 +147,11 @@ func main() {
 	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsync)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seabed-server:", err)
+		os.Exit(2)
+	}
+	maxResidentBytes, err := parseByteSize(*maxResident)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seabed-server: -max-resident:", err)
 		os.Exit(2)
 	}
 	if *metricsFormat != "text" && *metricsFormat != "json" {
@@ -131,7 +178,7 @@ func main() {
 	}
 	var dstore *durable.Store
 	if *dataDir != "" {
-		opts := durable.Options{Dir: *dataDir, Fsync: fsyncPolicy, Metrics: srv.Metrics()}
+		opts := durable.Options{Dir: *dataDir, Fsync: fsyncPolicy, Metrics: srv.Metrics(), MaxResidentBytes: maxResidentBytes}
 		if !*quiet {
 			opts.Log = logger.With("subsys", "durable")
 		}
@@ -146,7 +193,7 @@ func main() {
 			"dir", *dataDir, "fsync", fsyncPolicy.String(),
 			"tables", r.Tables, "segments", r.Segments,
 			"wal_records", r.WALRecords, "torn_tails", r.TornTails,
-			"bytes", r.Bytes, "duration", r.Duration)
+			"bytes", r.Bytes, "mapped_bytes", r.MappedBytes, "duration", r.Duration)
 	}
 	if *metrics {
 		watchMetrics(srv, logger, *metricsFormat)

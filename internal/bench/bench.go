@@ -92,6 +92,7 @@ func Experiments() []Experiment {
 		{"ablations", "Design ablations (compression site, inflation, codecs, stragglers)", Ablations},
 		{"kernels", "Executor kernel throughput (vectorized vs reference evaluator)", Kernels},
 		{"recovery", "Durable-store recovery throughput (segment load + WAL replay MB/s)", Recovery},
+		{"coldscan", "Mapped-segment scan throughput (cold fault-in vs resident; first-chunk latency)", ColdScan},
 	}
 }
 

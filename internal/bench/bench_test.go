@@ -14,8 +14,8 @@ func testCfg() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -6,10 +6,14 @@
 // package plays that role for the daemons, with a design borrowed from
 // log-structured storage engines:
 //
-//   - Registered tables flush as immutable segment files: the table's
-//     store.WriteTo serialization passed through store.FrameWriter, so
-//     every 64 KiB frame carries a CRC32 and bit rot is detected at read
-//     time, not served to a query.
+//   - Registered tables flush as immutable columnar segment files
+//     ("SBSG" v2, specified in docs/FORMAT.md): a CRC'd directory header
+//     followed by 8-aligned column extents, each with its own CRC, so the
+//     file can be memory-mapped and served in place. Bit rot is detected
+//     at read time — header eagerly at Open, extents lazily at first
+//     fault — never served to a query. Pre-columnar v1 segments (the
+//     framed store.WriteTo serialization) are detected by magic and
+//     still decode eagerly, so old data directories open unchanged.
 //   - Appends journal to a per-table write-ahead log before they are
 //     acknowledged (length-prefixed, checksummed records; fsync per the
 //     configured policy). Past Options.CompactBytes the accumulated batches
@@ -21,14 +25,19 @@
 //     is deleted on Open.
 //
 // Recovery (Open) replays manifest + segments + WAL per table in parallel.
-// A torn WAL tail — the expected artifact of a crash mid-append — is
-// truncated, not an error: the record was never acknowledged under
-// FsyncAlways, or falls inside FsyncBatch's documented loss window. A
-// checksum-passing record that fails to decode is real corruption and does
-// error. The recovered tables preserve identifier placement exactly, so a
-// restarted shard daemon still covers its identifier ranges and the
-// coordinator's envelope scoping, replay detection (store.Table.Covers),
-// and Proxy.SyncTables rebinding all work unchanged.
+// v2 segments are mapped, not read: their tables recover as lazy view
+// partitions (store.NewViewPartition) whose columns fault in per query,
+// and only the WAL tail loads eagerly — so boot cost scales with the
+// journal, not the dataset, and Options.MaxResidentBytes bounds how much
+// faulted column data stays on the heap (see store.Residency). A torn WAL
+// tail — the expected artifact of a crash mid-append — is truncated, not
+// an error: the record was never acknowledged under FsyncAlways, or falls
+// inside FsyncBatch's documented loss window. A checksum-passing record
+// that fails to decode is real corruption and does error. The recovered
+// tables preserve identifier placement exactly, so a restarted shard
+// daemon still covers its identifier ranges and the coordinator's
+// envelope scoping, replay detection (store.Table.Covers), and
+// Proxy.SyncTables rebinding all work unchanged.
 package durable
 
 import (
@@ -92,6 +101,13 @@ type Options struct {
 	// BatchBytes is FsyncBatch's sync threshold: unsynced WAL bytes that
 	// force an fsync. Default 1 MiB.
 	BatchBytes int64
+	// MaxResidentBytes bounds the heap bytes materialized from mapped
+	// segments (the -max-resident flag): past it, the least-recently-used
+	// unpinned view partitions drop their vectors and later queries fault
+	// them back in. 0 means unlimited. The WAL tail and tables registered
+	// this run are heap-resident regardless — the budget governs the mapped,
+	// recovered bulk, which is where a dataset larger than RAM lives.
+	MaxResidentBytes int64
 	// Log, when non-nil, receives structured recovery and compaction events.
 	Log *slog.Logger
 	// Metrics, when non-nil, receives the store's WAL latency histograms
@@ -121,8 +137,13 @@ type RecoveryStats struct {
 	// TornTails counts WALs truncated at a torn or checksum-failing tail
 	// record (at most one tear per table).
 	TornTails int
-	// Bytes is the total segment + WAL bytes read during recovery.
+	// Bytes is the total segment + WAL bytes recovery made addressable:
+	// eagerly read bytes plus MappedBytes.
 	Bytes int64
+	// MappedBytes is the subset of Bytes recovery mapped rather than read —
+	// v2 columnar segments whose columns fault in on first query instead of
+	// being decoded at startup.
+	MappedBytes int64
 	// Duration is recovery wall-clock time, tables recovering in parallel.
 	Duration time.Duration
 }
@@ -156,6 +177,17 @@ type Store struct {
 	mAppend *obs.Histogram
 	mFsync  *obs.Histogram
 
+	// res tracks (and, under Options.MaxResidentBytes, bounds) the heap
+	// bytes materialized from mapped segments.
+	res *store.Residency
+
+	// maps holds every mapped segment opened by recovery, released at Close.
+	// Segments superseded by Register/compaction stay mapped until then:
+	// queries on an earlier table snapshot may still alias them, and the
+	// kernel reclaims their clean pages anyway once nothing faults them.
+	mapsMu sync.Mutex
+	maps   []*mappedSegment
+
 	mu     sync.Mutex
 	man    *manifest
 	tables map[string]*tableState // by ref
@@ -185,6 +217,7 @@ func Open(opts Options) (*Store, error) {
 	s := &Store{
 		opts:      opts,
 		man:       man,
+		res:       store.NewResidency(uint64(max(opts.MaxResidentBytes, 0))),
 		tables:    make(map[string]*tableState, len(man.Tables)),
 		recovered: make(map[string]*store.Table, len(man.Tables)),
 	}
@@ -234,6 +267,7 @@ func Open(opts Options) (*Store, error) {
 		s.stats.WALRecords += r.stats.WALRecords
 		s.stats.TornTails += r.stats.TornTails
 		s.stats.Bytes += r.stats.Bytes
+		s.stats.MappedBytes += r.stats.MappedBytes
 	}
 	s.stats.Duration = time.Since(start)
 	return s, nil
@@ -246,11 +280,12 @@ func (s *Store) recoverTable(mt manifestTable) (*tableState, *store.Table, Recov
 	var tbl *store.Table
 	for _, seg := range mt.Segments {
 		path := filepath.Join(tdir, seg)
-		part, n, err := readSegment(path)
+		part, nRead, nMapped, err := s.openSegment(path)
 		if err != nil {
 			return nil, nil, stats, fmt.Errorf("segment %s: %w", seg, err)
 		}
-		stats.Bytes += n
+		stats.Bytes += nRead + nMapped
+		stats.MappedBytes += nMapped
 		stats.Segments++
 		if tbl == nil {
 			tbl = part
@@ -329,6 +364,11 @@ func (s *Store) Recovery() RecoveryStats {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.opts.Dir }
+
+// Residency returns the store's resident-budget manager: the live counters
+// behind Options.MaxResidentBytes (faults, evictions, resident bytes), which
+// the server surfaces through Stats and the obs registry.
+func (s *Store) Residency() *store.Residency { return s.res }
 
 // Register durably stores a table under ref, replacing any previous
 // contents: the table flushes to a fresh segment, the manifest commits, and
@@ -488,7 +528,9 @@ func (s *Store) Sync() error {
 	return nil
 }
 
-// Close syncs and closes every table's log. The store is unusable after.
+// Close syncs and closes every table's log and releases every segment
+// mapping. The store is unusable after, and so are the tables recovered from
+// it: their view partitions alias the released mappings.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -497,7 +539,17 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	return s.closeLocked()
+	first := s.closeLocked()
+	s.mapsMu.Lock()
+	maps := s.maps
+	s.maps = nil
+	s.mapsMu.Unlock()
+	for _, m := range maps {
+		if err := m.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (s *Store) closeLocked() error {
@@ -629,38 +681,11 @@ func nextSegSeq(segments []string) int {
 	return next
 }
 
-// writeSegment durably writes t as one checksummed segment file: framed
-// serialization, fsync, and an fsync of the parent directory so the new
-// file's name survives with its contents.
-func writeSegment(path string, t *store.Table) (int64, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return 0, fmt.Errorf("durable: create segment: %w", err)
-	}
-	fw := store.NewFrameWriter(f)
-	if _, err := t.WriteTo(fw); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("durable: write segment: %w", err)
-	}
-	if err := fw.Flush(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("durable: flush segment: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("durable: sync segment: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return 0, fmt.Errorf("durable: close segment: %w", err)
-	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
-		return 0, err
-	}
-	return fw.BytesWritten(), nil
-}
-
-// readSegment reads one segment file, verifying every frame checksum, and
-// returns the table plus the bytes consumed.
+// readSegment reads one v1 (framed, row-major) segment file, verifying every
+// frame checksum, and returns the table plus the bytes consumed. New
+// segments are written in the v2 columnar format (segment.go); this reader
+// survives so data directories created before the format change open
+// unchanged.
 func readSegment(path string) (*store.Table, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {

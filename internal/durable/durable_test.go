@@ -390,7 +390,9 @@ func TestOrphanCleanup(t *testing.T) {
 }
 
 // TestCorruptSegmentFailsRecovery flips a byte inside a committed segment;
-// recovery must refuse to serve the table rather than return altered rows.
+// the store must refuse to serve the table's altered rows. Header corruption
+// fails at Open; extent corruption is caught by the lazy CRC at the first
+// column fault — either way the bad bytes never reach a query.
 func TestCorruptSegmentFailsRecovery(t *testing.T) {
 	dir := t.TempDir()
 	s := openStore(t, dir)
@@ -410,8 +412,25 @@ func TestCorruptSegmentFailsRecovery(t *testing.T) {
 	if err := os.WriteFile(seg, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Options{Dir: dir}); err == nil {
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		return // corruption landed in the header: rejected at Open
+	}
+	defer s2.Close()
+	var faultErr error
+	for _, p := range s2.Tables()["x"].Parts {
+		release, err := p.Pin(nil)
+		if err != nil {
+			faultErr = err
+			continue
+		}
+		release()
+	}
+	if faultErr == nil {
 		t.Fatal("recovery served a corrupt segment")
+	}
+	if !strings.Contains(faultErr.Error(), "checksum") {
+		t.Fatalf("fault error %v does not name the checksum", faultErr)
 	}
 }
 

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package durable
+
+import "os"
+
+// mapFile reads the file's bytes onto the heap on platforms without a usable
+// mmap; segments are then eagerly resident but columns still decode lazily.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// munmapFile matches the unix build's signature; nothing to release here.
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,51 @@
+//go:build unix
+
+package durable
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile returns the file's bytes via a read-only memory mapping, so a
+// segment's extents page in on demand and the kernel may reclaim clean pages
+// under pressure. The second result reports whether the bytes are a true
+// mapping (and must eventually go through munmapFile) or a heap copy.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() == 0 {
+		return nil, false, nil
+	}
+	if st.Size() > int64(int(^uint(0)>>1)) {
+		return nil, false, fmt.Errorf("durable: %s: %d bytes exceeds address space", path, st.Size())
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts) fall back to
+		// an eager read; the segment is then heap-resident but still lazy at
+		// the column-decode level.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		return data, false, nil
+	}
+	return data, true, nil
+}
+
+// munmapFile releases a mapping returned by mapFile.
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

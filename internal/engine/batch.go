@@ -370,6 +370,14 @@ func (cp *compiledPlan) runMapTask(ctx context.Context, c *Cluster, part *store.
 		case <-t.C:
 		}
 	}
+	// Fault in exactly the columns this plan reads, and hold them resident
+	// (safe from eviction) for the duration of the task: the task state binds
+	// &part.Cols[i] pointers, which stay valid only while pinned.
+	release, err := part.Pin(cp.leftIdxs)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	ts := cp.newTaskState(part)
 	i0, i1 := rangeBounds(part, cp.pl.Range)
 	ts.res.rowsScanned = uint64(i1 - i0 + 1)

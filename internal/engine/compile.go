@@ -43,6 +43,11 @@ type compiledPlan struct {
 	project    []colRef
 	leftKeyIdx int // layout index of the join's left key; -1 without a join
 
+	// leftIdxs lists the distinct left-table layout indices the plan reads —
+	// the exact columns each map task pins resident in its partition, so a
+	// query against a mapped table faults in only what it touches.
+	leftIdxs []int
+
 	// right holds the join's flattened right-side columns by name; the join
 	// index maps key values to right-side row indices, typed by the key
 	// column's kind so u64 keys never round-trip through strings.
@@ -78,6 +83,7 @@ func (pl *Plan) compile(seed uint64, codec idlist.Codec) (*compiledPlan, error) 
 	layout := pl.Table.Parts[0]
 	resolve := func(name string) (colRef, error) {
 		if idx := layout.ColIndex(name); idx >= 0 {
+			cp.useLeft(idx)
 			return colRef{idx: idx}, nil
 		}
 		if cp.right != nil {
@@ -139,6 +145,7 @@ func (pl *Plan) compile(seed uint64, codec idlist.Codec) (*compiledPlan, error) 
 			return nil, fmt.Errorf("engine: join key %q missing from left table", pl.Join.LeftCol)
 		}
 		cp.leftKeyIdx = ref.idx
+		cp.useLeft(ref.idx)
 	}
 
 	// Lower filters and aggregates to kernels, now that every reference is
@@ -154,6 +161,17 @@ func (pl *Plan) compile(seed uint64, codec idlist.Codec) (*compiledPlan, error) 
 		cp.aggs = append(cp.aggs, cp.compileAgg(ai, &pl.Aggs[ai]))
 	}
 	return cp, nil
+}
+
+// useLeft records a left-table layout index in the plan's pinned working
+// set, deduplicated.
+func (cp *compiledPlan) useLeft(idx int) {
+	for _, have := range cp.leftIdxs {
+		if have == idx {
+			return
+		}
+	}
+	cp.leftIdxs = append(cp.leftIdxs, idx)
 }
 
 // buildJoinIndex indexes the right table's key column, typed by its kind:

@@ -170,12 +170,15 @@ const (
 	AggAsheSum
 	// AggPaillierSum multiplies Paillier ciphertexts mod N².
 	AggPaillierSum
-	// AggPlainMin / AggPlainMax track extremes of a plaintext column.
+	// AggPlainMin tracks the minimum of a plaintext column.
 	AggPlainMin
+	// AggPlainMax tracks the maximum of a plaintext column.
 	AggPlainMax
-	// AggOpeMin / AggOpeMax track extremes of an OPE column using
-	// order-revealing comparison.
+	// AggOpeMin tracks the minimum of an OPE column using order-revealing
+	// comparison.
 	AggOpeMin
+	// AggOpeMax tracks the maximum of an OPE column using order-revealing
+	// comparison.
 	AggOpeMax
 	// AggPlainMedian collects a plaintext column and reports its upper
 	// median.

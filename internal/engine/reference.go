@@ -183,6 +183,13 @@ func (rp *referencePlan) runMapTask(ctx context.Context, c *Cluster, part *store
 		case <-t.C:
 		}
 	}
+	// The reference loop is not compiled, so no column working set is known
+	// up front: pin the whole partition resident for the task.
+	release, err := part.Pin(nil)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	b, err := pl.bind(part, rp.right, rp.joinHash)
 	if err != nil {
 		return nil, err

@@ -30,6 +30,34 @@ type ScanSink func(rows []ScanRow) error
 // the scan arena, the sink contract, and the wire frame all share a unit.
 const ScanChunkRows = 1024
 
+// ProjectKinds resolves the physical kinds of a plan's projected columns,
+// in Plan.Project order: what a columnar chunk encoder needs, since a
+// ScanRow's cells are ambiguous (empty values look alike across kinds).
+// Names resolve against the scanned table first, then the join's right
+// table, mirroring the executor's own resolution order.
+func ProjectKinds(pl *Plan) ([]store.Kind, error) {
+	kinds := make([]store.Kind, len(pl.Project))
+	for i, name := range pl.Project {
+		switch {
+		case pl.Table != nil && pl.Table.HasCol(name):
+			k, err := pl.Table.ColKind(name)
+			if err != nil {
+				return nil, err
+			}
+			kinds[i] = k
+		case pl.Join != nil && pl.Join.Right != nil && pl.Join.Right.HasCol(name):
+			k, err := pl.Join.Right.ColKind(name)
+			if err != nil {
+				return nil, err
+			}
+			kinds[i] = k
+		default:
+			return nil, fmt.Errorf("engine: unknown column %q", name)
+		}
+	}
+	return kinds, nil
+}
+
 // mapRunner executes the map stage of an already-compiled plan on one
 // partition. Two implementations exist: the vectorized compiledPlan
 // (compile.go / batch.go) and the retained row-at-a-time referencePlan

@@ -103,8 +103,17 @@ func rangeBounds(part *store.Partition, r *IDRange) (i0, i1 int) {
 	return i0, i1
 }
 
-// flattenRight concatenates the right table's partitions per column.
+// flattenRight concatenates the right table's partitions per column. A
+// view-backed right table is pinned resident for the walk; the appends below
+// copy into fresh heap vectors, so nothing aliases the views after release.
 func flattenRight(t *store.Table, cols []string, key string) (map[string]*store.Column, error) {
+	for _, p := range t.Parts {
+		release, err := p.Pin(nil)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
 	names := append([]string{key}, cols...)
 	out := make(map[string]*store.Column, len(names))
 	for _, name := range names {

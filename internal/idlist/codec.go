@@ -48,6 +48,7 @@ func AllCodecs() []Codec {
 
 type rangeVB struct{ diff bool }
 
+// Name implements Codec.
 func (c rangeVB) Name() string {
 	if c.diff {
 		return "ranges+vb+diff"
@@ -55,6 +56,8 @@ func (c rangeVB) Name() string {
 	return "ranges+vb"
 }
 
+// Encode implements Codec: one (Lo, span) varint pair per range,
+// delta-chained from the previous range's Hi in the diff variant.
 func (c rangeVB) Encode(l List) ([]byte, error) {
 	buf := make([]byte, 0, 16+10*len(l.ranges))
 	buf = binary.AppendUvarint(buf, uint64(len(l.ranges)))
@@ -74,6 +77,7 @@ func (c rangeVB) Encode(l List) ([]byte, error) {
 	return buf, nil
 }
 
+// Decode implements Codec, inverting Encode.
 func (c rangeVB) Decode(data []byte) (List, error) {
 	var l List
 	n, k := binary.Uvarint(data)
@@ -115,8 +119,10 @@ func (c rangeVB) Decode(data []byte) (List, error) {
 
 type vbDiff struct{}
 
+// Name implements Codec.
 func (vbDiff) Name() string { return "vb+diff" }
 
+// Encode implements Codec: one zig-zag delta varint per identifier.
 func (vbDiff) Encode(l List) ([]byte, error) {
 	buf := make([]byte, 0, 8+int(l.n))
 	buf = binary.AppendUvarint(buf, l.n)
@@ -133,6 +139,7 @@ func (vbDiff) Encode(l List) ([]byte, error) {
 	return buf, nil
 }
 
+// Decode implements Codec, inverting Encode.
 func (vbDiff) Decode(data []byte) (List, error) {
 	n, k := binary.Uvarint(data)
 	if k <= 0 {
@@ -156,8 +163,10 @@ func (vbDiff) Decode(data []byte) (List, error) {
 
 type bitmap struct{}
 
+// Name implements Codec.
 func (bitmap) Name() string { return "bitmap" }
 
+// Encode implements Codec: a base identifier plus one bit per position.
 func (bitmap) Encode(l List) ([]byte, error) {
 	if l.n == 0 {
 		return binary.AppendUvarint(nil, 0), nil
@@ -199,6 +208,7 @@ func (bitmap) Encode(l List) ([]byte, error) {
 	return buf, nil
 }
 
+// Decode implements Codec, inverting Encode.
 func (bitmap) Decode(data []byte) (List, error) {
 	marker, k := binary.Uvarint(data)
 	if k <= 0 {
@@ -248,8 +258,10 @@ type deflated struct {
 	name  string
 }
 
+// Name implements Codec.
 func (c deflated) Name() string { return c.name }
 
+// Encode implements Codec: the inner codec's bytes, DEFLATE-compressed.
 func (c deflated) Encode(l List) ([]byte, error) {
 	raw, err := c.inner.Encode(l)
 	if err != nil {
@@ -269,6 +281,7 @@ func (c deflated) Encode(l List) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// Decode implements Codec, inflating then delegating to the inner codec.
 func (c deflated) Decode(data []byte) (List, error) {
 	r := flate.NewReader(bytes.NewReader(data))
 	raw, err := io.ReadAll(r)

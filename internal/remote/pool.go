@@ -82,6 +82,7 @@ type oldProtocolError struct {
 	want uint64
 }
 
+// Error implements error.
 func (e *oldProtocolError) Error() string {
 	return fmt.Sprintf("remote: server %s speaks protocol v%d and does not negotiate", e.addr, e.want)
 }

@@ -111,7 +111,8 @@ func (r *RemoteCluster) refOf(t *store.Table) (string, error) {
 // the building block shard coordinators use to address one shard's rows
 // without any pointer bookkeeping on the endpoint.
 //
-// Scan rows arrive as v3 chunk frames: with a non-nil sink each decoded
+// Scan rows arrive as chunk frames, columnar on v5+ connections and
+// row-major before: with a non-nil sink each decoded
 // batch is handed over as it lands (the result's Scan stays empty);
 // otherwise the batches are collected into the result, reproducing the
 // materialized behavior. Canceling ctx fires a Cancel frame at the daemon
@@ -135,7 +136,7 @@ func (r *RemoteCluster) RunRequest(ctx context.Context, req *wire.PlanRequest, s
 	}
 	var collected []engine.ScanRow
 	onChunk := func(p []byte) error {
-		rows, err := wire.DecodeScanChunk(p)
+		rows, err := wire.DecodeScanChunk(p, proto)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"reflect"
+	"testing"
+
+	"seabed/internal/engine"
+	"seabed/internal/remote"
+	"seabed/internal/store"
+)
+
+// startCappedServer serves a cluster-backed server negotiating at most
+// maxProto (0 = the current version).
+func startCappedServer(t *testing.T, maxProto int) (*Server, string) {
+	t.Helper()
+	srv := New(engine.NewCluster(engine.Config{Workers: 4}))
+	srv.MaxProtocol = maxProto
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close() //nolint:errcheck // racing teardown
+		<-done
+	})
+	return srv, ln.Addr().String()
+}
+
+// scanTable builds a mixed-kind table whose scan exercises every extent
+// encoding: u64 words, ragged byte blobs, and strings.
+func scanTable(t *testing.T, rows int) *store.Table {
+	t.Helper()
+	u := make([]uint64, rows)
+	b := make([][]byte, rows)
+	s := make([]string, rows)
+	for i := range u {
+		u[i] = uint64(i) * 3
+		b[i] = bytes.Repeat([]byte{byte(i)}, i%4)
+		s[i] = string(rune('a' + i%26))
+	}
+	tbl, err := store.Build("sc", []store.Column{
+		{Name: "m", Kind: store.U64, U64: u},
+		{Name: "blob", Kind: store.Bytes, Bytes: b},
+		{Name: "tag", Kind: store.Str, Str: s},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestStreamedScanInterop runs the same streamed scan against a v5 server
+// (columnar chunks) and a server capped at v4 (row-major fallback): the
+// negotiation must be invisible — identical rows, values, and order.
+func TestStreamedScanInterop(t *testing.T) {
+	ctx := context.Background()
+	tbl := scanTable(t, 500)
+	scan := func(maxProto int) []engine.ScanRow {
+		_, addr := startCappedServer(t, maxProto)
+		rc, err := remote.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rc.Close() })
+		if err := rc.RegisterTable(ctx, "sc", tbl); err != nil {
+			t.Fatal(err)
+		}
+		var got []engine.ScanRow
+		pl := &engine.Plan{Table: tbl, Project: []string{"m", "blob", "tag"}}
+		if _, err := rc.RunStream(ctx, pl, func(batch []engine.ScanRow) error {
+			got = append(got, batch...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	v5 := scan(0) // negotiate the current version: columnar chunks
+	v4 := scan(4) // emulate an old daemon: row-major chunks
+	if len(v5) != 500 || len(v4) != 500 {
+		t.Fatalf("scan row counts: v5=%d v4=%d, want 500", len(v5), len(v4))
+	}
+	for i := range v5 {
+		if v5[i].ID != v4[i].ID ||
+			!reflect.DeepEqual(v5[i].U64s, v4[i].U64s) ||
+			!reflect.DeepEqual(v5[i].Strs, v4[i].Strs) ||
+			!bytesRowEqual(v5[i].Bytes, v4[i].Bytes) {
+			t.Fatalf("row %d diverges across protocol versions:\n v5=%+v\n v4=%+v", i, v5[i], v4[i])
+		}
+	}
+	// Spot-check values against the source so both paths aren't wrong alike.
+	if v5[7].U64s[0] != 21 || v5[7].Strs[2] != "h" || len(v5[7].Bytes[1]) != 3 {
+		t.Fatalf("row 7 = %+v, want u64 21, tag \"h\", 3 blob bytes", v5[7])
+	}
+}
+
+// bytesRowEqual compares Bytes cells treating nil and empty as equal — the
+// two framings legitimately differ in how they decode a zero-length blob.
+func bytesRowEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

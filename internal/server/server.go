@@ -140,7 +140,11 @@ type Stats struct {
 	// Recovery reports what the durable store rebuilt at boot (zero without
 	// a -data-dir).
 	Recovery durable.RecoveryStats
-	Tables   []TableStat
+	// Residency reports the mapped-segment budget: bytes currently faulted
+	// in from mapped segments, the -max-resident watermark, and fault and
+	// eviction counters (zero without a -data-dir).
+	Residency store.ResidencyStats
+	Tables    []TableStat
 }
 
 // Stats returns a snapshot of the server's counters and table registry,
@@ -160,6 +164,9 @@ func (s *Server) Stats() Stats {
 	s.lnMu.Unlock()
 	st.PlanCacheHits, st.PlanCacheMisses = s.cluster.PlanCacheStats()
 	st.Recovery = s.recovery
+	if s.durable != nil {
+		st.Residency = s.durable.Residency().Stats()
+	}
 	s.mu.RLock()
 	for ref, t := range s.tables {
 		bytes := t.MemBytes()
@@ -181,8 +188,12 @@ func (st Stats) String() string {
 	fmt.Fprintf(&b, "\ntables=%d resident=%s plan-cache=%d/%d hit/miss",
 		st.TableCount, fmtBytes(st.ResidentBytes), st.PlanCacheHits, st.PlanCacheMisses)
 	if r := st.Recovery; r.Tables > 0 || r.Duration > 0 {
-		fmt.Fprintf(&b, "\nrecovered %d tables (%s, %d segments, %d wal records, %d torn tails) in %v",
-			r.Tables, fmtBytes(uint64(r.Bytes)), r.Segments, r.WALRecords, r.TornTails, r.Duration)
+		fmt.Fprintf(&b, "\nrecovered %d tables (%s, %s mapped, %d segments, %d wal records, %d torn tails) in %v",
+			r.Tables, fmtBytes(uint64(r.Bytes)), fmtBytes(uint64(r.MappedBytes)), r.Segments, r.WALRecords, r.TornTails, r.Duration)
+	}
+	if r := st.Residency; r.BudgetBytes > 0 || r.ColumnFaults > 0 {
+		fmt.Fprintf(&b, "\nresidency: %s resident (budget %s), %d column faults, %d evictions (%s reclaimed)",
+			fmtBytes(r.ResidentBytes), fmtBytes(r.BudgetBytes), r.ColumnFaults, r.Evictions, fmtBytes(r.EvictedBytes))
 	}
 	for _, t := range st.Tables {
 		fmt.Fprintf(&b, "\n  table %q: %d rows, %d partitions, %s", t.Ref, t.Rows, t.Parts, fmtBytes(t.Bytes))
@@ -206,23 +217,32 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		WALRecords      int     `json:"wal_records"`
 		TornTails       int     `json:"torn_tails"`
 		Bytes           int64   `json:"bytes"`
+		MappedBytes     int64   `json:"mapped_bytes"`
 		DurationSeconds float64 `json:"duration_seconds"`
 	}
+	type residencyJSON struct {
+		BudgetBytes   uint64 `json:"budget_bytes"`
+		ResidentBytes uint64 `json:"resident_bytes"`
+		ColumnFaults  uint64 `json:"column_faults"`
+		Evictions     uint64 `json:"evictions"`
+		EvictedBytes  uint64 `json:"evicted_bytes"`
+	}
 	out := struct {
-		ConnsTotal      uint64       `json:"conns_total"`
-		ConnsActive     int          `json:"conns_active"`
-		Registers       uint64       `json:"registers"`
-		Appends         uint64       `json:"appends"`
-		Runs            uint64       `json:"runs"`
-		RunsActive      int          `json:"runs_active"`
-		Canceled        uint64       `json:"canceled"`
-		Errors          uint64       `json:"errors"`
-		TableCount      int          `json:"table_count"`
-		ResidentBytes   uint64       `json:"resident_bytes"`
-		PlanCacheHits   uint64       `json:"plan_cache_hits"`
-		PlanCacheMisses uint64       `json:"plan_cache_misses"`
-		Recovery        recoveryJSON `json:"recovery"`
-		Tables          []tableJSON  `json:"tables"`
+		ConnsTotal      uint64        `json:"conns_total"`
+		ConnsActive     int           `json:"conns_active"`
+		Registers       uint64        `json:"registers"`
+		Appends         uint64        `json:"appends"`
+		Runs            uint64        `json:"runs"`
+		RunsActive      int           `json:"runs_active"`
+		Canceled        uint64        `json:"canceled"`
+		Errors          uint64        `json:"errors"`
+		TableCount      int           `json:"table_count"`
+		ResidentBytes   uint64        `json:"resident_bytes"`
+		PlanCacheHits   uint64        `json:"plan_cache_hits"`
+		PlanCacheMisses uint64        `json:"plan_cache_misses"`
+		Recovery        recoveryJSON  `json:"recovery"`
+		Residency       residencyJSON `json:"residency"`
+		Tables          []tableJSON   `json:"tables"`
 	}{
 		ConnsTotal:      st.ConnsTotal,
 		ConnsActive:     st.ConnsActive,
@@ -242,7 +262,15 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 			WALRecords:      st.Recovery.WALRecords,
 			TornTails:       st.Recovery.TornTails,
 			Bytes:           st.Recovery.Bytes,
+			MappedBytes:     st.Recovery.MappedBytes,
 			DurationSeconds: st.Recovery.Duration.Seconds(),
+		},
+		Residency: residencyJSON{
+			BudgetBytes:   st.Residency.BudgetBytes,
+			ResidentBytes: st.Residency.ResidentBytes,
+			ColumnFaults:  st.Residency.ColumnFaults,
+			Evictions:     st.Residency.Evictions,
+			EvictedBytes:  st.Residency.EvictedBytes,
 		},
 		Tables: make([]tableJSON, 0, len(st.Tables)),
 	}
@@ -360,6 +388,24 @@ func (s *Server) UseDurable(d *durable.Store) {
 	s.obsReg.Gauge("seabed_recovery_bytes", "Bytes of table data rebuilt at boot.", nil).Set(float64(rec.Bytes))
 	s.obsReg.Gauge("seabed_recovery_wal_records", "WAL records replayed at boot.", nil).Set(float64(rec.WALRecords))
 	s.obsReg.Gauge("seabed_recovery_tables", "Tables recovered at boot.", nil).Set(float64(rec.Tables))
+	s.obsReg.Gauge("seabed_recovery_mapped_bytes", "Bytes of segment data mmap'd (not read) at boot.", nil).Set(float64(rec.MappedBytes))
+
+	// Residency moves while the server runs (columns fault in per query and
+	// evict under -max-resident), so these read live from the store's
+	// residency manager at scrape time rather than snapshotting once.
+	res := d.Residency()
+	s.obsReg.GaugeFunc("seabed_resident_budget_bytes", "Configured -max-resident budget for faulted column data (0 = unlimited).", nil, func() float64 {
+		return float64(res.Stats().BudgetBytes)
+	})
+	s.obsReg.GaugeFunc("seabed_view_resident_bytes", "Column bytes currently faulted into memory from mapped segments.", nil, func() float64 {
+		return float64(res.Stats().ResidentBytes)
+	})
+	s.obsReg.CounterFunc("seabed_column_faults_total", "Columns faulted in from mapped segments.", nil, func() float64 {
+		return float64(res.Stats().ColumnFaults)
+	})
+	s.obsReg.CounterFunc("seabed_partition_evictions_total", "Partitions evicted to stay under the residency budget.", nil, func() float64 {
+		return float64(res.Stats().Evictions)
+	})
 }
 
 // RegisterTable adds or replaces a table in the registry — durably first,
@@ -868,19 +914,42 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto u
 	}
 	// Scan plans stream: each batch crosses as its own frame, so the client
 	// decrypts incrementally and a canceled query stops mid-stream instead
-	// of after one giant materialized frame.
+	// of after one giant materialized frame. On v5+ connections each batch
+	// leaves as column extents appended into one reused buffer — the
+	// executor's arenas reach the wire without a row-major re-encode and
+	// without per-row allocations; pre-v5 peers get the row-major framing.
 	var sink engine.ScanSink
 	if len(pl.Project) > 0 {
-		sink = func(rows []engine.ScanRow) error {
-			chunk, err := wire.EncodeScanChunk(rows)
+		if proto >= 5 {
+			kinds, err := engine.ProjectKinds(pl)
 			if err != nil {
-				return err
+				return wire.MsgError, wire.EncodeError(err.Error())
 			}
-			if err := wire.WriteFrame(conn, wire.MsgResultChunk, chunk); err != nil {
-				return err
+			var chunkBuf []byte
+			sink = func(rows []engine.ScanRow) error {
+				var err error
+				chunkBuf, err = wire.AppendScanChunk(chunkBuf[:0], rows, kinds)
+				if err != nil {
+					return err
+				}
+				if err := wire.WriteFrame(conn, wire.MsgResultChunk, chunkBuf); err != nil {
+					return err
+				}
+				s.bytesOut.Add(uint64(len(chunkBuf)) + 5)
+				return nil
 			}
-			s.bytesOut.Add(uint64(len(chunk)) + 5)
-			return nil
+		} else {
+			sink = func(rows []engine.ScanRow) error {
+				chunk, err := wire.EncodeScanChunk(rows, nil, proto)
+				if err != nil {
+					return err
+				}
+				if err := wire.WriteFrame(conn, wire.MsgResultChunk, chunk); err != nil {
+					return err
+				}
+				s.bytesOut.Add(uint64(len(chunk)) + 5)
+				return nil
+			}
 		}
 	}
 	res, err := s.cluster.RunStream(ctx, pl, sink)

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// Column extents: the one column-major encoding Seabed uses from disk to
+// wire. A durable segment file stores each column of each partition as one
+// extent (8-aligned so the file can be memory-mapped and the vectors aliased
+// in place), and a v5 MsgResultChunk carries each projected column of a scan
+// batch as one extent (packed, no alignment — the receiving buffer decides).
+// docs/FORMAT.md is the authoritative spec; this file is its implementation.
+//
+// Extent layouts, by column kind (all integers little-endian, fixed width —
+// no varints, so an extent can be consumed without a sequential scan):
+//
+//	U64:       rows × 8-byte words.
+//	Bytes/Str: (rows+1) × 8-byte offsets into the blob heap that follows,
+//	           with off[0] == 0 and off[rows] == total blob bytes; row i's
+//	           value is heap[off[i]:off[i+1]]. Offsets are relative to the
+//	           heap base (the byte after the offset array).
+//
+// Decoding aliases rather than copies wherever the platform allows: a U64
+// extent that is 8-byte-aligned on a little-endian host becomes the []uint64
+// vector itself, and Bytes/Str rows always alias the blob heap. The caller
+// therefore must keep the backing buffer immutable and alive for as long as
+// the decoded column is reachable — exactly the contract a read-only mmap or
+// a received wire frame satisfies.
+
+// hostLittleEndian reports whether this machine can alias little-endian
+// extents in place. Every supported Go platform today is little-endian; the
+// check keeps the copy fallback honest rather than theoretical.
+var hostLittleEndian = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// ColumnExtentSize returns the exact encoded size of c's extent.
+func ColumnExtentSize(c *Column) int {
+	switch c.Kind {
+	case U64:
+		return 8 * len(c.U64)
+	case Bytes:
+		n := 8 * (len(c.Bytes) + 1)
+		for _, b := range c.Bytes {
+			n += len(b)
+		}
+		return n
+	default:
+		n := 8 * (len(c.Str) + 1)
+		for _, s := range c.Str {
+			n += len(s)
+		}
+		return n
+	}
+}
+
+// AppendColumnExtent appends c's extent encoding to buf and returns the
+// extended slice. It allocates only when buf lacks capacity, so an encoder
+// reusing its buffer appends whole columns without per-row allocations.
+func AppendColumnExtent(buf []byte, c *Column) []byte {
+	switch c.Kind {
+	case U64:
+		if hostLittleEndian && len(c.U64) > 0 {
+			// The in-memory vector already is the extent encoding.
+			raw := unsafe.Slice((*byte)(unsafe.Pointer(&c.U64[0])), 8*len(c.U64))
+			return append(buf, raw...)
+		}
+		for _, v := range c.U64 {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+		return buf
+	case Bytes:
+		off := uint64(0)
+		buf = binary.LittleEndian.AppendUint64(buf, 0)
+		for _, b := range c.Bytes {
+			off += uint64(len(b))
+			buf = binary.LittleEndian.AppendUint64(buf, off)
+		}
+		for _, b := range c.Bytes {
+			buf = append(buf, b...)
+		}
+		return buf
+	default:
+		off := uint64(0)
+		buf = binary.LittleEndian.AppendUint64(buf, 0)
+		for _, s := range c.Str {
+			off += uint64(len(s))
+			buf = binary.LittleEndian.AppendUint64(buf, off)
+		}
+		for _, s := range c.Str {
+			buf = append(buf, s...)
+		}
+		return buf
+	}
+}
+
+// aligned8 reports whether b's first byte sits on an 8-byte boundary.
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// DecodeColumnExtent decodes one extent of the given kind and row count from
+// the front of data, returning the column vectors and the bytes consumed.
+// The returned column aliases data wherever possible (see the package
+// comment above for the immutability contract); lengths and offsets are
+// validated against len(data), never trusted, so a truncated or hostile
+// buffer yields an error rather than an out-of-bounds vector.
+func DecodeColumnExtent(name string, kind Kind, rows int, data []byte) (Column, int, error) {
+	c := Column{Name: name, Kind: kind}
+	if rows < 0 {
+		return c, 0, fmt.Errorf("store: extent %q: negative row count", name)
+	}
+	switch kind {
+	case U64:
+		need := 8 * rows
+		if len(data) < need {
+			return c, 0, fmt.Errorf("store: extent %q: %d bytes for %d u64 rows", name, len(data), rows)
+		}
+		if rows == 0 {
+			c.U64 = []uint64{}
+			return c, 0, nil
+		}
+		if hostLittleEndian && aligned8(data) {
+			c.U64 = unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), rows)
+		} else {
+			c.U64 = make([]uint64, rows)
+			for i := range c.U64 {
+				c.U64[i] = binary.LittleEndian.Uint64(data[8*i:])
+			}
+		}
+		return c, need, nil
+	case Bytes, Str:
+		offBytes := 8 * (rows + 1)
+		if len(data) < offBytes {
+			return c, 0, fmt.Errorf("store: extent %q: %d bytes for %d offset entries", name, len(data), rows+1)
+		}
+		heap := data[offBytes:]
+		prev := binary.LittleEndian.Uint64(data)
+		if prev != 0 {
+			return c, 0, fmt.Errorf("store: extent %q: first offset %d, want 0", name, prev)
+		}
+		if kind == Bytes {
+			c.Bytes = make([][]byte, rows)
+		} else {
+			c.Str = make([]string, rows)
+		}
+		for i := 0; i < rows; i++ {
+			next := binary.LittleEndian.Uint64(data[8*(i+1):])
+			if next < prev || next > uint64(len(heap)) {
+				return c, 0, fmt.Errorf("store: extent %q: offset %d out of order or past heap (%d after %d, heap %d)",
+					name, i+1, next, prev, len(heap))
+			}
+			blob := heap[prev:next]
+			if kind == Bytes {
+				if len(blob) > 0 {
+					c.Bytes[i] = blob
+				}
+			} else if len(blob) > 0 {
+				// Alias the heap as a string: the backing buffer is immutable
+				// by the decode contract, which is what makes this safe.
+				c.Str[i] = unsafe.String(&blob[0], len(blob))
+			}
+			prev = next
+		}
+		return c, offBytes + int(prev), nil
+	}
+	return c, 0, fmt.Errorf("store: extent %q: unknown kind %d", name, int(kind))
+}

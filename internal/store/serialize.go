@@ -31,40 +31,54 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	writeString(bw, t.Name)
 	writeUvarint(bw, uint64(len(t.Parts)))
 	for _, p := range t.Parts {
-		writeUvarint(bw, p.StartID)
-		writeUvarint(bw, uint64(len(p.Cols)))
-		writeUvarint(bw, uint64(p.NumRows()))
-		for i := range p.Cols {
-			c := &p.Cols[i]
-			writeString(bw, c.Name)
-			writeUvarint(bw, uint64(c.Kind))
-			switch c.Kind {
-			case U64:
-				var buf [8]byte
-				for _, v := range c.U64 {
-					binary.LittleEndian.PutUint64(buf[:], v)
-					if _, err := bw.Write(buf[:]); err != nil {
-						return bw.n, err
-					}
-				}
-			case Bytes:
-				for _, b := range c.Bytes {
-					writeUvarint(bw, uint64(len(b)))
-					if _, err := bw.Write(b); err != nil {
-						return bw.n, err
-					}
-				}
-			case Str:
-				for _, s := range c.Str {
-					writeString(bw, s)
-				}
-			}
+		if err := writePartition(bw, p); err != nil {
+			return bw.n, err
 		}
 	}
 	if err := bw.w.(*bufio.Writer).Flush(); err != nil {
 		return bw.n, err
 	}
 	return bw.n, bw.err
+}
+
+// writePartition serializes one partition. A view partition serializes like
+// any other, but its vectors must be pinned resident for the walk.
+func writePartition(bw *countingWriter, p *Partition) error {
+	release, err := p.Pin(nil)
+	if err != nil {
+		return err
+	}
+	defer release()
+	writeUvarint(bw, p.StartID)
+	writeUvarint(bw, uint64(len(p.Cols)))
+	writeUvarint(bw, uint64(p.NumRows()))
+	for i := range p.Cols {
+		c := &p.Cols[i]
+		writeString(bw, c.Name)
+		writeUvarint(bw, uint64(c.Kind))
+		switch c.Kind {
+		case U64:
+			var buf [8]byte
+			for _, v := range c.U64 {
+				binary.LittleEndian.PutUint64(buf[:], v)
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			}
+		case Bytes:
+			for _, b := range c.Bytes {
+				writeUvarint(bw, uint64(len(b)))
+				if _, err := bw.Write(b); err != nil {
+					return err
+				}
+			}
+		case Str:
+			for _, s := range c.Str {
+				writeString(bw, s)
+			}
+		}
+	}
+	return nil
 }
 
 // DiskBytes returns the serialized size of the table without materializing
@@ -197,6 +211,7 @@ type countingWriter struct {
 	err error
 }
 
+// Write implements io.Writer, counting bytes and latching the first error.
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	if cw.err != nil {
 		return 0, cw.err

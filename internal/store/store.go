@@ -94,16 +94,27 @@ func (c *Column) memBytes() uint64 {
 	return n
 }
 
-// Partition is a contiguous horizontal slice of a table.
+// Partition is a contiguous horizontal slice of a table. A partition is
+// either heap-resident (Cols own their vectors) or a view (Cols carry layout
+// only and vectors fault in from a backing segment via Pin — see view.go).
 type Partition struct {
 	// StartID is the global 1-based row identifier of the partition's first
 	// row.
 	StartID uint64
 	Cols    []Column
+
+	// view, when non-nil, marks a lazily loaded partition: Cols' vectors may
+	// be absent until pinned and may be evicted while unpinned.
+	view *partView
 }
 
-// NumRows returns the number of rows in the partition.
+// NumRows returns the number of rows in the partition. For a view partition
+// the count comes from the view's metadata, so it is valid even while the
+// column vectors are not resident.
 func (p *Partition) NumRows() int {
+	if p.view != nil {
+		return p.view.rows
+	}
 	if len(p.Cols) == 0 {
 		return 0
 	}
@@ -412,13 +423,13 @@ func (t *Table) ColKind(name string) (Kind, error) {
 }
 
 // MemBytes estimates the table's in-memory footprint (Table 5's "memory
-// size").
+// size"). View partitions contribute only their currently resident vectors,
+// so a mapped table served under a residency budget reports its true heap
+// pressure, not its on-disk size.
 func (t *Table) MemBytes() uint64 {
 	var n uint64
 	for _, p := range t.Parts {
-		for i := range p.Cols {
-			n += p.Cols[i].memBytes()
-		}
+		n += p.MemBytes()
 	}
 	return n
 }

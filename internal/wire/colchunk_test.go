@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"seabed/internal/engine"
+	"seabed/internal/store"
+)
+
+// chunkRows builds n scan rows over one U64, one Bytes, and one Str column,
+// with per-row value lengths that vary so offset bookkeeping is exercised.
+func chunkRows(n int) ([]engine.ScanRow, []store.Kind) {
+	kinds := []store.Kind{store.U64, store.Bytes, store.Str}
+	rows := make([]engine.ScanRow, n)
+	for i := range rows {
+		blob := bytes.Repeat([]byte{byte(i)}, i%5)
+		rows[i] = engine.ScanRow{
+			ID:    uint64(i)*3 + 1,
+			U64s:  []uint64{uint64(i) * 0x0101010101010101, 0, 0},
+			Bytes: [][]byte{nil, blob, nil},
+			Strs:  []string{"", "", string(rune('a' + i%26))},
+		}
+	}
+	return rows, kinds
+}
+
+func TestColumnarChunkRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		rows, kinds := chunkRows(n)
+		p, err := EncodeScanChunk(rows, kinds, Version)
+		if err != nil {
+			t.Fatalf("encode %d rows: %v", n, err)
+		}
+		got, err := DecodeScanChunk(p, Version)
+		if err != nil {
+			t.Fatalf("decode %d rows: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("decoded %d rows, want %d", len(got), n)
+		}
+		for i := range got {
+			if got[i].ID != rows[i].ID {
+				t.Fatalf("row %d: id = %d, want %d", i, got[i].ID, rows[i].ID)
+			}
+			for j := range kinds {
+				if got[i].U64s[j] != rows[i].U64s[j] {
+					t.Fatalf("row %d col %d: u64 = %d, want %d", i, j, got[i].U64s[j], rows[i].U64s[j])
+				}
+				if !bytes.Equal(got[i].Bytes[j], rows[i].Bytes[j]) {
+					t.Fatalf("row %d col %d: bytes = %x, want %x", i, j, got[i].Bytes[j], rows[i].Bytes[j])
+				}
+				if got[i].Strs[j] != rows[i].Strs[j] {
+					t.Fatalf("row %d col %d: str = %q, want %q", i, j, got[i].Strs[j], rows[i].Strs[j])
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarChunkZeroCopy verifies the decode contract: Bytes values alias
+// the frame payload rather than copying out of it.
+func TestColumnarChunkZeroCopy(t *testing.T) {
+	rows := []engine.ScanRow{{
+		ID:    1,
+		U64s:  []uint64{0},
+		Bytes: [][]byte{[]byte("ciphertext")},
+		Strs:  []string{""},
+	}}
+	p, err := EncodeScanChunk(rows, []store.Kind{store.Bytes}, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeScanChunk(p, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[len(p)-1] ^= 0xFF // mutate the frame: an aliasing decode must see it
+	if bytes.Equal(got[0].Bytes[0], []byte("ciphertext")) {
+		t.Fatal("decoded Bytes value did not alias the frame payload")
+	}
+}
+
+// TestAppendScanChunkNoPerRowAllocs pins the encode path's allocation
+// contract: with a primed reusable buffer, streaming a chunk performs zero
+// allocations regardless of row count — the server's sink reuses one buffer
+// across every chunk of a scan.
+func TestAppendScanChunkNoPerRowAllocs(t *testing.T) {
+	rows, kinds := chunkRows(512)
+	// Prime: one encode to learn the needed capacity.
+	primed, err := AppendScanChunk(nil, rows, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, cap(primed)+1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := AppendScanChunk(buf[:0], rows, kinds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendScanChunk allocated %.1f times per call with a primed buffer, want 0", allocs)
+	}
+}
+
+func TestColumnarChunkRejectsHostilePayloads(t *testing.T) {
+	rows, kinds := chunkRows(8)
+	good, err := EncodeScanChunk(rows, kinds, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		p    []byte
+	}{
+		{"empty", nil},
+		{"huge row count", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}},
+		{"width overflows payload", []byte{2, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 1, 1, 1, 1, 1}},
+		{"unknown kind", append([]byte{1, 1, 0x7F}, make([]byte, 16)...)},
+		{"truncated extents", good[:len(good)-4]},
+		{"trailing garbage", append(append([]byte{}, good...), 0xAA, 0xBB)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeScanChunk(tc.p, Version); err == nil {
+			t.Errorf("%s: decode accepted a hostile payload", tc.name)
+		}
+	}
+}
+
+// TestScanChunkVersionFraming pins the negotiation fallback: the same rows
+// round-trip through both framings, and each decoder rejects the other's
+// bytes (the version is part of the connection state, not the frame).
+func TestScanChunkVersionFraming(t *testing.T) {
+	rows, kinds := chunkRows(16)
+	for _, v := range []uint64{4, 5} {
+		p, err := EncodeScanChunk(rows, kinds, v)
+		if err != nil {
+			t.Fatalf("v%d encode: %v", v, err)
+		}
+		got, err := DecodeScanChunk(p, v)
+		if err != nil {
+			t.Fatalf("v%d decode: %v", v, err)
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("v%d: %d rows, want %d", v, len(got), len(rows))
+		}
+		for i := range got {
+			if got[i].ID != rows[i].ID || !bytes.Equal(got[i].Bytes[1], rows[i].Bytes[1]) {
+				t.Fatalf("v%d: row %d mismatch", v, i)
+			}
+		}
+	}
+}

@@ -148,26 +148,6 @@ func decodeScanRows(d *dec, dst *[]engine.ScanRow) {
 	}
 }
 
-// EncodeScanChunk builds a MsgResultChunk payload: one batch of scan rows.
-func EncodeScanChunk(rows []engine.ScanRow) ([]byte, error) {
-	e := &enc{}
-	if err := encodeScanRows(e, rows); err != nil {
-		return nil, err
-	}
-	return e.buf, nil
-}
-
-// DecodeScanChunk parses a MsgResultChunk payload.
-func DecodeScanChunk(p []byte) ([]engine.ScanRow, error) {
-	d := newDec(p)
-	var rows []engine.ScanRow
-	decodeScanRows(d, &rows)
-	if err := d.close("scan chunk"); err != nil {
-		return nil, err
-	}
-	return rows, nil
-}
-
 // DecodeResult parses a MsgResult payload framed at the connection's
 // negotiated version.
 func DecodeResult(p []byte, version uint64) (codecName string, res *engine.Result, spans []obs.FlatSpan, err error) {

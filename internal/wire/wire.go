@@ -19,7 +19,9 @@
 // each with exactly one terminal response frame (MsgOK, MsgResult, or
 // MsgError). Two exceptions, both introduced in v3 for query lifecycle
 // management: a MsgRun's terminal response may be preceded by any number of
-// MsgResultChunk frames carrying scan rows, and the client may send MsgCancel
+// MsgResultChunk frames carrying scan rows (column extents on v5+
+// connections, row-major before — see colchunk.go and docs/FORMAT.md), and
+// the client may send MsgCancel
 // while a MsgRun is in flight — Cancel gets no response of its own, the
 // canceled run's terminal frame closes the exchange.
 //
@@ -55,9 +57,12 @@ import (
 // MsgResult/MsgError); v4 added observability — a trace ID in the plan frame
 // and a span breakdown + per-task duration sample in the result frame — and,
 // because v4 fields are negotiated rather than assumed, the first version to
-// tolerate older peers at all.
+// tolerate older peers at all; v5 reframed MsgResultChunk as column extents
+// (the same encoding durable segments map — docs/FORMAT.md), deleting the
+// row-major re-encode from the server's streaming path. A v5 peer falls back
+// to row-major chunks when the negotiated version is 4 or below.
 const (
-	Version    = 4
+	Version    = 5
 	MinVersion = 3
 )
 

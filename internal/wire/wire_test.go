@@ -428,16 +428,19 @@ func TestRegisterRejectsJunk(t *testing.T) {
 }
 
 func TestScanChunkRoundTrip(t *testing.T) {
+	// The pre-v5 row-major framing tolerates per-row widths (and must keep
+	// doing so: v3/v4 peers ship such frames); rows here are deliberately
+	// ragged across rows. The v5 columnar path is covered in colchunk_test.go.
 	rows := []engine.ScanRow{
 		{ID: 7, U64s: []uint64{42, 0}, Bytes: [][]byte{nil, {1, 2, 3}}, Strs: []string{"", "x"}},
 		{ID: 9, U64s: []uint64{1}, Bytes: [][]byte{nil}, Strs: []string{"hello"}},
 		{ID: 11},
 	}
-	payload, err := EncodeScanChunk(rows)
+	payload, err := EncodeScanChunk(rows, nil, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := DecodeScanChunk(payload)
+	got, err := DecodeScanChunk(payload, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,31 +448,33 @@ func TestScanChunkRoundTrip(t *testing.T) {
 		t.Fatalf("chunk round trip:\n got %+v\nwant %+v", got, rows)
 	}
 	// Empty chunks survive too (a shard whose slice selected nothing).
-	payload, err = EncodeScanChunk(nil)
+	payload, err = EncodeScanChunk(nil, nil, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := DecodeScanChunk(payload); err != nil || len(got) != 0 {
+	if got, err := DecodeScanChunk(payload, 4); err != nil || len(got) != 0 {
 		t.Fatalf("empty chunk: (%v, %v)", got, err)
 	}
 }
 
 func TestScanChunkRejectsHostilePayloads(t *testing.T) {
 	// A huge row count over a tiny payload must fail the count guard, not
-	// allocate.
-	if _, err := DecodeScanChunk([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}); err == nil {
-		t.Fatal("hostile row count accepted")
+	// allocate — on both framings.
+	for _, version := range []uint64{4, 5} {
+		if _, err := DecodeScanChunk([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, version); err == nil {
+			t.Fatalf("v%d: hostile row count accepted", version)
+		}
 	}
 	// Ragged projections are refused at encode time.
-	if _, err := EncodeScanChunk([]engine.ScanRow{{ID: 1, U64s: []uint64{1}}}); err == nil {
+	if _, err := EncodeScanChunk([]engine.ScanRow{{ID: 1, U64s: []uint64{1}}}, nil, 4); err == nil {
 		t.Fatal("ragged scan row encoded")
 	}
 	// Trailing garbage is refused.
-	payload, err := EncodeScanChunk([]engine.ScanRow{{ID: 1}})
+	payload, err := EncodeScanChunk([]engine.ScanRow{{ID: 1}}, nil, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DecodeScanChunk(append(payload, 0)); err == nil {
+	if _, err := DecodeScanChunk(append(payload, 0), 4); err == nil {
 		t.Fatal("trailing garbage accepted")
 	}
 }
@@ -479,7 +484,7 @@ func TestCancelFrameType(t *testing.T) {
 	if MsgCancel.String() != "cancel" || MsgResultChunk.String() != "result-chunk" {
 		t.Fatalf("v3 frame names: %v, %v", MsgCancel, MsgResultChunk)
 	}
-	if Version != 4 || MinVersion != 3 {
-		t.Fatalf("protocol versions = %d (min %d), want 4 (min 3)", Version, MinVersion)
+	if Version != 5 || MinVersion != 3 {
+		t.Fatalf("protocol versions = %d (min %d), want 5 (min 3)", Version, MinVersion)
 	}
 }
