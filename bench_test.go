@@ -51,3 +51,4 @@ func BenchmarkAblations_DesignChoices(b *testing.B)    { runExperiment(b, "ablat
 func BenchmarkKernels_ExecutorThroughput(b *testing.B) { runExperiment(b, "kernels") }
 func BenchmarkRecovery_DurableReplay(b *testing.B)     { runExperiment(b, "recovery") }
 func BenchmarkColdScan_MappedSegments(b *testing.B)    { runExperiment(b, "coldscan") }
+func BenchmarkHedge_StragglerMitigation(b *testing.B)  { runExperiment(b, "hedge") }

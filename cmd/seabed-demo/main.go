@@ -21,18 +21,24 @@ func main() {
 	workers := flag.Int("workers", 8, "simulated cluster workers (embedded mode)")
 	addr := flag.String("addr", "", "address of a running seabed-server; empty runs an embedded cluster")
 	addrs := flag.String("addrs", "", "comma-separated addresses of N seabed-server shards (scatter-gather mode)")
+	replicas := flag.Int("replicas", 0, "with -addrs: replicate each identifier range on R daemons (fleet mode with failover and healing); 0 disables replication")
+	hedge := flag.Float64("hedge", 0, "with -replicas: hedge straggler sub-queries to a second replica once this fraction of ranges has completed, e.g. 0.9; 0 disables hedging")
 	flag.Parse()
 	if *addr != "" && *addrs != "" {
 		fmt.Fprintln(os.Stderr, "seabed-demo: -addr and -addrs are mutually exclusive")
 		os.Exit(2)
 	}
-	if err := run(*rows, *workers, *addr, *addrs); err != nil {
+	if *replicas > 0 && *addrs == "" {
+		fmt.Fprintln(os.Stderr, "seabed-demo: -replicas needs -addrs")
+		os.Exit(2)
+	}
+	if err := run(*rows, *workers, *addr, *addrs, *replicas, *hedge); err != nil {
 		fmt.Fprintln(os.Stderr, "seabed-demo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, workers int, addr, addrs string) error {
+func run(rows, workers int, addr, addrs string, replicas int, hedge float64) error {
 	ctx := context.Background()
 	// The engine is embedded in this process, one seabed-server daemon
 	// reached over TCP, or a sharded fleet of daemons — the rest of the demo
@@ -40,6 +46,26 @@ func run(rows, workers int, addr, addrs string) error {
 	var cluster seabed.ClusterBackend
 	var where string
 	switch {
+	case addrs != "" && replicas > 0:
+		var list []string
+		for _, a := range strings.Split(addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				list = append(list, a)
+			}
+		}
+		fc, err := seabed.DialFleet(list, seabed.FleetOptions{Replicas: replicas, HedgeQuantile: hedge})
+		if err != nil {
+			return err
+		}
+		defer fc.Close()
+		cluster = fc
+		workers = fc.Workers()
+		where = fmt.Sprintf("%d-daemon fleet at %s, %d replicas per range, hedge quantile %v (%d workers total)",
+			fc.NumDaemons(), addrs, fc.Replicas(), hedge, workers)
+		defer func() {
+			st := fc.Stats()
+			fmt.Printf("\nfleet mitigation counters: %d hedged sub-queries, %d failovers\n", st.Hedges, st.Failovers)
+		}()
 	case addrs != "":
 		var list []string
 		for _, a := range strings.Split(addrs, ",") {

@@ -35,6 +35,16 @@
 //	seabed-server -addr :7689 -shard 2/3 &
 //	seabed-demo -addrs localhost:7687,localhost:7688,localhost:7689
 //
+// Adding -replicas on the client turns the same daemons into a replicated
+// fleet: each identifier range is registered on R daemons (chained
+// declustering), queries fail over to a live replica when a daemon dies,
+// stragglers are hedged to a second replica past the -hedge quantile, and a
+// daemon restarted on an empty disk heals by pulling its tables directly
+// from its neighbors over the protocol's segment-shipping frames (no proxy
+// re-upload — the /stats and /metrics planes count the shipped bytes):
+//
+//	seabed-demo -addrs localhost:7687,localhost:7688,localhost:7689 -replicas 2 -hedge 0.9
+//
 // With -metrics, the daemon prints per-connection and per-table statistics
 // on SIGUSR1 — `kill -USR1 $(pidof seabed-server)` shows whether shards
 // stayed balanced; -metrics-format selects the rendering (text or json).

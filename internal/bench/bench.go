@@ -93,6 +93,7 @@ func Experiments() []Experiment {
 		{"kernels", "Executor kernel throughput (vectorized vs reference evaluator)", Kernels},
 		{"recovery", "Durable-store recovery throughput (segment load + WAL replay MB/s)", Recovery},
 		{"coldscan", "Mapped-segment scan throughput (cold fault-in vs resident; first-chunk latency)", ColdScan},
+		{"hedge", "Hedged scatter vs a straggling replica (p50/p99, hedged vs unhedged)", Hedge},
 	}
 }
 

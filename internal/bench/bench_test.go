@@ -14,8 +14,8 @@ func testCfg() Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -58,6 +58,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"ablations": "packing speedup",
 		"kernels":   "vectorized=",
 		"recovery":  "wal replay",
+		"hedge":     "straggler cost",
 	}
 	cfg := testCfg()
 	for _, e := range Experiments() {

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"seabed/internal/client"
+	"seabed/internal/engine"
+	"seabed/internal/fleet"
+	"seabed/internal/planner"
+	"seabed/internal/server"
+	"seabed/internal/translate"
+	"seabed/internal/workload"
+)
+
+// Hedge measures what hedged scatter buys against a straggling replica: a
+// 3-daemon R=2 loopback fleet answers the §6.1 microbenchmark aggregate
+// repeatedly while daemon 0 stalls every map task, and the query-latency
+// distribution (p50/p99) is compared across three configurations — no
+// straggler, straggler unhedged, and straggler with the hedge quantile
+// armed. The paper's straggler mitigation (§4.5) recast at the replica
+// level: the hedged p99 should sit near the no-straggler p99 instead of the
+// straggler's stall, because the straggling range's sub-query is re-issued
+// to its second replica and the first result wins.
+func Hedge(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	rows := workload.ScaleRows(1_750_000_000, cfg.Scale)
+	reps := 40
+	if cfg.Quick {
+		reps = 12
+	}
+	const daemons = 3
+	const stall = 15 * time.Millisecond
+	// With 3 ranges the trigger is ceil(q·3): 0.5 arms the hedge once 2 of 3
+	// ranges complete (a larger quantile would round to "all done" and
+	// disarm).
+	const hedgeQ = 0.5
+	fmt.Fprintf(w, "Hedged scatter vs a straggling replica: %d rows, %d daemons, R=2, %d-query runs, %v task stall\n",
+		rows, daemons, reps, stall)
+
+	type sample struct {
+		label  string
+		p50    time.Duration
+		p99    time.Duration
+		hedges uint64
+	}
+	run := func(label string, stragglerStall time.Duration, quantile float64) (sample, error) {
+		s := sample{label: label}
+		// One loopback daemon per shard; daemon 0 is the (optional) straggler.
+		addrs := make([]string, daemons)
+		servers := make([]*server.Server, daemons)
+		for i := range addrs {
+			sleep := time.Duration(0)
+			if i == 0 {
+				sleep = stragglerStall
+			}
+			srv := server.New(engine.NewCluster(engine.Config{
+				Workers:         cfg.Workers,
+				RealParallelism: 2,
+				TaskSleep:       sleep,
+				Seed:            uint64(cfg.Seed),
+			}))
+			srv.ShardIndex, srv.ShardCount = i, daemons
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return s, err
+			}
+			go srv.Serve(ln) //nolint:errcheck // closed via srv.Close below
+			addrs[i] = ln.Addr().String()
+			servers[i] = srv
+		}
+		defer func() {
+			for _, srv := range servers {
+				srv.Close() //nolint:errcheck // bench teardown
+			}
+		}()
+
+		fc, err := fleet.Dial(addrs, fleet.Options{Replicas: 2, HedgeQuantile: quantile})
+		if err != nil {
+			return s, err
+		}
+		defer fc.Close() //nolint:errcheck // bench teardown
+
+		proxy, err := client.NewProxy([]byte("seabed-bench-master-secret-0123"), fc)
+		if err != nil {
+			return s, err
+		}
+		// Several map tasks per range, so a stalled daemon has a long runway
+		// and the hedge's head start is visible.
+		proxy.Parts = daemons * 8
+		if _, err := proxy.CreatePlan(workload.SyntheticSchema(2), workload.SyntheticQueries(), planner.Options{}); err != nil {
+			return s, err
+		}
+		src, err := workload.Synthetic(rows, 2, cfg.Seed)
+		if err != nil {
+			return s, err
+		}
+		ctx := context.Background()
+		if err := proxy.Upload(ctx, "synth", src, translate.Seabed); err != nil {
+			return s, err
+		}
+
+		ds := make([]time.Duration, 0, reps)
+		for i := 0; i < reps+1; i++ { // +1 discarded warmup
+			start := time.Now()
+			res, err := proxy.Query(ctx, "SELECT SUM(v) FROM synth WHERE o > 100")
+			if err != nil {
+				return s, err
+			}
+			if _, err := res.All(); err != nil {
+				return s, err
+			}
+			if i > 0 {
+				ds = append(ds, time.Since(start))
+			}
+		}
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		s.p50 = ds[len(ds)/2]
+		s.p99 = ds[(len(ds)*99)/100]
+		s.hedges = fc.Stats().Hedges
+		return s, nil
+	}
+
+	baseline, err := run("no straggler", 0, 0)
+	if err != nil {
+		return err
+	}
+	unhedged, err := run("straggler, unhedged", stall, 0)
+	if err != nil {
+		return err
+	}
+	hedged, err := run(fmt.Sprintf("straggler, hedged (q=%.1f)", hedgeQ), stall, hedgeQ)
+	if err != nil {
+		return err
+	}
+
+	for _, s := range []sample{baseline, unhedged, hedged} {
+		line := fmt.Sprintf("  %-26s p50=%s  p99=%s", s.label+":", seconds(s.p50), seconds(s.p99))
+		if s.hedges > 0 {
+			line += fmt.Sprintf("  (%d hedged sub-queries)", s.hedges)
+		}
+		fmt.Fprintln(w, line)
+	}
+	if baseline.p99 > 0 && unhedged.p99 > 0 {
+		fmt.Fprintf(w, "  straggler cost: %.2fx unhedged, %.2fx hedged (vs no-straggler p99)\n",
+			float64(unhedged.p99)/float64(baseline.p99),
+			float64(hedged.p99)/float64(baseline.p99))
+	}
+	return nil
+}

@@ -148,30 +148,37 @@ func (m *mappedSegment) close() error {
 // align8 rounds n up to the next multiple of 8.
 func align8(n uint64) uint64 { return (n + 7) &^ 7 }
 
-// writeSegment durably writes t as one v2 columnar segment: directory
-// header, then each partition's column extents, 8-aligned, each with its own
-// CRC. The file is fsynced, as is the parent directory, so the segment's
-// name survives with its contents. Returns the bytes written.
-func writeSegment(path string, t *store.Table) (int64, error) {
+// colPlan pairs one pinned column with its directory entry while a segment
+// is being laid out.
+type colPlan struct {
+	col  *store.Column
+	meta segColMeta
+}
+
+// planSegment pins t resident and lays out its v2 segment: every column's
+// extent plan (offset, size, CRC) plus the emitted directory header. The
+// returned release undoes the pins; callers must invoke it once emission is
+// done. Shared by the streaming file writer and the in-memory encoder so
+// disk bytes and shipped bytes come from one layout.
+func planSegment(t *store.Table) (plans [][]colPlan, head []byte, release func(), err error) {
 	// Pass 1: pin everything resident and size the directory + extents.
-	type colPlan struct {
-		col  *store.Column
-		meta segColMeta
-	}
-	var plans [][]colPlan
 	var releases []func()
-	defer func() {
+	release = func() {
 		for _, r := range releases {
 			r()
 		}
-	}()
+	}
+	fail := func(err error) ([][]colPlan, []byte, func(), error) {
+		release()
+		return nil, nil, func() {}, err
+	}
 	headerLen := uint64(4 + 4 + 4 + 4 + len(t.Name) + 4) // magic, version, headerLen, name, numParts
 	for _, p := range t.Parts {
-		release, err := p.Pin(nil)
+		rel, err := p.Pin(nil)
 		if err != nil {
-			return 0, fmt.Errorf("durable: pin partition for segment: %w", err)
+			return fail(fmt.Errorf("durable: pin partition for segment: %w", err))
 		}
-		releases = append(releases, release)
+		releases = append(releases, rel)
 		headerLen += 8 + 8 + 4 // startID, rows, numCols
 		pc := make([]colPlan, len(p.Cols))
 		for i := range p.Cols {
@@ -197,13 +204,13 @@ func writeSegment(path string, t *store.Table) (int64, error) {
 			ext = store.AppendColumnExtent(ext[:0], pc[i].col)
 			pc[i].meta.crc = crc32.ChecksumIEEE(ext)
 			if uint64(len(ext)) != pc[i].meta.size {
-				return 0, fmt.Errorf("durable: column %q extent encoded %d bytes, sized %d", pc[i].meta.name, len(ext), pc[i].meta.size)
+				return fail(fmt.Errorf("durable: column %q extent encoded %d bytes, sized %d", pc[i].meta.name, len(ext), pc[i].meta.size))
 			}
 		}
 	}
 
-	// Pass 3: emit header + extents.
-	head := make([]byte, 0, headerLen)
+	// Emit the directory header.
+	head = make([]byte, 0, headerLen)
 	head = append(head, segMagic...)
 	head = binary.LittleEndian.AppendUint32(head, segVersion)
 	head = binary.LittleEndian.AppendUint32(head, uint32(headerLen))
@@ -226,8 +233,23 @@ func writeSegment(path string, t *store.Table) (int64, error) {
 	}
 	head = binary.LittleEndian.AppendUint32(head, crc32.ChecksumIEEE(head))
 	if uint64(len(head)) != headerLen {
-		return 0, fmt.Errorf("durable: segment header sized %d, emitted %d", headerLen, len(head))
+		return fail(fmt.Errorf("durable: segment header sized %d, emitted %d", headerLen, len(head)))
 	}
+	return plans, head, release, nil
+}
+
+// writeSegment durably writes t as one v2 columnar segment: directory
+// header, then each partition's column extents, 8-aligned, each with its own
+// CRC. The file is fsynced, as is the parent directory, so the segment's
+// name survives with its contents. Returns the bytes written.
+func writeSegment(path string, t *store.Table) (int64, error) {
+	plans, head, release, err := planSegment(t)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	headerLen := uint64(len(head))
+	var ext []byte
 
 	f, err := os.Create(path)
 	if err != nil {

@@ -2,7 +2,7 @@
 // flow driven through a RemoteCluster against a live internal/server on a
 // loopback TCP socket, asserting results identical to the in-process engine
 // — including under concurrent queries (run with -race).
-package remote
+package remote_test
 
 import (
 	"context"
@@ -16,6 +16,7 @@ import (
 	"seabed/internal/client"
 	"seabed/internal/engine"
 	"seabed/internal/planner"
+	"seabed/internal/remote"
 	"seabed/internal/schema"
 	"seabed/internal/server"
 	"seabed/internal/store"
@@ -25,7 +26,7 @@ import (
 
 // startServer launches a wire-protocol server for a fresh 4-worker cluster
 // on a loopback socket and returns a dialed RemoteCluster.
-func startServer(t *testing.T) *RemoteCluster {
+func startServer(t *testing.T) *remote.RemoteCluster {
 	t.Helper()
 	srv := server.New(engine.NewCluster(engine.Config{Workers: 4}))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -42,7 +43,7 @@ func startServer(t *testing.T) *RemoteCluster {
 			t.Errorf("serve: %v", err)
 		}
 	})
-	rc, err := Dial(ln.Addr().String())
+	rc, err := remote.Dial(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func mustRows(t *testing.T, p *client.Proxy, sql string, mode translate.Mode, op
 // decrypts to rows identical to the in-process backend's.
 func TestLoopbackEndToEnd(t *testing.T) {
 	local := fixture(t)
-	remote := remoteTwin(t, local)
+	rmt := remoteTwin(t, local)
 	for _, sql := range loopbackQueries {
 		for _, mode := range fixtureModes {
 			want := mustRows(t, local, sql, mode)
-			got := mustRows(t, remote, sql, mode)
+			got := mustRows(t, rmt, sql, mode)
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("%v %q: remote rows differ from in-process\n got %+v\nwant %+v", mode, sql, got, want)
 			}
@@ -196,10 +197,10 @@ func TestLoopbackEndToEnd(t *testing.T) {
 // group keys and VB+Diff codec selection both cross the wire.
 func TestLoopbackGroupInflation(t *testing.T) {
 	local := fixture(t)
-	remote := remoteTwin(t, local)
+	rmt := remoteTwin(t, local)
 	sql := "SELECT hour, SUM(revenue) FROM sales GROUP BY hour"
 	want := mustRows(t, local, sql, translate.Seabed, client.WithExpectedGroups(6), client.WithForceInflate(3))
-	got := mustRows(t, remote, sql, translate.Seabed, client.WithExpectedGroups(6), client.WithForceInflate(3))
+	got := mustRows(t, rmt, sql, translate.Seabed, client.WithExpectedGroups(6), client.WithForceInflate(3))
 	if len(want) != 6 {
 		t.Fatalf("inflated group-by returned %d groups, want 6", len(want))
 	}
@@ -212,8 +213,8 @@ func TestLoopbackGroupInflation(t *testing.T) {
 // metrics without decryption.
 func TestLoopbackServerOnly(t *testing.T) {
 	local := fixture(t)
-	remote := remoteTwin(t, local)
-	res, err := remote.Query(context.Background(), "SELECT SUM(revenue) FROM sales", client.WithServerOnly())
+	rmt := remoteTwin(t, local)
+	res, err := rmt.Query(context.Background(), "SELECT SUM(revenue) FROM sales", client.WithServerOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestLoopbackServerOnly(t *testing.T) {
 // table registry all run concurrently (the -race gate of the issue).
 func TestConcurrentRemoteQueries(t *testing.T) {
 	local := fixture(t)
-	remote := remoteTwin(t, local)
+	rmt := remoteTwin(t, local)
 
 	// Precompute expected rows serially.
 	type workItem struct {
@@ -251,7 +252,7 @@ func TestConcurrentRemoteQueries(t *testing.T) {
 			defer wg.Done()
 			for i := range work {
 				w := work[(i+g)%len(work)]
-				res, err := remote.Query(context.Background(), w.sql, client.WithMode(w.mode))
+				res, err := rmt.Query(context.Background(), w.sql, client.WithMode(w.mode))
 				if err != nil {
 					errs <- err
 					return
@@ -288,9 +289,9 @@ func (d *divergence) Error() string {
 // so remote queries see the new rows.
 func TestAppendReachesServer(t *testing.T) {
 	local := fixture(t)
-	remote := remoteTwin(t, local)
+	rmt := remoteTwin(t, local)
 	sql := "SELECT COUNT(*) FROM sales"
-	before := mustRows(t, remote, sql, translate.Seabed)
+	before := mustRows(t, rmt, sql, translate.Seabed)
 
 	// The batch must roughly match the planned value distribution — and be
 	// large enough that its common rows can donate the dummy slots enhanced
@@ -325,10 +326,10 @@ func TestAppendReachesServer(t *testing.T) {
 	}
 	// Append through the remote-bound proxy: encrypts locally, re-registers
 	// the grown table on the server.
-	if err := remote.Append(context.Background(), "sales", batch, translate.Seabed); err != nil {
+	if err := rmt.Append(context.Background(), "sales", batch, translate.Seabed); err != nil {
 		t.Fatal(err)
 	}
-	after := mustRows(t, remote, sql, translate.Seabed)
+	after := mustRows(t, rmt, sql, translate.Seabed)
 	if after[0].Values[0].I64 != before[0].Values[0].I64+batchRows {
 		t.Fatalf("count after append = %d, want %d", after[0].Values[0].I64, before[0].Values[0].I64+batchRows)
 	}
@@ -368,7 +369,7 @@ func TestDialDiagnosesOldProtocol(t *testing.T) {
 		// A v1 Welcome: version varint 1, workers varint 4, nothing else.
 		wire.WriteFrame(conn, wire.MsgWelcome, []byte{1, 4}) //nolint:errcheck // test peer
 	}()
-	_, err = Dial(ln.Addr().String())
+	_, err = remote.Dial(ln.Addr().String())
 	if err == nil || !strings.Contains(err.Error(), "negotiated protocol v1") {
 		t.Fatalf("err = %v, want a protocol-version diagnosis", err)
 	}
@@ -382,7 +383,7 @@ func TestDialRejectsDeadServer(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close()
-	if _, err := Dial(addr); err == nil {
+	if _, err := remote.Dial(addr); err == nil {
 		t.Fatal("dialing a closed listener succeeded")
 	}
 }
@@ -405,7 +406,7 @@ func TestRedialVerifiesShardIdentity(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	srv, done := serve(ln, 1, 3)
-	rc, err := Dial(addr)
+	rc, err := remote.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,4 +443,65 @@ func mustTable(t *testing.T) *store.Table {
 		t.Fatal(err)
 	}
 	return tbl
+}
+
+// TestSegmentPullBetweenDaemons exercises the wire-v6 shipping path on
+// memory daemons: a table registered on daemon A is pulled by daemon B
+// directly from A, and B then serves the identical synthesized segment
+// bytes under the same CRC.
+func TestSegmentPullBetweenDaemons(t *testing.T) {
+	rcA := startServer(t)
+	rcB := startServer(t)
+	ctx := context.Background()
+
+	tbl, err := store.Build("p", []store.Column{
+		{Name: "v", Kind: store.U64, U64: []uint64{7, 8, 9, 10}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rcA.RegisterTable(ctx, "p@NoEnc", tbl); err != nil {
+		t.Fatal(err)
+	}
+
+	// B has never seen the table: the manifest request must fail.
+	if _, err := rcB.TableManifests(ctx, "p@NoEnc"); err == nil {
+		t.Fatal("manifest of an unknown table succeeded")
+	}
+	if err := rcB.PullTable(ctx, "p@NoEnc", rcA.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	wantMs, err := rcA.TableManifests(ctx, "p@NoEnc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMs, err := rcB.TableManifests(ctx, "p@NoEnc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotMs, wantMs) {
+		t.Fatalf("pulled manifest diverged:\n got %+v\nwant %+v", gotMs, wantMs)
+	}
+	if len(gotMs) != 1 || gotMs[0].Rows != 4 || gotMs[0].StartID != 1 || gotMs[0].EndID != 4 {
+		t.Fatalf("manifest envelope wrong: %+v", gotMs)
+	}
+	for _, si := range wantMs[0].Segments {
+		want, err := rcA.FetchSegment(ctx, "p@NoEnc", si.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rcB.FetchSegment(ctx, "p@NoEnc", si.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("segment %s bytes diverged after pull", si.Name)
+		}
+	}
+
+	// Pulling from a dead source reports the dial failure, not a hang.
+	if err := rcB.PullTable(ctx, "q@NoEnc", "127.0.0.1:1"); err == nil {
+		t.Fatal("pull from a dead source succeeded")
+	}
 }

@@ -94,6 +94,18 @@ type Server struct {
 	canceled   atomic.Uint64
 	reqErrors  atomic.Uint64
 
+	// replication counters (wire v6): runs the fleet coordinator marked as
+	// hedges or failovers, and segment bytes shipped to or pulled from peer
+	// daemons.
+	hedgedRuns   atomic.Uint64
+	failovers    atomic.Uint64
+	replicaFetch atomic.Uint64
+
+	// repMu guards repStats, the per-table replication counters behind the
+	// replica-health section of Stats.
+	repMu    sync.Mutex
+	repStats map[string]*repStat
+
 	// obs: the server's metrics registry (one per Server so in-process
 	// multi-daemon tests don't collide) and the hot-path instruments. The
 	// registry also serves /metrics through DebugHandler.
@@ -110,6 +122,32 @@ type TableStat struct {
 	Parts int
 	// Bytes is the table's estimated resident memory.
 	Bytes uint64
+	// HedgedRuns and FailoverRuns count runs the fleet coordinator re-issued
+	// to this daemon for the table (speculative hedges and replica
+	// failovers); ShippedBytes and PulledBytes count segment bytes served to
+	// and pulled from peer daemons for it. Together they are the table's
+	// replica health as seen from this daemon.
+	HedgedRuns   uint64
+	FailoverRuns uint64
+	ShippedBytes uint64
+	PulledBytes  uint64
+}
+
+// repStat is one table's live replication counters.
+type repStat struct {
+	hedged, failovers, shippedBytes, pulledBytes atomic.Uint64
+}
+
+// repStat resolves (allocating on first touch) ref's replication counters.
+func (s *Server) repStat(ref string) *repStat {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	st := s.repStats[ref]
+	if st == nil {
+		st = &repStat{}
+		s.repStats[ref] = st
+	}
+	return st
 }
 
 // Stats is a point-in-time snapshot of a server's activity: connection and
@@ -129,6 +167,12 @@ type Stats struct {
 	// or server shutdown.
 	Canceled uint64
 	Errors   uint64
+	// HedgedRuns and Failovers count runs the fleet coordinator marked as
+	// speculative hedges and replica failovers; ReplicaFetchBytes counts
+	// segment bytes shipped to or pulled from peer daemons (wire v6).
+	HedgedRuns        uint64
+	Failovers         uint64
+	ReplicaFetchBytes uint64
 	// TableCount and ResidentBytes size the registry: how many tables are
 	// live and their estimated in-memory footprint (Table 5's "memory
 	// size", summed).
@@ -158,6 +202,10 @@ func (s *Server) Stats() Stats {
 		RunsActive: int(s.runsActive.Load()),
 		Canceled:   s.canceled.Load(),
 		Errors:     s.reqErrors.Load(),
+
+		HedgedRuns:        s.hedgedRuns.Load(),
+		Failovers:         s.failovers.Load(),
+		ReplicaFetchBytes: s.replicaFetch.Load(),
 	}
 	s.lnMu.Lock()
 	st.ConnsActive = len(s.active)
@@ -167,10 +215,23 @@ func (s *Server) Stats() Stats {
 	if s.durable != nil {
 		st.Residency = s.durable.Residency().Stats()
 	}
+	rep := make(map[string]*repStat)
+	s.repMu.Lock()
+	for ref, r := range s.repStats {
+		rep[ref] = r
+	}
+	s.repMu.Unlock()
 	s.mu.RLock()
 	for ref, t := range s.tables {
 		bytes := t.MemBytes()
-		st.Tables = append(st.Tables, TableStat{Ref: ref, Rows: t.NumRows(), Parts: len(t.Parts), Bytes: bytes})
+		ts := TableStat{Ref: ref, Rows: t.NumRows(), Parts: len(t.Parts), Bytes: bytes}
+		if r := rep[ref]; r != nil {
+			ts.HedgedRuns = r.hedged.Load()
+			ts.FailoverRuns = r.failovers.Load()
+			ts.ShippedBytes = r.shippedBytes.Load()
+			ts.PulledBytes = r.pulledBytes.Load()
+		}
+		st.Tables = append(st.Tables, ts)
 		st.ResidentBytes += bytes
 	}
 	s.mu.RUnlock()
@@ -185,6 +246,10 @@ func (st Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "conns=%d active=%d registers=%d appends=%d runs=%d in-flight=%d canceled=%d errors=%d",
 		st.ConnsTotal, st.ConnsActive, st.Registers, st.Appends, st.Runs, st.RunsActive, st.Canceled, st.Errors)
+	if st.HedgedRuns > 0 || st.Failovers > 0 || st.ReplicaFetchBytes > 0 {
+		fmt.Fprintf(&b, "\nreplication: hedged=%d failovers=%d fetch=%s",
+			st.HedgedRuns, st.Failovers, fmtBytes(st.ReplicaFetchBytes))
+	}
 	fmt.Fprintf(&b, "\ntables=%d resident=%s plan-cache=%d/%d hit/miss",
 		st.TableCount, fmtBytes(st.ResidentBytes), st.PlanCacheHits, st.PlanCacheMisses)
 	if r := st.Recovery; r.Tables > 0 || r.Duration > 0 {
@@ -197,6 +262,10 @@ func (st Stats) String() string {
 	}
 	for _, t := range st.Tables {
 		fmt.Fprintf(&b, "\n  table %q: %d rows, %d partitions, %s", t.Ref, t.Rows, t.Parts, fmtBytes(t.Bytes))
+		if t.HedgedRuns > 0 || t.FailoverRuns > 0 || t.ShippedBytes > 0 || t.PulledBytes > 0 {
+			fmt.Fprintf(&b, " (hedged=%d failovers=%d shipped=%s pulled=%s)",
+				t.HedgedRuns, t.FailoverRuns, fmtBytes(t.ShippedBytes), fmtBytes(t.PulledBytes))
+		}
 	}
 	return b.String()
 }
@@ -210,6 +279,11 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		Rows  uint64 `json:"rows"`
 		Parts int    `json:"parts"`
 		Bytes uint64 `json:"bytes"`
+		// Per-table replica health: coordination runs and shipped bytes.
+		HedgedRuns   uint64 `json:"hedged_runs"`
+		FailoverRuns uint64 `json:"failover_runs"`
+		ShippedBytes uint64 `json:"shipped_bytes"`
+		PulledBytes  uint64 `json:"pulled_bytes"`
 	}
 	type recoveryJSON struct {
 		Tables          int     `json:"tables"`
@@ -236,6 +310,9 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		RunsActive      int           `json:"runs_active"`
 		Canceled        uint64        `json:"canceled"`
 		Errors          uint64        `json:"errors"`
+		HedgedRuns      uint64        `json:"hedged_runs"`
+		Failovers       uint64        `json:"failovers"`
+		ReplicaFetch    uint64        `json:"replica_fetch_bytes"`
 		TableCount      int           `json:"table_count"`
 		ResidentBytes   uint64        `json:"resident_bytes"`
 		PlanCacheHits   uint64        `json:"plan_cache_hits"`
@@ -252,6 +329,9 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		RunsActive:      st.RunsActive,
 		Canceled:        st.Canceled,
 		Errors:          st.Errors,
+		HedgedRuns:      st.HedgedRuns,
+		Failovers:       st.Failovers,
+		ReplicaFetch:    st.ReplicaFetchBytes,
 		TableCount:      st.TableCount,
 		ResidentBytes:   st.ResidentBytes,
 		PlanCacheHits:   st.PlanCacheHits,
@@ -275,7 +355,11 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		Tables: make([]tableJSON, 0, len(st.Tables)),
 	}
 	for _, t := range st.Tables {
-		out.Tables = append(out.Tables, tableJSON{Ref: t.Ref, Rows: t.Rows, Parts: t.Parts, Bytes: t.Bytes})
+		out.Tables = append(out.Tables, tableJSON{
+			Ref: t.Ref, Rows: t.Rows, Parts: t.Parts, Bytes: t.Bytes,
+			HedgedRuns: t.HedgedRuns, FailoverRuns: t.FailoverRuns,
+			ShippedBytes: t.ShippedBytes, PulledBytes: t.PulledBytes,
+		})
 	}
 	return json.Marshal(out)
 }
@@ -296,9 +380,10 @@ func fmtBytes(n uint64) string {
 // New returns a server executing plans on the given cluster.
 func New(cluster *engine.Cluster) *Server {
 	s := &Server{
-		cluster: cluster,
-		tables:  make(map[string]*store.Table),
-		active:  make(map[net.Conn]struct{}),
+		cluster:  cluster,
+		tables:   make(map[string]*store.Table),
+		active:   make(map[net.Conn]struct{}),
+		repStats: make(map[string]*repStat),
 	}
 	s.initMetrics()
 	return s
@@ -328,6 +413,9 @@ func (s *Server) initMetrics() {
 	cf("seabed_requests_total", "Requests received, by message type.", obs.Labels{"type": "run"}, &s.runs)
 	cf("seabed_runs_canceled_total", "Runs aborted by cancel, disconnect, or shutdown.", nil, &s.canceled)
 	cf("seabed_request_errors_total", "Requests answered with an error frame.", nil, &s.reqErrors)
+	cf("seabed_hedged_runs_total", "Runs the fleet coordinator re-issued speculatively to this replica.", nil, &s.hedgedRuns)
+	cf("seabed_failovers_total", "Runs re-issued to this replica after another replica failed.", nil, &s.failovers)
+	cf("seabed_replica_fetch_bytes_total", "Segment bytes shipped to or pulled from peer daemons.", nil, &s.replicaFetch)
 	r.GaugeFunc("seabed_conns_active", "Connections open right now.", nil, func() float64 {
 		s.lnMu.Lock()
 		defer s.lnMu.Unlock()
@@ -712,6 +800,10 @@ func (s *Server) serveConn(conn net.Conn, quit <-chan struct{}) {
 			case wire.MsgAppend:
 				s.appends.Add(1)
 				respType, resp = s.handleAppend(f.payload)
+			case wire.MsgSegmentList:
+				respType, resp = s.handleSegmentList(f.payload, proto)
+			case wire.MsgSegmentFetch:
+				respType, resp = s.handleSegmentFetch(f.payload, proto)
 			case wire.MsgCancel:
 				// Nothing in flight: the Cancel crossed our response on the
 				// wire. Cancels are never answered, so ignoring it keeps the
@@ -884,6 +976,17 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto u
 	req, err := wire.DecodePlan(f.payload, proto)
 	if err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+
+	// Replica-coordination accounting (v6): a pre-v6 frame decodes both
+	// flags false, so no extra gate is needed.
+	if req.Hedge {
+		s.hedgedRuns.Add(1)
+		s.repStat(req.TableRef).hedged.Add(1)
+	}
+	if req.Failover {
+		s.failovers.Add(1)
+		s.repStat(req.TableRef).failovers.Add(1)
 	}
 
 	// The daemon-side trace root. Queue wait — the gap between the frame

@@ -132,13 +132,21 @@ func New(backends ...Backend) (*Cluster, error) {
 // Dial connects to every address and builds a sharded cluster over the
 // resulting endpoints. Daemons that declare a shard identity (their -shard
 // i/n flag, carried in the Welcome frame) are verified against their
-// position in addrs — a duplicated address or a reordered list fails at
-// connect time instead of silently querying misplaced rows. Daemons that
-// declare no identity are accepted anywhere. On any failure the
-// already-dialed endpoints are closed.
+// position in addrs — a reordered list fails at connect time instead of
+// silently querying misplaced rows. A duplicated address is rejected before
+// any dial, identity or not: one daemon cannot serve two shards, and the
+// identity check alone would miss the duplicate when daemons declare no
+// -shard flag. On any failure the already-dialed endpoints are closed.
 func Dial(addrs []string) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("shard: no addresses")
+	}
+	seen := make(map[string]int, len(addrs))
+	for i, addr := range addrs {
+		if j, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("shard: address %s listed twice (positions %d and %d): one daemon cannot serve two shards", addr, j, i)
+		}
+		seen[addr] = i
 	}
 	backends := make([]Backend, 0, len(addrs))
 	fail := func(err error) (*Cluster, error) {

@@ -644,6 +644,45 @@ func TestDialVerifiesShardIdentity(t *testing.T) {
 	}
 }
 
+// TestDialRejectsDuplicateAddresses pins the up-front duplicate guard: a
+// repeated address is refused before any connection is attempted — the
+// identity check alone would miss it for daemons that declare no -shard
+// flag, and one daemon serving two shards silently doubles its rows.
+func TestDialRejectsDuplicateAddresses(t *testing.T) {
+	// No-identity daemon: the Welcome carries no shard position, so only the
+	// dedicated duplicate check can catch the repeat.
+	srv := server.New(engine.NewCluster(engine.Config{Workers: workersPerShard}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close() //nolint:errcheck // test teardown
+		<-done
+	})
+	addr := ln.Addr().String()
+
+	_, err = shard.Dial([]string{addr, addr})
+	if err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Fatalf("duplicated identity-free address returned %v, want a listed-twice error", err)
+	}
+
+	// The guard runs before dialing: a duplicated address that is not even
+	// listening still gets the configuration diagnosis, not a connect error.
+	dl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := dl.Addr().String()
+	dl.Close()
+	_, err = shard.Dial([]string{dead, dead})
+	if err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Fatalf("duplicated dead address returned %v, want a listed-twice error", err)
+	}
+}
+
 // TestDialPartialFailure pins the dial error path: one dead endpoint fails
 // the whole cluster, even when other endpoints are live.
 func TestDialPartialFailure(t *testing.T) {

@@ -28,6 +28,14 @@ type PlanRequest struct {
 	// request, not the connection, so a pool redial mid-query cannot change
 	// the ID a daemon reports back.
 	TraceID uint64
+	// Hedge marks a speculative re-issue of a straggling sub-query to a
+	// replica (v6): the fleet coordinator fired this run while the original
+	// is still in flight and will keep whichever answers first. Daemons count
+	// hedged runs in Stats.
+	Hedge bool
+	// Failover marks a retry of a sub-query whose original replica failed
+	// (v6). Daemons count failed-over runs in Stats.
+	Failover bool
 }
 
 // EncodePlan serializes a plan request for a connection negotiated at
@@ -115,6 +123,12 @@ func EncodePlan(req *PlanRequest, version uint64) ([]byte, error) {
 	if version >= 4 {
 		e.uint(req.TraceID)
 	}
+
+	// Fleet replication flags (v6), gated like TraceID.
+	if version >= 6 {
+		e.bool(req.Hedge)
+		e.bool(req.Failover)
+	}
 	return e.buf, nil
 }
 
@@ -190,6 +204,10 @@ func DecodePlan(p []byte, version uint64) (*PlanRequest, error) {
 	pl.Partial = d.bool()
 	if version >= 4 {
 		req.TraceID = d.uint()
+	}
+	if version >= 6 {
+		req.Hedge = d.bool()
+		req.Failover = d.bool()
 	}
 	if err := d.close("plan"); err != nil {
 		return nil, err

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"seabed/internal/engine"
+)
+
+func TestSegmentListRoundTrip(t *testing.T) {
+	ms := []TableManifest{
+		{
+			Ref:     "big@NoEnc#r0",
+			Rows:    1000,
+			StartID: 1,
+			EndID:   1000,
+			Segments: []SegmentInfo{
+				{Name: "seg-000001.seg", Size: 4096, CRC: 0xdeadbeef},
+				{Name: WALSegment, Size: 128, CRC: 7},
+			},
+		},
+		{Ref: "empty@Seabed#r2", Rows: 0, StartID: 1, EndID: 0},
+	}
+	got, err := DecodeSegmentList(EncodeSegmentList(ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ms) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ms)
+	}
+
+	// Empty list round-trips to an empty slice.
+	got, err = DecodeSegmentList(EncodeSegmentList(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty list decoded to %+v", got)
+	}
+}
+
+func TestSegmentListReqRoundTrip(t *testing.T) {
+	for _, ref := range []string{"", "big@NoEnc#r1"} {
+		got, err := DecodeSegmentListReq(EncodeSegmentListReq(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("got %q want %q", got, ref)
+		}
+	}
+}
+
+func TestSegmentFetchRoundTrip(t *testing.T) {
+	ref, name, from, err := DecodeSegmentFetch(EncodeSegmentFetch("t@Seabed#r1", "seg-000002.seg", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != "t@Seabed#r1" || name != "seg-000002.seg" || from != "" {
+		t.Fatalf("got %q %q %q", ref, name, from)
+	}
+	ref, name, from, err = DecodeSegmentFetch(EncodeSegmentFetch("t@Seabed#r1", "", "127.0.0.1:7687"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != "t@Seabed#r1" || name != "" || from != "127.0.0.1:7687" {
+		t.Fatalf("got %q %q %q", ref, name, from)
+	}
+}
+
+func TestSegmentDataRoundTripAndCorruption(t *testing.T) {
+	data := []byte("SBSG-ish segment bytes 0123456789")
+	p := EncodeSegmentData("seg-000001.seg", data)
+	sd, err := DecodeSegmentData(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Name != "seg-000001.seg" || string(sd.Data) != string(data) {
+		t.Fatalf("round trip mismatch: %+v", sd)
+	}
+
+	// Flip one payload byte: the decoder must detect it via the CRC.
+	bad := append([]byte(nil), p...)
+	bad[len(bad)-1] ^= 0x40
+	if _, err := DecodeSegmentData(bad); err == nil {
+		t.Fatal("corrupted segment data decoded without error")
+	}
+
+	// Empty segments are legal and still checksummed.
+	sd, err = DecodeSegmentData(EncodeSegmentData(WALSegment, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Name != WALSegment || len(sd.Data) != 0 {
+		t.Fatalf("empty round trip mismatch: %+v", sd)
+	}
+	if crc32.ChecksumIEEE(nil) != 0 {
+		t.Fatal("crc32 of empty input is expected to be zero")
+	}
+}
+
+func TestSegmentFramesRejectHostilePayloads(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(p []byte) error
+	}{
+		{"list", func(p []byte) error { _, err := DecodeSegmentList(p); return err }},
+		{"list-req", func(p []byte) error { _, err := DecodeSegmentListReq(p); return err }},
+		{"fetch", func(p []byte) error { _, _, _, err := DecodeSegmentFetch(p); return err }},
+		{"data", func(p []byte) error { _, err := DecodeSegmentData(p); return err }},
+	}
+	payloads := [][]byte{
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // huge count/length
+		{0x05, 'a', 'b'}, // truncated string
+		{0x02, 0x01, 'x', 0x00, 0x00, 0x00, 0x00}, // short element list
+	}
+	for _, c := range cases {
+		for i, p := range payloads {
+			if err := c.run(p); err == nil {
+				t.Errorf("%s: hostile payload %d decoded without error", c.name, i)
+			}
+		}
+		// Trailing garbage after a valid frame is rejected too.
+		valid := map[string][]byte{
+			"list":     EncodeSegmentList(nil),
+			"list-req": EncodeSegmentListReq("r"),
+			"fetch":    EncodeSegmentFetch("r", "n", ""),
+			"data":     EncodeSegmentData("n", []byte("x")),
+		}[c.name]
+		if err := c.run(append(valid, 0x00)); err == nil {
+			t.Errorf("%s: trailing byte accepted", c.name)
+		}
+	}
+}
+
+func TestPlanHedgeFailoverVersionFraming(t *testing.T) {
+	req := &PlanRequest{
+		TableRef: "t",
+		Plan:     &engine.Plan{Aggs: []engine.Agg{{Kind: engine.AggCount}}},
+		TraceID:  9,
+		Hedge:    true,
+		Failover: true,
+	}
+
+	// v6 carries the flags.
+	p, err := EncodePlan(req, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePlan(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Hedge || !got.Failover {
+		t.Fatalf("v6 flags lost: %+v", got)
+	}
+
+	// v5 must not frame them (a v5 decoder rejects trailing bytes), and a
+	// v5 decode must leave them false.
+	p5, err := EncodePlan(req, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got5, err := DecodePlan(p5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got5.Hedge || got5.Failover {
+		t.Fatalf("v5 decode invented flags: %+v", got5)
+	}
+	if _, err := DecodePlan(p, 5); err == nil {
+		t.Fatal("v6 frame decoded at v5 without error")
+	}
+}

@@ -60,9 +60,13 @@ import (
 // tolerate older peers at all; v5 reframed MsgResultChunk as column extents
 // (the same encoding durable segments map — docs/FORMAT.md), deleting the
 // row-major re-encode from the server's streaming path. A v5 peer falls back
-// to row-major chunks when the negotiated version is 4 or below.
+// to row-major chunks when the negotiated version is 4 or below; v6 added
+// fleet replication — segment shipping frames (MsgSegmentList /
+// MsgSegmentFetch / MsgSegmentData let a daemon stream a table's CRC'd
+// segment set plus WAL tail to a peer) and two negotiated plan-frame flags
+// (Hedge, Failover) so daemons can count hedged and failed-over runs.
 const (
-	Version    = 5
+	Version    = 6
 	MinVersion = 3
 )
 
@@ -105,6 +109,23 @@ const (
 	// MsgResultChunk carries one batch of scan rows (server → client),
 	// letting large scans stream instead of materializing in one frame.
 	MsgResultChunk
+	// MsgSegmentList (v6) is both the request and the response of a segment
+	// inventory exchange: the request names one table ref (empty = every
+	// table), the response enumerates per-table manifests — segment names,
+	// sizes, CRCs, row counts, and identifier envelopes (segment.go).
+	MsgSegmentList
+	// MsgSegmentFetch (v6) requests segment bytes. With an empty From it asks
+	// the receiving daemon to serve one named segment of a table (answered by
+	// MsgSegmentData); with From set it instructs the receiving daemon to
+	// dial the peer at From, pull the whole table's segments + WAL tail, and
+	// install them locally (answered by MsgOK) — daemon-to-daemon healing
+	// with no proxy re-upload.
+	MsgSegmentFetch
+	// MsgSegmentData (v6) answers a single-segment MsgSegmentFetch: the
+	// segment name, a CRC-32 (IEEE) over the bytes, and the raw bytes. The
+	// decoder verifies the checksum, so a frame that decodes is end-to-end
+	// intact.
+	MsgSegmentData
 )
 
 // String implements fmt.Stringer.
@@ -130,6 +151,12 @@ func (t MsgType) String() string {
 		return "cancel"
 	case MsgResultChunk:
 		return "result-chunk"
+	case MsgSegmentList:
+		return "segment-list"
+	case MsgSegmentFetch:
+		return "segment-fetch"
+	case MsgSegmentData:
+		return "segment-data"
 	}
 	return fmt.Sprintf("MsgType(%d)", byte(t))
 }

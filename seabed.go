@@ -49,6 +49,7 @@ import (
 	"seabed/internal/client"
 	"seabed/internal/durable"
 	"seabed/internal/engine"
+	"seabed/internal/fleet"
 	"seabed/internal/idlist"
 	"seabed/internal/netsim"
 	"seabed/internal/obs"
@@ -84,6 +85,18 @@ type (
 	// N seabed-server daemons and scatter-gathers every query (merging ASHE,
 	// Paillier, and group-by partials at the trusted proxy).
 	ShardedCluster = shard.Cluster
+	// FleetCluster is a ClusterBackend that range-partitions tables across N
+	// seabed-server daemons with R-way replication: queries fail over to a
+	// live replica when a daemon dies, stragglers are hedged to a second
+	// replica past a completion quantile, and a dead daemon heals from its
+	// neighbors over the wire's segment-shipping frames.
+	FleetCluster = fleet.Cluster
+	// FleetOptions configures DialFleet: replica count, hedge quantile, and
+	// the epoch file that makes the coordinator's placement durable.
+	FleetOptions = fleet.Options
+	// FleetStats is a fleet's health and mitigation counters
+	// (FleetCluster.Stats).
+	FleetStats = fleet.Stats
 	// Server hosts a Cluster behind a TCP listener (cmd/seabed-server wraps
 	// it; embed it to serve from your own process).
 	Server = server.Server
@@ -203,6 +216,16 @@ func DialCluster(addr string) (*RemoteCluster, error) { return remote.Dial(addr)
 // aggregates merge at the proxy (ASHE bodies sum, identifier lists merge,
 // Paillier ciphertexts multiply, group-by partials reduce by key).
 func DialShardedCluster(addrs ...string) (*ShardedCluster, error) { return shard.Dial(addrs) }
+
+// DialFleet connects to N running seabed-server daemons and returns a
+// replicated fleet backend: every identifier range lives on
+// FleetOptions.Replicas daemons (chained declustering), queries fail over
+// and hedge across replicas, and FleetCluster.Heal rebuilds a dead daemon
+// from its neighbors without re-uploading. See the internal/fleet package
+// comment for the full model.
+func DialFleet(addrs []string, opts FleetOptions) (*FleetCluster, error) {
+	return fleet.Dial(addrs, opts)
+}
 
 // NewProxy creates the trusted proxy with a master secret (≥ 16 bytes).
 func NewProxy(masterSecret []byte, cluster ClusterBackend) (*Proxy, error) {
