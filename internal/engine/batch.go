@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"seabed/internal/idlist"
 	"seabed/internal/store"
 )
 
@@ -180,10 +181,40 @@ type strKey struct {
 	suffix int32
 }
 
-// grouper locates the partial for each surviving row's group with
-// kind-specialized maps. u64 keys stay u64 end to end (plus a one-entry
-// cache for runs of equal keys); un-inflated byte keys probe a string-keyed
-// map with Go's allocation-free []byte-conversion lookup, paying one string
+// Dense direct-index sizing for u64 group keys. Every u64 grouper starts
+// with denseDefaultEntries slots of key×suffix coverage, so small dimension
+// domains (the SPLASHE shape §4.5 optimizes) index directly even without a
+// planner-declared bound; a plan-declared GroupBy.KeyBound sizes the index
+// exactly. denseMaxEntries caps the allocation against huge or hostile
+// bounds — keys beyond the dense span fall back to the open-addressed table
+// and still group correctly.
+const (
+	denseDefaultEntries = 1 << 12
+	denseMaxEntries     = 1 << 20
+)
+
+// Radix partitioning of hash-path probes. When the open-addressed slot
+// table outgrows radixMinTable entries, each batch's surviving keys are
+// counting-sorted by the top radixBits of their hash before probing: the
+// table index is the hash's high bits, so probes within one radix run land
+// in the same 1/256th of the table — cache-resident bursts instead of
+// random per-row walks.
+const (
+	radixBits     = 8
+	radixBuckets  = 1 << radixBits
+	radixMinTable = 1 << 15
+)
+
+// grouper locates the accumulator for each surviving row's group. Plaintext
+// u64 keys are slot-based: a key resolves — through a dense direct index
+// when it lies under the dense span, or an open-addressed robin table
+// otherwise — to a small slot number, and accumulation then runs per batch
+// over (selection, slot) pairs. When every aggregate is lane-eligible
+// (count/sum/sum-of-squares/ASHE-sum/min/max) the accumulators are flat
+// per-aggregate u64 lanes indexed by slot, so the group-by inner loop
+// touches two cache-dense arrays and calls nothing. Str and Bytes keys keep
+// kind-specialized maps: un-inflated byte keys probe a string-keyed map with
+// Go's allocation-free []byte-conversion lookup, paying one string
 // allocation per distinct group, not per row.
 type grouper struct {
 	aggs    []Agg
@@ -192,12 +223,38 @@ type grouper struct {
 	inflate int
 	seed    uint64
 
-	u64   map[u64Key]*partial
+	// u64 slot machinery. keys maps slot → key; dense maps
+	// key*inflateN+suffix → slot+1 (0 = empty) for keys under denseKeys;
+	// table is the open-addressed fallback, indexed by the top bits of
+	// hashU64Key, holding slot+1.
+	inflateN  uint64
+	denseKeys uint64
+	dense     []int32
+	table     []int32
+	shift     uint
+	tableUsed int
+	keys      []u64Key
+
+	// Accumulator storage, one of two modes: flat lanes (rowsLane plus one
+	// u64 lane per aggregate, id-lists alongside for ASHE) when every
+	// aggregate is lane-eligible, or generic per-slot partials otherwise.
+	lanes    bool
+	rowsLane []uint64
+	aggLanes [][]uint64
+	idLanes  [][]idlist.List
+	parts    []*partial
+
+	// Per-batch scratch, sized to batchRows once: resolved slot per
+	// survivor, and the hash path's pending positions/keys/hashes/probe
+	// order.
+	slots  []int32
+	hpos   []int32
+	hkeys  []u64Key
+	hh     []uint64
+	horder []int32
+
 	str   map[strKey]*partial
 	plain map[string]*partial // Bytes keys, inflation off
-
-	lastU64 u64Key
-	lastP   *partial
 }
 
 func (g *grouper) init(cp *compiledPlan) {
@@ -210,11 +267,190 @@ func (g *grouper) init(cp *compiledPlan) {
 	}
 	switch {
 	case g.kind == store.U64:
-		g.u64 = make(map[u64Key]*partial)
+		g.initU64(cp)
 	case g.kind == store.Bytes && g.inflate == 0:
 		g.plain = make(map[string]*partial)
 	default:
 		g.str = make(map[strKey]*partial)
+	}
+}
+
+// initU64 sizes the slot machinery: the dense index spans
+// min(KeyBound | default, cap/inflate) keys times the suffix domain, the
+// open-addressed table starts at 1 Ki entries, and the per-batch scratch is
+// allocated here once so the steady-state batch loop allocates nothing.
+func (g *grouper) initU64(cp *compiledPlan) {
+	g.inflateN = 1
+	if g.inflate > 0 {
+		g.inflateN = uint64(g.inflate)
+	}
+	keys := uint64(denseDefaultEntries) / g.inflateN
+	if kb := cp.pl.GroupBy.KeyBound; kb > 0 {
+		keys = kb
+	}
+	if max := uint64(denseMaxEntries) / g.inflateN; keys > max {
+		keys = max
+	}
+	g.denseKeys = keys
+	g.dense = make([]int32, keys*g.inflateN)
+	g.table = make([]int32, 1<<10)
+	g.shift = 64 - 10
+	g.lanes = true
+	for _, a := range g.aggs {
+		switch a.Kind {
+		case AggCount, AggPlainSum, AggPlainSumSq, AggAsheSum, AggPlainMin, AggPlainMax:
+		default:
+			g.lanes = false
+		}
+	}
+	if g.lanes {
+		g.aggLanes = make([][]uint64, len(g.aggs))
+		g.idLanes = make([][]idlist.List, len(g.aggs))
+	}
+	g.slots = make([]int32, batchRows)
+	g.hpos = make([]int32, batchRows)
+	g.hkeys = make([]u64Key, batchRows)
+	g.hh = make([]uint64, batchRows)
+	g.horder = make([]int32, batchRows)
+}
+
+// hashU64Key hashes a u64 group key for the open-addressed table and mixes
+// the inflation suffix so equal values with different suffixes land apart.
+func hashU64Key(k u64Key) uint64 {
+	return splitmix64(k.v ^ uint64(uint32(k.suffix))*0x9e3779b97f4a7c15)
+}
+
+// newSlot appends a slot for key and returns its index, growing whichever
+// accumulator storage the grouper runs in.
+func (g *grouper) newSlot(key u64Key) int32 {
+	s := int32(len(g.keys))
+	g.keys = append(g.keys, key)
+	if !g.lanes {
+		g.parts = append(g.parts, newPartial(g.aggs))
+		return s
+	}
+	g.rowsLane = append(g.rowsLane, 0)
+	for ai := range g.aggs {
+		init := uint64(0)
+		if g.aggs[ai].Kind == AggPlainMin {
+			init = ^uint64(0)
+		}
+		g.aggLanes[ai] = append(g.aggLanes[ai], init)
+		if g.aggs[ai].Kind == AggAsheSum {
+			g.idLanes[ai] = append(g.idLanes[ai], idlist.List{})
+		}
+	}
+	return s
+}
+
+// probeSlot resolves key to its slot through the open-addressed table,
+// inserting a fresh slot on first sight. Linear probing from the hash's
+// high bits; the table doubles at half load.
+func (g *grouper) probeSlot(key u64Key, h uint64) int32 {
+	if g.tableUsed*2 >= len(g.table) {
+		g.growTable()
+	}
+	mask := uint64(len(g.table) - 1)
+	idx := h >> g.shift
+	for {
+		s := g.table[idx]
+		if s == 0 {
+			s = g.newSlot(key) + 1
+			g.table[idx] = s
+			g.tableUsed++
+			return s - 1
+		}
+		if g.keys[s-1] == key {
+			return s - 1
+		}
+		idx = (idx + 1) & mask
+	}
+}
+
+// growTable doubles the open-addressed table and reinserts every resident
+// slot at its new high-bits position.
+func (g *grouper) growTable() {
+	old := g.table
+	g.table = make([]int32, len(old)*2)
+	g.shift--
+	mask := uint64(len(g.table) - 1)
+	for _, s := range old {
+		if s == 0 {
+			continue
+		}
+		idx := hashU64Key(g.keys[s-1]) >> g.shift
+		for g.table[idx] != 0 {
+			idx = (idx + 1) & mask
+		}
+		g.table[idx] = s
+	}
+}
+
+// groupSlots resolves each survivor's group key to a slot in g.slots,
+// parallel to the selection vector. Keys under the dense span index
+// directly; the rest are hashed, radix-partitioned by hash prefix when the
+// table is large, and probed in prefix order so table accesses burst
+// through one cache-resident region at a time. Only the probe order is
+// permuted — the slot vector stays in selection order, so accumulation
+// (and with it id-list append order and min/max tie-breaking) is identical
+// to the reference evaluator's row order.
+func (ts *taskState) groupSlots(startID uint64) {
+	g := &ts.g
+	col := ts.pc.group
+	sel := ts.b.sel
+	slots := g.slots[:len(sel)]
+	miss := 0
+	for k, i := range sel {
+		idx := i
+		if g.right {
+			idx = ts.b.joinAt(k)
+		}
+		v := col.U64[idx]
+		sfx := int32(-1)
+		dk := v * g.inflateN
+		if g.inflate > 0 {
+			sfx = int32(splitmix64(g.seed^(startID+uint64(i))^0xa5a5) % uint64(g.inflate))
+			dk += uint64(sfx)
+		}
+		if v < g.denseKeys {
+			s := g.dense[dk]
+			if s == 0 {
+				s = g.newSlot(u64Key{v: v, suffix: sfx}) + 1
+				g.dense[dk] = s
+			}
+			slots[k] = s - 1
+			continue
+		}
+		key := u64Key{v: v, suffix: sfx}
+		g.hpos[miss] = int32(k)
+		g.hkeys[miss] = key
+		g.hh[miss] = hashU64Key(key)
+		miss++
+	}
+	if miss == 0 {
+		return
+	}
+	order := g.horder[:miss]
+	if len(g.table) >= radixMinTable && miss >= radixBuckets {
+		var count [radixBuckets + 1]int32
+		for m := 0; m < miss; m++ {
+			count[(g.hh[m]>>(64-radixBits))+1]++
+		}
+		for b := 1; b <= radixBuckets; b++ {
+			count[b] += count[b-1]
+		}
+		for m := 0; m < miss; m++ {
+			b := g.hh[m] >> (64 - radixBits)
+			order[count[b]] = int32(m)
+			count[b]++
+		}
+	} else {
+		for m := range order {
+			order[m] = int32(m)
+		}
+	}
+	for _, m := range order {
+		slots[g.hpos[m]] = g.probeSlot(g.hkeys[m], g.hh[m])
 	}
 }
 
@@ -225,11 +461,23 @@ func groupColKind(cp *compiledPlan) store.Kind {
 	return cp.pl.Table.Parts[0].Cols[cp.groupCol.idx].Kind
 }
 
-// accumulateGroups scatters the batch's survivors into their group partials
-// and runs the compiled row accumulators — no AggKind switch, no u64 key
-// ever rendered as a string.
+// accumulateGroups folds the batch's survivors into their group
+// accumulators. u64 keys take the two-phase slot path: resolve slots
+// (groupSlots), then accumulate over (selection, slot) pairs — lane loops
+// when every aggregate is lane-eligible (accumulateLanes, kernel.go), the
+// compiled row kernels against per-slot partials otherwise. Str/Bytes keys
+// keep the per-row map probe, whose string hashing dominates anyway.
 func (ts *taskState) accumulateGroups(startID uint64) {
 	g := &ts.g
+	if g.kind == store.U64 {
+		ts.groupSlots(startID)
+		if g.lanes {
+			ts.accumulateLanes(startID)
+		} else {
+			ts.accumulateSlots(startID)
+		}
+		return
+	}
 	col := ts.pc.group
 	for k, i := range ts.b.sel {
 		j := ts.b.joinAt(k)
@@ -245,18 +493,6 @@ func (ts *taskState) accumulateGroups(startID uint64) {
 
 		var p *partial
 		switch {
-		case g.u64 != nil:
-			key := u64Key{v: col.U64[idx], suffix: suffix}
-			if g.lastP != nil && key == g.lastU64 {
-				p = g.lastP
-			} else {
-				p = g.u64[key]
-				if p == nil {
-					p = newPartial(g.aggs)
-					g.u64[key] = p
-				}
-				g.lastU64, g.lastP = key, p
-			}
 		case g.plain != nil:
 			p = g.plain[string(col.Bytes[idx])]
 			if p == nil {
@@ -284,20 +520,66 @@ func (ts *taskState) accumulateGroups(startID uint64) {
 	}
 }
 
-// fold converts the grouper's typed maps into the map-stage output contract
-// (groupKey-keyed partials), which the shuffle/reduce and shuffle-size
-// accounting consume unchanged.
-func (g *grouper) fold(res *mapResult) {
-	n := len(g.u64) + len(g.str) + len(g.plain)
-	res.groups = make(map[groupKey]*partial, n)
-	for k, p := range g.u64 {
-		res.groups[groupKey{kind: store.U64, u64: k.v, suffix: int(k.suffix)}] = p
+// accumulateSlots is the generic u64 accumulation path: per-slot partials
+// fed through the compiled row kernels, for aggregate mixes (Paillier, OPE,
+// medians) the flat lanes cannot represent.
+func (ts *taskState) accumulateSlots(startID uint64) {
+	g := &ts.g
+	sel := ts.b.sel
+	slots := g.slots[:len(sel)]
+	for _, s := range slots {
+		g.parts[s].rows++
+	}
+	for ai := range ts.cp.aggs {
+		row := ts.cp.aggs[ai].row
+		for k, i := range sel {
+			row(&ts.pc, &g.parts[slots[k]].aggs[ai], i, ts.b.joinAt(k), startID+uint64(i))
+		}
+	}
+}
+
+// slotPartial materializes slot s's accumulator as a partial: the partial
+// itself in generic mode, or one assembled from the flat lanes. Called at
+// fold time, once per group per task.
+func (g *grouper) slotPartial(s int) *partial {
+	if !g.lanes {
+		return g.parts[s]
+	}
+	p := &partial{rows: g.rowsLane[s], aggs: make([]aggState, len(g.aggs))}
+	for ai := range g.aggs {
+		st := &p.aggs[ai]
+		st.kind = g.aggs[ai].Kind
+		st.u64 = g.aggLanes[ai][s]
+		switch st.kind {
+		case AggAsheSum:
+			st.ids = g.idLanes[ai][s]
+		case AggPlainMin, AggPlainMax:
+			// A slot exists only because a row hit it, and every group-by row
+			// contributes its aggregate value, so the extreme was seen.
+			st.seen = true
+		}
+	}
+	return p
+}
+
+// fold converts the grouper's slots and typed maps into the map-stage
+// output contract: reducer-bucketed (key, partial) pairs, which the shuffle
+// concatenates per bucket without re-hashing (run.go).
+func (g *grouper) fold(res *mapResult, buckets int) {
+	res.groups = make([][]keyedPartial, buckets)
+	add := func(k groupKey, p *partial) {
+		b := reducerBucket(k, buckets)
+		res.groups[b] = append(res.groups[b], keyedPartial{key: k, p: p})
+	}
+	for s := range g.keys {
+		k := g.keys[s]
+		add(groupKey{kind: store.U64, u64: k.v, suffix: int(k.suffix)}, g.slotPartial(s))
 	}
 	for k, p := range g.str {
-		res.groups[groupKey{kind: g.kind, str: k.s, suffix: int(k.suffix)}] = p
+		add(groupKey{kind: g.kind, str: k.s, suffix: int(k.suffix)}, p)
 	}
 	for s, p := range g.plain {
-		res.groups[groupKey{kind: store.Bytes, str: s, suffix: -1}] = p
+		add(groupKey{kind: store.Bytes, str: s, suffix: -1}, p)
 	}
 }
 
@@ -387,7 +669,7 @@ func (cp *compiledPlan) runMapTask(ctx context.Context, c *Cluster, part *store.
 		return nil, err
 	}
 	if cp.pl.GroupBy != nil && len(cp.pl.Project) == 0 {
-		ts.g.fold(ts.res)
+		ts.g.fold(ts.res, c.cfg.Workers)
 	}
 
 	// Worker-side compression of ASHE identifier lists (§4.5): encode here,
@@ -398,9 +680,11 @@ func (cp *compiledPlan) runMapTask(ctx context.Context, c *Cluster, part *store.
 				return nil, err
 			}
 		}
-		for _, pg := range ts.res.groups {
-			if err := encodePartialIDs(pg, cp.codec); err != nil {
-				return nil, err
+		for _, kps := range ts.res.groups {
+			for _, kp := range kps {
+				if err := encodePartialIDs(kp.p, cp.codec); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

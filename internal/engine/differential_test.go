@@ -36,6 +36,7 @@ func diffFixture(t *testing.T, rows, parts int) (*store.Table, *store.Table, *pa
 	}
 	vals := make([]uint64, rows)
 	dims := make([]uint64, rows)
+	wide := make([]uint64, rows)
 	strs := make([]string, rows)
 	asheCol := make([]uint64, rows)
 	detCol := make([][]byte, rows)
@@ -44,6 +45,10 @@ func diffFixture(t *testing.T, rows, parts int) (*store.Table, *store.Table, *pa
 	for i := 0; i < rows; i++ {
 		vals[i] = uint64(i % 97)
 		dims[i] = uint64(i % 7)
+		// Distinct per row and spread far past the grouper's dense span, so
+		// wide group-bys drive the hashed (and, once the table outgrows
+		// radixMinTable, radix-partitioned) probe path.
+		wide[i] = uint64(i)*0x9e3779b1 + 11
 		strs[i] = fmt.Sprintf("dim-%d", i%5)
 		asheCol[i] = asheKey.EncryptBody(vals[i], uint64(i)+1)
 		detCol[i] = detKey.EncryptU64(dims[i])
@@ -53,6 +58,7 @@ func diffFixture(t *testing.T, rows, parts int) (*store.Table, *store.Table, *pa
 	tbl, err := store.Build("t", []store.Column{
 		{Name: "v", Kind: store.U64, U64: vals},
 		{Name: "d", Kind: store.U64, U64: dims},
+		{Name: "w", Kind: store.U64, U64: wide},
 		{Name: "s", Kind: store.Str, Str: strs},
 		{Name: "v_ashe", Kind: store.U64, U64: asheCol},
 		{Name: "d_det", Kind: store.Bytes, Bytes: detCol},
@@ -158,6 +164,36 @@ func TestDifferentialExecutors(t *testing.T) {
 			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "d", Inflate: 4},
 				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}}}
 		}},
+		// Bounded key domains: KeyBound sizes the dense flat-array path
+		// exactly (7), undershoots so keys 3..6 must fall back to the hashed
+		// path (3), and composes with inflation.
+		{"noenc/group-by-bounded", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "d", KeyBound: 7},
+				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}, {Kind: AggPlainMin, Col: "v"}}}
+		}},
+		{"noenc/group-by-bound-undershoot", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "d", KeyBound: 3},
+				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}, {Kind: AggPlainMax, Col: "v"}}}
+		}},
+		{"noenc/group-by-bounded-inflated", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "d", KeyBound: 7, Inflate: 4},
+				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}}}
+		}},
+		// Wide keys (every row distinct, values far past the dense span):
+		// the hashed probe path, with lane accumulators, generic per-slot
+		// partials (median is not lane-eligible), and inflation suffixes.
+		{"noenc/group-by-wide", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "w"},
+				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}, {Kind: AggPlainMin, Col: "v"}}}
+		}},
+		{"noenc/group-by-wide-median", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "w"},
+				Aggs: []Agg{{Kind: AggPlainMedian, Col: "v"}, {Kind: AggCount}}}
+		}},
+		{"noenc/group-by-wide-inflated", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "w", Inflate: 2},
+				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}}}
+		}},
 		{"noenc/median", func() *Plan {
 			return &Plan{Table: tbl,
 				Filters: []Filter{{Kind: FilterPlainCmp, Col: "d", Op: sqlparse.OpEq, U64: 3}},
@@ -214,6 +250,10 @@ func TestDifferentialExecutors(t *testing.T) {
 			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "d_det", Inflate: 3},
 				Aggs: []Agg{{Kind: AggAsheSum, Col: "v_ashe"}}}
 		}},
+		{"seabed/group-by-wide-ashe", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "w"},
+				Aggs: []Agg{{Kind: AggAsheSum, Col: "v_ashe"}, {Kind: AggCount}}}
+		}},
 		{"seabed/ope-minmax-companion", func() *Plan {
 			return &Plan{Table: tbl,
 				Aggs: []Agg{
@@ -267,6 +307,12 @@ func TestDifferentialExecutors(t *testing.T) {
 			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "d"},
 				Aggs: []Agg{{Kind: AggPaillierSum, Col: "v_pail", PK: pk}}}
 		}},
+		{"paillier/group-by-bounded", func() *Plan {
+			// Paillier is not lane-eligible: the dense index resolves slots
+			// but accumulation runs the generic per-slot kernels.
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "d", KeyBound: 7},
+				Aggs: []Agg{{Kind: AggPaillierSum, Col: "v_pail", PK: pk}, {Kind: AggCount}}}
+		}},
 	}
 
 	c := NewCluster(Config{Workers: 4, Seed: 11})
@@ -282,6 +328,122 @@ func TestDifferentialExecutors(t *testing.T) {
 			}
 			assertSameResult(t, tc.name, vec, ref)
 		})
+	}
+}
+
+// TestDifferentialRadixGroupBy drives the radix-partitioned probe path,
+// which needs enough distinct keys inside one map task for the
+// open-addressed table to outgrow radixMinTable: 2 partitions × 18000
+// distinct keys per task. Both lane (sum/count/ASHE) and generic (median)
+// accumulation run through the radix-ordered probes, and the results must
+// match the row-at-a-time reference exactly — including ASHE id-list
+// contents, which pin the selection-order (not probe-order) accumulation
+// guarantee.
+func TestDifferentialRadixGroupBy(t *testing.T) {
+	const rows, parts = 36000, 2
+	vals := make([]uint64, rows)
+	wide := make([]uint64, rows)
+	asheCol := make([]uint64, rows)
+	for i := 0; i < rows; i++ {
+		vals[i] = uint64(i % 97)
+		wide[i] = uint64(i)*0x9e3779b1 + 11
+		asheCol[i] = asheKey.EncryptBody(vals[i], uint64(i)+1)
+	}
+	tbl, err := store.Build("radix", []store.Column{
+		{Name: "v", Kind: store.U64, U64: vals},
+		{Name: "w", Kind: store.U64, U64: wide},
+		{Name: "v_ashe", Kind: store.U64, U64: asheCol},
+	}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(Config{Workers: 4, Seed: 11})
+	for _, tc := range []struct {
+		name string
+		plan func() *Plan
+	}{
+		{"lanes", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "w"},
+				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}, {Kind: AggAsheSum, Col: "v_ashe"}}}
+		}},
+		{"generic", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "w"},
+				Aggs: []Agg{{Kind: AggPlainMedian, Col: "v"}, {Kind: AggCount}}}
+		}},
+		{"inflated", func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "w", Inflate: 2},
+				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}}}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			vec, err := c.Run(context.Background(), tc.plan())
+			if err != nil {
+				t.Fatalf("vectorized: %v", err)
+			}
+			ref, err := c.RunReference(context.Background(), tc.plan())
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			if len(vec.Groups) != rows {
+				t.Errorf("%d groups, want %d (every wide key distinct)", len(vec.Groups), rows)
+			}
+			assertSameResult(t, tc.name, vec, ref)
+		})
+	}
+}
+
+// TestDifferentialInflationSuffixIsolation is the regression test for suffix
+// aliasing: every row carries one of two group values while inflation splays
+// each into suffix sub-groups, so the dense index holds several cells per
+// key and any cross-suffix aliasing (two suffixes resolving to one slot, in
+// any batch) would corrupt counts. The suffix split must also agree exactly
+// with the reference evaluator's per-row assignment.
+func TestDifferentialInflationSuffixIsolation(t *testing.T) {
+	const rows, parts, inflate = 9000, 3, 3
+	vals := make([]uint64, rows)
+	dims := make([]uint64, rows)
+	for i := 0; i < rows; i++ {
+		vals[i] = uint64(i % 13)
+		dims[i] = uint64(i%2) * 5 // keys 0 and 5, both under any bound ≥ 6
+	}
+	tbl, err := store.Build("sfx", []store.Column{
+		{Name: "v", Kind: store.U64, U64: vals},
+		{Name: "d", Kind: store.U64, U64: dims},
+	}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(Config{Workers: 4, Seed: 11})
+	for _, bound := range []uint64{0, 6} { // default dense span and an exact KeyBound
+		plan := func() *Plan {
+			return &Plan{Table: tbl, GroupBy: &GroupBy{Col: "d", Inflate: inflate, KeyBound: bound},
+				Aggs: []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}}}
+		}
+		vec, err := c.Run(context.Background(), plan())
+		if err != nil {
+			t.Fatalf("bound=%d vectorized: %v", bound, err)
+		}
+		ref, err := c.RunReference(context.Background(), plan())
+		if err != nil {
+			t.Fatalf("bound=%d reference: %v", bound, err)
+		}
+		assertSameResult(t, fmt.Sprintf("suffix-isolation/bound=%d", bound), vec, ref)
+		if len(vec.Groups) != 2*inflate {
+			t.Fatalf("bound=%d: %d groups, want %d (2 keys × %d suffixes)", bound, len(vec.Groups), 2*inflate, inflate)
+		}
+		var rowsTotal uint64
+		for _, g := range vec.Groups {
+			if g.KeyU64 != 0 && g.KeyU64 != 5 {
+				t.Errorf("bound=%d: unexpected group key %d", bound, g.KeyU64)
+			}
+			if g.Suffix < 0 || g.Suffix >= inflate {
+				t.Errorf("bound=%d: suffix %d outside [0,%d)", bound, g.Suffix, inflate)
+			}
+			rowsTotal += g.Rows
+		}
+		if rowsTotal != rows {
+			t.Errorf("bound=%d: suffix groups cover %d rows, want %d", bound, rowsTotal, rows)
+		}
 	}
 }
 

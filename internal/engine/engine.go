@@ -209,6 +209,15 @@ type GroupBy struct {
 	// every group key, multiplying the number of groups to engage idle
 	// reducers (§4.5). The client merges the inflated groups back.
 	Inflate int
+	// KeyBound, when > 0, declares that a plaintext U64 grouping column's
+	// values lie in [0, KeyBound) — true for SPLASHE dimension columns, whose
+	// values are dictionary indices the planner knows the size of. The
+	// executor then sizes a dense direct-index table over key×suffix and
+	// accumulates with zero hash probes. It is a sizing hint, never a
+	// correctness contract: keys at or above the bound (or a bound too large
+	// to index densely) fall back to the hashed path and still group
+	// correctly.
+	KeyBound uint64
 }
 
 // Join is a broadcast equi-join against a smaller table.
@@ -347,6 +356,14 @@ type Metrics struct {
 	TaskMin time.Duration
 	TaskP50 time.Duration
 	TaskMax time.Duration
+	// FirstChunk is the measured wall-clock time from the start of a
+	// streaming run (RunStream with a sink and a projection) to the first
+	// scan chunk delivered to the sink — the latency a client waits before
+	// rows begin flowing, as opposed to ServerTime's full-run makespan. Zero
+	// for non-streaming runs and for streams that delivered no rows. Across
+	// a shard merge it takes the minimum non-zero value: the gather's caller
+	// saw rows as soon as the first shard produced any.
+	FirstChunk time.Duration
 }
 
 // Result is a plan's output.

@@ -516,3 +516,105 @@ func (b *batch) joinAt(k int) int32 {
 	}
 	return b.join[k]
 }
+
+// accumulateLanes runs the flat-lane group accumulators over one batch:
+// for each lane-eligible aggregate, a tight per-kind loop over the
+// (selection, slot) pairs groupSlots resolved, writing straight into the
+// per-slot u64 lanes — one cache-dense array per aggregate, no partial
+// pointer chase and no per-row indirect call. The AggKind switch runs once
+// per aggregate per batch, amortized to noise.
+func (ts *taskState) accumulateLanes(startID uint64) {
+	g := &ts.g
+	sel := ts.b.sel
+	slots := g.slots[:len(sel)]
+	rows := g.rowsLane
+	for _, s := range slots {
+		rows[s]++
+	}
+	for ai := range g.aggs {
+		lane := g.aggLanes[ai]
+		col := ts.pc.aggs[ai]
+		right := ts.cp.aggCols[ai].isRight()
+		switch g.aggs[ai].Kind {
+		case AggCount:
+			for _, s := range slots {
+				lane[s]++
+			}
+		case AggPlainSum:
+			u := col.U64
+			if right {
+				join := ts.b.join
+				for k := range sel {
+					lane[slots[k]] += u[join[k]]
+				}
+			} else {
+				for k, i := range sel {
+					lane[slots[k]] += u[i]
+				}
+			}
+		case AggPlainSumSq:
+			u := col.U64
+			if right {
+				join := ts.b.join
+				for k := range sel {
+					v := u[join[k]]
+					lane[slots[k]] += v * v
+				}
+			} else {
+				for k, i := range sel {
+					v := u[i]
+					lane[slots[k]] += v * v
+				}
+			}
+		case AggAsheSum:
+			u := col.U64
+			ids := g.idLanes[ai]
+			if right {
+				join := ts.b.join
+				for k, i := range sel {
+					s := slots[k]
+					lane[s] += u[join[k]]
+					ids[s].Append(startID + uint64(i))
+				}
+			} else {
+				for k, i := range sel {
+					s := slots[k]
+					lane[s] += u[i]
+					ids[s].Append(startID + uint64(i))
+				}
+			}
+		case AggPlainMin:
+			u := col.U64
+			if right {
+				join := ts.b.join
+				for k := range sel {
+					if s, v := slots[k], u[join[k]]; v < lane[s] {
+						lane[s] = v
+					}
+				}
+			} else {
+				for k, i := range sel {
+					if s, v := slots[k], u[i]; v < lane[s] {
+						lane[s] = v
+					}
+				}
+			}
+		case AggPlainMax:
+			u := col.U64
+			if right {
+				join := ts.b.join
+				for k := range sel {
+					if s, v := slots[k], u[join[k]]; v > lane[s] {
+						lane[s] = v
+					}
+				}
+			} else {
+				for k, i := range sel {
+					if s, v := slots[k], u[i]; v > lane[s] {
+						lane[s] = v
+					}
+				}
+			}
+		}
+	}
+}

@@ -19,22 +19,27 @@ import (
 // and compare rows/s between each kernel and its *Reference twin (the
 // pre-vectorization row-at-a-time loop). CI smokes them with -benchtime=1x.
 
-// kernelFixture builds a plaintext table: v = i%100, d = i%7, plus a dim
-// column with high cardinality for group-by stress.
+// kernelFixture builds a plaintext table: v = i%100, d = i%7, a 1024-value
+// dim column for dense group-by stress, and a distinct-per-row column whose
+// values spread far past the grouper's dense span for hashed/radix group-by
+// stress.
 func kernelFixture(tb testing.TB, rows, parts int) *store.Table {
 	tb.Helper()
 	vals := make([]uint64, rows)
 	dims := make([]uint64, rows)
 	wide := make([]uint64, rows)
+	uniq := make([]uint64, rows)
 	for i := 0; i < rows; i++ {
 		vals[i] = uint64(i % 100)
 		dims[i] = uint64(i % 7)
 		wide[i] = uint64(i % 1024)
+		uniq[i] = uint64(i)*0x9e3779b1 + 11
 	}
 	tbl, err := store.Build("k", []store.Column{
 		{Name: "v", Kind: store.U64, U64: vals},
 		{Name: "d", Kind: store.U64, U64: dims},
 		{Name: "w", Kind: store.U64, U64: wide},
+		{Name: "u", Kind: store.U64, U64: uniq},
 	}, parts)
 	if err != nil {
 		tb.Fatal(err)
@@ -142,8 +147,8 @@ func TestKernelU64GroupKeyAllocFree(t *testing.T) {
 	if err := ts.execute(ctx, 0, n-1); err != nil { // materializes all partials
 		t.Fatal(err)
 	}
-	if len(ts.g.u64) != 1024 {
-		t.Fatalf("u64 grouper holds %d groups, want 1024", len(ts.g.u64))
+	if len(ts.g.keys) != 1024 {
+		t.Fatalf("u64 grouper holds %d groups, want 1024", len(ts.g.keys))
 	}
 	avg := testing.AllocsPerRun(10, func() {
 		ts.res.rowsSelected = 0
@@ -299,6 +304,53 @@ func BenchmarkKernelGroupByU64(b *testing.B) {
 func BenchmarkKernelGroupByU64Reference(b *testing.B) {
 	tbl := kernelFixture(b, benchRows, 1)
 	rp, err := groupByPlan(tbl).compileReference(idlist.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCluster(Config{Workers: 1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rp.runMapTask(ctx, c, tbl.Parts[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, benchRows)
+}
+
+// wideGroupByPlan groups on the distinct-per-row column: every key misses
+// the dense span, so the grouper's open-addressed table — radix-ordered once
+// it outgrows radixMinTable — carries the whole load.
+func wideGroupByPlan(tbl *store.Table) *Plan {
+	return &Plan{
+		Table:   tbl,
+		GroupBy: &GroupBy{Col: "u"},
+		Aggs:    []Agg{{Kind: AggPlainSum, Col: "v"}, {Kind: AggCount}},
+	}
+}
+
+func BenchmarkKernelGroupByU64Wide(b *testing.B) {
+	tbl := kernelFixture(b, benchRows, 1)
+	cp, err := wideGroupByPlan(tbl).compile(0, idlist.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCluster(Config{Workers: 1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.runMapTask(ctx, c, tbl.Parts[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, benchRows)
+}
+
+func BenchmarkKernelGroupByU64WideReference(b *testing.B) {
+	tbl := kernelFixture(b, benchRows, 1)
+	rp, err := wideGroupByPlan(tbl).compileReference(idlist.Default)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -216,4 +216,10 @@ func mergeMetrics(dst, src *Metrics, first bool) {
 	minDur(&dst.TaskMin, src.TaskMin)
 	maxDur(&dst.TaskP50, src.TaskP50)
 	maxDur(&dst.TaskMax, src.TaskMax)
+	// FirstChunk takes the minimum non-zero value: the gather's caller saw
+	// rows as soon as the first shard delivered any. Zero means a shard
+	// streamed nothing and must not win the minimum.
+	if src.FirstChunk > 0 && (dst.FirstChunk == 0 || src.FirstChunk < dst.FirstChunk) {
+		dst.FirstChunk = src.FirstChunk
+	}
 }

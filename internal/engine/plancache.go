@@ -173,6 +173,7 @@ func (pl *Plan) fingerprint(codec idlist.Codec) string {
 	if pl.GroupBy != nil {
 		str(pl.GroupBy.Col)
 		u64(uint64(pl.GroupBy.Inflate))
+		u64(pl.GroupBy.KeyBound)
 	} else {
 		b = append(b, 'n')
 	}

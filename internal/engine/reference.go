@@ -200,10 +200,15 @@ func (rp *referencePlan) runMapTask(ctx context.Context, c *Cluster, part *store
 	res.rowsScanned = uint64(i1 - i0 + 1)
 
 	start := time.Now()
+	// The row loop accumulates groups into a key-addressed map; the bucketed
+	// mapResult contract is produced by one bucketGroups conversion after
+	// the loop, keeping the loop itself byte-for-byte the pre-vectorization
+	// interpreter.
+	var groups map[groupKey]*partial
 	if pl.GroupBy == nil && len(pl.Project) == 0 {
 		res.single = newPartial(pl.Aggs)
 	} else if pl.GroupBy != nil {
-		res.groups = make(map[groupKey]*partial)
+		groups = make(map[groupKey]*partial)
 	}
 
 	inflate := 0
@@ -332,10 +337,10 @@ func (rp *referencePlan) runMapTask(ctx context.Context, c *Cluster, part *store
 			if inflate > 0 {
 				key.suffix = int(splitmix64(c.cfg.Seed^rowID^0xa5a5) % uint64(inflate))
 			}
-			pg = res.groups[key]
+			pg = groups[key]
 			if pg == nil {
 				pg = newPartial(pl.Aggs)
-				res.groups[key] = pg
+				groups[key] = pg
 			}
 		}
 		pg.rows++
@@ -390,6 +395,10 @@ func (rp *referencePlan) runMapTask(ctx context.Context, c *Cluster, part *store
 		}
 	}
 
+	if groups != nil {
+		res.groups = bucketGroups(groups, c.cfg.Workers)
+	}
+
 	// Worker-side compression of ASHE identifier lists (§4.5): encode here,
 	// inside the measured task, unless the ablation moved it to the driver.
 	if !pl.CompressAtDriver {
@@ -398,9 +407,11 @@ func (rp *referencePlan) runMapTask(ctx context.Context, c *Cluster, part *store
 				return nil, err
 			}
 		}
-		for _, pg := range res.groups {
-			if err := encodePartialIDs(pg, rp.codec); err != nil {
-				return nil, err
+		for _, kps := range res.groups {
+			for _, kp := range kps {
+				if err := encodePartialIDs(kp.p, rp.codec); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -74,7 +75,7 @@ type mapRunner interface {
 // periodically within them; when it is canceled the worker pool drains and
 // Run returns ctx.Err().
 func (c *Cluster) Run(ctx context.Context, pl *Plan) (*Result, error) {
-	return c.run(ctx, pl, false)
+	return c.run(ctx, pl, false, nil)
 }
 
 // RunReference executes a plan with the retained row-at-a-time reference
@@ -84,10 +85,16 @@ func (c *Cluster) Run(ctx context.Context, pl *Plan) (*Result, error) {
 // testing and as the before-side of kernel benchmarks; production paths
 // (server, shards) always use Run.
 func (c *Cluster) RunReference(ctx context.Context, pl *Plan) (*Result, error) {
-	return c.run(ctx, pl, true)
+	return c.run(ctx, pl, true, nil)
 }
 
-func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, error) {
+// run is the shared body behind Run, RunReference, and RunStream. A non-nil
+// sink turns a projection plan into a streaming run: each map task's scan
+// output is handed to the sink as soon as that task retires (in partition
+// order, so the stream is globally identifier-ordered), the result's Scan
+// stays nil, and Metrics.FirstChunk records the wall-clock latency to the
+// first delivered chunk.
+func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool, sink ScanSink) (*Result, error) {
 	if pl.Table == nil {
 		return nil, errors.New("engine: plan has no table")
 	}
@@ -145,7 +152,11 @@ func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, e
 	metrics.DriverTime += time.Since(start)
 
 	// Phase 2 — map stage: one task per partition, executed with bounded
-	// real parallelism, each measured individually.
+	// real parallelism, each measured individually. A streaming run also
+	// starts a delivery goroutine that walks the tasks in partition order and
+	// hands each retired task's scan output to the sink while later tasks are
+	// still executing — the first chunk leaves as soon as partition 0
+	// finishes, not after the whole map stage.
 	parts := pl.Table.Parts
 	results := make([]*mapResult, len(parts))
 	errs := make([]error, len(parts))
@@ -153,12 +164,54 @@ func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, e
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
+	mctx := ctx
+	var done []chan struct{}
+	var deliverErr error
+	deliverDone := make(chan struct{})
+	if sink != nil {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		done = make([]chan struct{}, len(parts))
+		for i := range done {
+			done[i] = make(chan struct{})
+		}
+		runStart := time.Now()
+		go func() {
+			defer close(deliverDone)
+			for i := range done {
+				select {
+				case <-done[i]:
+				case <-mctx.Done():
+					return
+				}
+				if errs[i] != nil || results[i] == nil {
+					return
+				}
+				scan := results[i].scan
+				for len(scan) > 0 {
+					n := min(ScanChunkRows, len(scan))
+					if err := sink(scan[:n]); err != nil {
+						deliverErr = err
+						cancel() // abort tasks still mapping
+						return
+					}
+					if metrics.FirstChunk == 0 {
+						metrics.FirstChunk = time.Since(runStart)
+					}
+					scan = scan[n:]
+				}
+			}
+		}()
+	} else {
+		close(deliverDone)
+	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i := range parts {
 		// Abort the pool the moment the context dies: tasks already launched
 		// drain (they observe ctx themselves), unlaunched ones never start.
-		if ctx.Err() != nil {
+		if mctx.Err() != nil {
 			break
 		}
 		wg.Add(1)
@@ -166,13 +219,22 @@ func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, e
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = runner.runMapTask(ctx, c, parts[i])
+			results[i], errs[i] = runner.runMapTask(mctx, c, parts[i])
+			if done != nil {
+				close(done[i])
+			}
 		}(i)
 	}
 	wg.Wait()
+	<-deliverDone
+	if deliverErr != nil {
+		return nil, deliverErr
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Reaching here means mctx was never canceled (a sink error or parent
+	// cancellation returned above), so every task launched and completed.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -198,7 +260,7 @@ func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool) (*Result, e
 	out := &Result{}
 	switch {
 	case len(pl.Project) > 0:
-		c.reduceScan(pl, results, out, &metrics)
+		c.reduceScan(pl, results, out, &metrics, sink == nil)
 	case pl.GroupBy == nil:
 		if err := c.reduceSingle(pl, results, codec, out, &metrics); err != nil {
 			return nil, err
@@ -225,7 +287,7 @@ func taskSample(durations []time.Duration) (min, p50, max time.Duration) {
 		return 0, 0, 0
 	}
 	sorted := append([]time.Duration(nil), durations...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	slices.Sort(sorted)
 	return sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1]
 }
 
@@ -246,6 +308,9 @@ func attachStageSpans(sp *obs.Span, m *Metrics) {
 	mapSp.SetAttr("rows_selected", strconv.FormatUint(m.RowsSelected, 10))
 	mapSp.SetAttr("task_p50", m.TaskP50.String())
 	mapSp.SetAttr("task_max", m.TaskMax.String())
+	if m.FirstChunk > 0 {
+		mapSp.SetAttr("first_chunk", m.FirstChunk.String())
+	}
 	add("shuffle", m.ShuffleTime).SetAttr("bytes", strconv.Itoa(m.ShuffleBytes))
 	reduceSp := add("reduce", m.ReduceTime)
 	reduceSp.SetAttr("tasks", strconv.Itoa(m.ReduceTasks))
@@ -253,45 +318,37 @@ func attachStageSpans(sp *obs.Span, m *Metrics) {
 }
 
 // RunStream executes a plan like Run, but delivers scan rows to sink in
-// ScanChunkRows-sized batches instead of materializing them in the result
-// (whose Scan field stays nil). For plans without a projection — or a nil
-// sink — it is identical to Run. In process the map stage still materializes
-// before the first batch is delivered; the streaming contract is about what
-// the caller must buffer, which is one batch, not the whole scan. The
-// executor's scan kernels already project into ScanChunkRows-sized arena
-// chunks (batch.go), so the batches handed to sink reference whole backing
-// arrays rather than row-sized allocations. A sink error aborts the run and
-// is returned as-is.
+// batches of up to ScanChunkRows instead of materializing them in the
+// result (whose Scan field stays nil). For plans without a projection — or
+// a nil sink — it is identical to Run. Delivery is mid-map: each partition's
+// rows are handed to the sink as soon as that partition's task retires, in
+// partition order, while later tasks are still executing — so the first
+// chunk arrives long before the run's terminal metrics, at the latency
+// Metrics.FirstChunk records. The executor's scan kernels project into
+// ScanChunkRows-sized arena chunks (batch.go), so the batches handed to
+// sink reference whole backing arrays rather than row-sized allocations. A
+// sink error cancels the remaining map tasks and is returned as-is.
 func (c *Cluster) RunStream(ctx context.Context, pl *Plan, sink ScanSink) (*Result, error) {
-	res, err := c.Run(ctx, pl)
-	if err != nil || sink == nil || len(pl.Project) == 0 {
-		return res, err
+	if sink == nil || len(pl.Project) == 0 {
+		return c.run(ctx, pl, false, nil)
 	}
-	scan := res.Scan
-	res.Scan = nil
-	for len(scan) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		n := min(ScanChunkRows, len(scan))
-		if err := sink(scan[:n]); err != nil {
-			return nil, err
-		}
-		scan = scan[n:]
-	}
-	return res, nil
+	return c.run(ctx, pl, false, sink)
 }
 
-// reduceScan concatenates scan rows at the driver.
-func (c *Cluster) reduceScan(pl *Plan, results []*mapResult, out *Result, m *Metrics) {
+// reduceScan computes the scan reduce's metrics and, when materialize is
+// set (non-streaming runs), concatenates the scan rows at the driver; a
+// streaming run already delivered them to the sink mid-map.
+func (c *Cluster) reduceScan(pl *Plan, results []*mapResult, out *Result, m *Metrics, materialize bool) {
 	start := time.Now()
-	total := 0
-	for _, r := range results {
-		total += len(r.scan)
-	}
-	out.Scan = make([]ScanRow, 0, total)
-	for _, r := range results {
-		out.Scan = append(out.Scan, r.scan...)
+	if materialize {
+		total := 0
+		for _, r := range results {
+			total += len(r.scan)
+		}
+		out.Scan = make([]ScanRow, 0, total)
+		for _, r := range results {
+			out.Scan = append(out.Scan, r.scan...)
+		}
 	}
 	m.DriverTime += time.Since(start)
 	// Partials stream straight to the driver over one link.
@@ -318,19 +375,35 @@ func (c *Cluster) reduceSingle(pl *Plan, results []*mapResult, codec idlist.Code
 	return nil
 }
 
-// reduceGroups shuffles partial groups to reducers and merges per key.
+// reduceGroups merges the map tasks' reducer-bucketed partial groups. The
+// shuffle is a concatenation: every map task already emitted its groups
+// partitioned by reducerBucket (grouper.fold / bucketGroups), so reducer b's
+// input is the task-order concatenation of each task's bucket b — no sort,
+// no per-query key assignment, no re-hashing. One reducer runs per
+// non-empty bucket, on real goroutines bounded by RealParallelism; the
+// reported ReduceTime remains the makespan of the measured reducer
+// durations over the simulated Workers, consistent with the map stage's
+// accounting.
 func (c *Cluster) reduceGroups(pl *Plan, results []*mapResult, codec idlist.Codec, out *Result, m *Metrics) error {
-	// Count distinct keys to size the reducer pool.
-	keys := make(map[groupKey]bool)
-	for _, r := range results {
-		for k := range r.groups {
-			keys[k] = true
+	nb := c.cfg.Workers
+	if nb < 1 {
+		nb = 1
+	}
+	buckets := make([][]keyedPartial, nb)
+	for _, mr := range results {
+		for bi, kps := range mr.groups {
+			if len(kps) > 0 {
+				buckets[bi] = append(buckets[bi], kps...)
+			}
 		}
 	}
-	reducers := c.cfg.Workers
-	if len(keys) < reducers {
-		reducers = len(keys)
+	active := make([]int, 0, nb)
+	for bi := range buckets {
+		if len(buckets[bi]) > 0 {
+			active = append(active, bi)
+		}
 	}
+	reducers := len(active)
 	if reducers < 1 {
 		reducers = 1
 	}
@@ -341,67 +414,68 @@ func (c *Cluster) reduceGroups(pl *Plan, results []*mapResult, codec idlist.Code
 	// bottleneck that group inflation exists to fix.
 	m.ShuffleTime = c.cfg.ShuffleLink.TransferTime(m.ShuffleBytes / reducers)
 
-	// Partition keys among reducers.
-	assign := make(map[groupKey]int, len(keys))
-	orderedKeys := make([]groupKey, 0, len(keys))
-	for k := range keys {
-		orderedKeys = append(orderedKeys, k)
+	// Merge per reducer, in parallel for real. Buckets are disjoint by
+	// construction — a key maps to exactly one bucket, and each map task's
+	// partial for it appears there once, in task order — so reducers share
+	// no accumulator state.
+	type reduced struct {
+		groups []Group
+		bytes  int
+		dur    time.Duration
+		err    error
 	}
-	sort.Slice(orderedKeys, func(a, b int) bool { return lessKey(orderedKeys[a], orderedKeys[b]) })
-	for i, k := range orderedKeys {
-		assign[k] = i % reducers
+	outs := make([]reduced, len(active))
+	par := c.cfg.RealParallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
 	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for ri, bi := range active {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ri, bi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			o := &outs[ri]
+			merged := make(map[groupKey]*partial)
+			for _, kp := range buckets[bi] {
+				acc := merged[kp.key]
+				if acc == nil {
+					acc = newPartial(pl.Aggs)
+					merged[kp.key] = acc
+				}
+				mergePartial(pl, acc, kp.p)
+			}
+			for k, p := range merged {
+				group, bytes, err := pl.finishPartial(p, k, codec)
+				if err != nil {
+					o.err = err
+					return
+				}
+				o.groups = append(o.groups, group)
+				o.bytes += bytes
+			}
+			o.dur = time.Since(start)
+		}(ri, bi)
+	}
+	wg.Wait()
 
-	// Bucket each map task's partial groups by reducer once (the shuffle),
-	// then merge per reducer.
-	type shard struct {
-		key groupKey
-		p   *partial
-	}
-	buckets := make([][]shard, reducers)
-	for _, mr := range results {
-		for k, p := range mr.groups {
-			r := assign[k]
-			buckets[r] = append(buckets[r], shard{key: k, p: p})
-		}
-	}
-	durations := make([]time.Duration, reducers)
+	durations := make([]time.Duration, len(active))
 	resultBytes := 0
-	for r := 0; r < reducers; r++ {
-		start := time.Now()
-		merged := make(map[groupKey]*partial)
-		for _, s := range buckets[r] {
-			acc := merged[s.key]
-			if acc == nil {
-				acc = newPartial(pl.Aggs)
-				merged[s.key] = acc
-			}
-			mergePartial(pl, acc, s.p)
+	for ri := range outs {
+		if outs[ri].err != nil {
+			return outs[ri].err
 		}
-		for k, p := range merged {
-			group, bytes, err := pl.finishPartial(p, k, codec)
-			if err != nil {
-				return err
-			}
-			out.Groups = append(out.Groups, group)
-			resultBytes += bytes
-		}
-		durations[r] = time.Since(start)
+		out.Groups = append(out.Groups, outs[ri].groups...)
+		resultBytes += outs[ri].bytes
+		durations[ri] = outs[ri].dur
 	}
 	m.ReduceTime = makespan(durations, c.cfg.Workers)
 	m.ResultBytes = resultBytes
 	sort.Slice(out.Groups, func(a, b int) bool { return lessGroup(out.Groups[a], out.Groups[b]) })
 	return nil
-}
-
-func lessKey(a, b groupKey) bool {
-	if a.u64 != b.u64 {
-		return a.u64 < b.u64
-	}
-	if a.str != b.str {
-		return a.str < b.str
-	}
-	return a.suffix < b.suffix
 }
 
 func lessGroup(a, b Group) bool {

@@ -67,16 +67,65 @@ func newPartial(aggs []Agg) *partial {
 	return p
 }
 
+// keyedPartial pairs a group key with its in-flight accumulator inside a
+// reducer bucket.
+type keyedPartial struct {
+	key groupKey
+	p   *partial
+}
+
 // mapResult is one map task's output.
 type mapResult struct {
-	single  *partial
-	groups  map[groupKey]*partial
+	single *partial
+	// groups is the task's group-by output, already partitioned for the
+	// shuffle: groups[b] holds the (key, partial) pairs reducerBucket assigns
+	// to reducer b, so the reduce stage concatenates per-bucket slices
+	// instead of re-hashing a map per task. Its length is the cluster's
+	// Workers count; a key appears in at most one bucket, and at most once
+	// per task.
+	groups  [][]keyedPartial
 	scan    []ScanRow
 	elapsed time.Duration
 	// bytes is the serialized partial size (shuffle traffic).
 	bytes        int
 	rowsScanned  uint64
 	rowsSelected uint64
+}
+
+// reducerBucket deterministically assigns a group key to one of n reducer
+// buckets. Both executors and every shard must agree on the assignment — it
+// replaces the old sort-all-distinct-keys round-robin — so it hashes only
+// the key's value material (splitmix64 over u64 keys, FNV-1a over
+// string/byte keys, the inflation suffix mixed in) and never map iteration
+// order.
+func reducerBucket(k groupKey, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := splitmix64(uint64(int64(k.suffix)) ^ 0x5eabed)
+	if k.kind == store.U64 {
+		h = splitmix64(h ^ k.u64)
+	} else {
+		f := uint64(14695981039346656037)
+		for i := 0; i < len(k.str); i++ {
+			f = (f ^ uint64(k.str[i])) * 1099511628211
+		}
+		h = splitmix64(h ^ f)
+	}
+	return int(h % uint64(n))
+}
+
+// bucketGroups converts a groupKey-keyed map into the reducer-bucketed
+// mapResult contract. The reference evaluator's row loop still accumulates
+// into a map (that loop is behaviorally frozen); this conversion is its only
+// concession to the bucketed shuffle.
+func bucketGroups(groups map[groupKey]*partial, n int) [][]keyedPartial {
+	out := make([][]keyedPartial, n)
+	for k, p := range groups {
+		b := reducerBucket(k, n)
+		out[b] = append(out[b], keyedPartial{key: k, p: p})
+	}
+	return out
 }
 
 // rangeBounds intersects a partition with the plan's optional IDRange frame
@@ -247,9 +296,10 @@ func (pl *Plan) partialBytes(res *mapResult, codec idlist.Codec) int {
 	if res.single != nil {
 		addPartial(nil, res.single)
 	}
-	for key, p := range res.groups {
-		k := key
-		addPartial(&k, p)
+	for _, kps := range res.groups {
+		for i := range kps {
+			addPartial(&kps[i].key, kps[i].p)
+		}
 	}
 	for _, row := range res.scan {
 		total += 8

@@ -64,6 +64,26 @@ type ColumnPlan struct {
 	SplayedSquares []string
 	// Dict maps value ids to strings for string dimensions.
 	Dict []string
+	// Cardinality carries the schema's declared distinct-value count for the
+	// dimension (0 when unknown), so downstream consumers can size dense
+	// structures without re-resolving the source schema.
+	Cardinality int
+}
+
+// KeyDomain returns the size of the column's u64 key domain when the
+// planner knows it — the dictionary size of a string dimension (whose
+// values travel as value ids) or the declared cardinality of an integer
+// dimension — and 0 when the domain is unbounded or unknown. Executors use
+// it to size dense group-by accumulators; it is a sizing hint, never a
+// correctness contract.
+func (cp *ColumnPlan) KeyDomain() uint64 {
+	if len(cp.Dict) > 0 {
+		return uint64(len(cp.Dict))
+	}
+	if cp.Cardinality > 0 {
+		return uint64(cp.Cardinality)
+	}
+	return 0
 }
 
 // DetKey returns the DET key identity for the column.
@@ -107,7 +127,7 @@ func New(tbl *schema.Table, samples []*sqlparse.Query, opts Options) (*Plan, err
 	p := &Plan{Source: tbl, Cols: make(map[string]*ColumnPlan)}
 	for i := range tbl.Columns {
 		c := &tbl.Columns[i]
-		p.Cols[c.Name] = &ColumnPlan{Source: c.Name, Type: c.Type, Dict: c.Values}
+		p.Cols[c.Name] = &ColumnPlan{Source: c.Name, Type: c.Type, Dict: c.Values, Cardinality: c.Cardinality}
 		p.Order = append(p.Order, c.Name)
 	}
 

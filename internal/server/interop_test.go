@@ -72,11 +72,19 @@ func TestStreamedScanInterop(t *testing.T) {
 		}
 		var got []engine.ScanRow
 		pl := &engine.Plan{Table: tbl, Project: []string{"m", "blob", "tag"}}
-		if _, err := rc.RunStream(ctx, pl, func(batch []engine.ScanRow) error {
+		res, err := rc.RunStream(ctx, pl, func(batch []engine.ScanRow) error {
 			got = append(got, batch...)
 			return nil
-		}); err != nil {
+		})
+		if err != nil {
 			t.Fatal(err)
+		}
+		// FirstChunk rides the v7 result frame; a pre-v7 peer drops it.
+		if maxProto == 0 && res.Metrics.FirstChunk <= 0 {
+			t.Errorf("remote FirstChunk = %v, want > 0 on a v7 connection", res.Metrics.FirstChunk)
+		}
+		if maxProto == 4 && res.Metrics.FirstChunk != 0 {
+			t.Errorf("remote FirstChunk = %v over a v4 connection, want 0", res.Metrics.FirstChunk)
 		}
 		return got
 	}

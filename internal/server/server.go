@@ -111,6 +111,7 @@ type Server struct {
 	// registry also serves /metrics through DebugHandler.
 	obsReg     *obs.Registry
 	reqSeconds map[wire.MsgType]*obs.Histogram
+	firstChunk *obs.Histogram
 	bytesIn    *obs.Counter
 	bytesOut   *obs.Counter
 }
@@ -401,6 +402,9 @@ func (s *Server) initMetrics() {
 			"Request latency from frame arrival to response written, by message type.",
 			nil, obs.Labels{"type": t.String()})
 	}
+	s.firstChunk = r.Histogram("seabed_first_chunk_seconds",
+		"Latency from run start to the first streamed scan rows reaching the sink.",
+		nil, nil)
 	s.bytesIn = r.Counter("seabed_bytes_in_total", "Bytes received, frame headers included.", nil)
 	s.bytesOut = r.Counter("seabed_bytes_out_total", "Bytes sent, frame headers included.", nil)
 
@@ -1061,6 +1065,12 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto u
 			return wire.MsgError, wire.EncodeError("server: query canceled")
 		}
 		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	if res.Metrics.FirstChunk > 0 {
+		s.firstChunk.ObserveDuration(res.Metrics.FirstChunk)
+		if root != nil {
+			root.SetAttr("first_chunk", res.Metrics.FirstChunk.String())
+		}
 	}
 	// Run resolved the effective codec into pl.Codec; the client needs its
 	// name to decode identifier lists.

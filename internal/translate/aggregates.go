@@ -298,7 +298,11 @@ func (t *translator) translateGroupBy(q *sqlparse.Query, plan *planner.Plan, tr 
 	default:
 		return fmt.Errorf("translate: GROUP BY on %q needs a plaintext or DET form", name)
 	}
-	gb := &engine.GroupBy{Col: col}
+	// Declared key domain (dictionary size or schema cardinality) lets the
+	// executor run its dense flat-array group path. Harmless when the group
+	// column turns out to be strings or ciphertexts — the engine only
+	// consults the bound for u64 keys, and out-of-bound keys hash-fall-back.
+	gb := &engine.GroupBy{Col: col, KeyBound: cp.KeyDomain()}
 	if !t.opts.DisableInflation && t.opts.ExpectedGroups > 0 && t.opts.Workers > t.opts.ExpectedGroups {
 		// §4.5: inflate the number of groups to the number of available
 		// workers when fewer groups than workers are expected.

@@ -95,6 +95,11 @@ func EncodePlan(req *PlanRequest, version uint64) ([]byte, error) {
 	if pl.GroupBy != nil {
 		e.str(pl.GroupBy.Col)
 		e.uint(uint64(pl.GroupBy.Inflate))
+		// Key-domain bound (v7). Older peers simply run the hashed group
+		// path — the bound is a sizing hint, never a correctness contract.
+		if version >= 7 {
+			e.uint(pl.GroupBy.KeyBound)
+		}
 	}
 
 	e.uint(uint64(len(pl.Project)))
@@ -189,6 +194,9 @@ func DecodePlan(p []byte, version uint64) (*PlanRequest, error) {
 		pl.GroupBy = &engine.GroupBy{}
 		pl.GroupBy.Col = d.str()
 		pl.GroupBy.Inflate = int(d.uint())
+		if version >= 7 {
+			pl.GroupBy.KeyBound = d.uint()
+		}
 	}
 
 	nProject := d.uint()

@@ -314,6 +314,10 @@ func encodeMetrics(e *enc, m *engine.Metrics, version uint64) {
 		e.int(int64(m.TaskP50))
 		e.int(int64(m.TaskMax))
 	}
+	// Streamed-scan first-chunk latency (v7).
+	if version >= 7 {
+		e.int(int64(m.FirstChunk))
+	}
 }
 
 func decodeMetrics(d *dec, m *engine.Metrics, version uint64) {
@@ -332,5 +336,8 @@ func decodeMetrics(d *dec, m *engine.Metrics, version uint64) {
 		m.TaskMin = time.Duration(d.int())
 		m.TaskP50 = time.Duration(d.int())
 		m.TaskMax = time.Duration(d.int())
+	}
+	if version >= 7 {
+		m.FirstChunk = time.Duration(d.int())
 	}
 }

@@ -64,9 +64,13 @@ import (
 // fleet replication — segment shipping frames (MsgSegmentList /
 // MsgSegmentFetch / MsgSegmentData let a daemon stream a table's CRC'd
 // segment set plus WAL tail to a peer) and two negotiated plan-frame flags
-// (Hedge, Failover) so daemons can count hedged and failed-over runs.
+// (Hedge, Failover) so daemons can count hedged and failed-over runs; v7
+// added two streaming-engine fields — a group-by key-domain bound in the
+// plan frame (KeyBound, a sizing hint for the executor's flat accumulator)
+// and a first-chunk latency in the result frame's metrics (FirstChunk, how
+// long the streamed scan took to deliver its first rows).
 const (
-	Version    = 6
+	Version    = 7
 	MinVersion = 3
 )
 
