@@ -1,0 +1,146 @@
+// Command seabed-top is the fleet's health viewer: a one-screen rollup of
+// daemon liveness, per-daemon load and residency pressure, hedge/failover
+// rates, and replica staleness, refreshed on an interval like top(1).
+//
+// Two sources, one output:
+//
+//	seabed-top -url http://127.0.0.1:7700            # a proxy's /debug/fleet
+//	seabed-top -addrs :7687,:7689,:7691              # dial the fleet directly
+//	seabed-top -addrs ... -debug-addrs :7688,:7690,:7692   # + /stats per daemon
+//
+// With -url the tool polls an already-running proxy's debug plane (the
+// /debug/fleet endpoint client.Proxy.DebugHandler mounts when its backend is
+// a fleet coordinator). With -addrs it dials the daemons itself and builds
+// the same rollup coordinator-side. -once prints a single snapshot and exits
+// nonzero unless every daemon is live — the CI liveness check (1 for a
+// degraded or unreachable fleet, 2 when the fleet cannot even be dialed).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"seabed/internal/fleet"
+)
+
+func main() {
+	url := flag.String("url", "", "proxy debug-plane base URL to poll /debug/fleet from")
+	addrs := flag.String("addrs", "", "comma-separated daemon addresses to dial directly")
+	debugAddrs := flag.String("debug-addrs", "", "comma-separated daemon debug addresses (with -addrs; one per daemon)")
+	replicas := flag.Int("replicas", 0, "replication factor R (with -addrs; 0 = fleet default)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (status 1 if any daemon is unreachable)")
+	flag.Parse()
+
+	fetch, cleanup, err := buildFetcher(*url, *addrs, *debugAddrs, *replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seabed-top:", err)
+		os.Exit(2)
+	}
+	defer cleanup()
+
+	for {
+		h, err := fetch(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seabed-top:", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			render(os.Stdout, h)
+			if *once {
+				if h.Live < len(h.Daemons) {
+					os.Exit(1)
+				}
+				return
+			}
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// buildFetcher resolves the flags into one health source: an HTTP poll of a
+// proxy's /debug/fleet, or a directly-dialed fleet coordinator.
+func buildFetcher(url, addrs, debugAddrs string, replicas int) (fetch func(context.Context) (*fleet.FleetHealth, error), cleanup func(), err error) {
+	cleanup = func() {}
+	switch {
+	case url != "" && addrs != "":
+		return nil, nil, fmt.Errorf("-url and -addrs are mutually exclusive")
+	case url != "":
+		base := strings.TrimSuffix(url, "/")
+		return func(ctx context.Context) (*fleet.FleetHealth, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/fleet", nil)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return nil, err
+			}
+			defer resp.Body.Close() //nolint:errcheck // read-only body
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("GET %s/debug/fleet: %s", base, resp.Status)
+			}
+			var h fleet.FleetHealth
+			if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+				return nil, err
+			}
+			return &h, nil
+		}, cleanup, nil
+	case addrs != "":
+		var dbg []string
+		if debugAddrs != "" {
+			dbg = strings.Split(debugAddrs, ",")
+		}
+		c, err := fleet.Dial(strings.Split(addrs, ","), fleet.Options{
+			Replicas:   replicas,
+			DebugAddrs: dbg,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(ctx context.Context) (*fleet.FleetHealth, error) {
+			h := c.Health(ctx)
+			return &h, nil
+		}, func() { c.Close() }, nil //nolint:errcheck // exiting anyway
+	}
+	return nil, nil, fmt.Errorf("need -url or -addrs (see -help)")
+}
+
+// render prints one snapshot as a fixed-width table plus a summary line.
+func render(w *os.File, h *fleet.FleetHealth) {
+	fmt.Fprintf(w, "fleet: %d/%d live  R=%d  epoch=%d  hedges=%d  failovers=%d  stale_ranges=%d\n",
+		h.Live, len(h.Daemons), h.Replicas, h.Epoch, h.Hedges, h.Failovers, len(h.StaleRanges))
+	fmt.Fprintf(w, "%-3s %-22s %-5s %-5s %-7s %7s %7s %7s %9s %12s\n",
+		"ID", "ADDR", "LIVE", "DOWN", "RANGES", "RUNS", "ACTIVE", "TABLES", "FAULTS", "RESIDENT")
+	for _, d := range h.Daemons {
+		live, down := "yes", "-"
+		if !d.Live {
+			live = "NO"
+		}
+		if d.Down {
+			down = "DOWN"
+		}
+		runs, active, faults, resident := "-", "-", "-", "-"
+		if d.Stats != nil {
+			runs = fmt.Sprintf("%d", d.Stats.Runs)
+			active = fmt.Sprintf("%d", d.Stats.RunsActive)
+			faults = fmt.Sprintf("%d", d.Stats.Residency.ColumnFaults)
+			resident = fmt.Sprintf("%d", d.Stats.ResidentBytes)
+		}
+		fmt.Fprintf(w, "%-3d %-22s %-5s %-5s %-7d %7s %7s %7d %9s %12s\n",
+			d.Index, d.Addr, live, down, len(d.Ranges), runs, active, d.Tables, faults, resident)
+		if d.Err != "" {
+			fmt.Fprintf(w, "    └─ %s\n", d.Err)
+		}
+	}
+	for _, sr := range h.StaleRanges {
+		fmt.Fprintf(w, "stale: %s range %d max_end_id=%d lag=%v\n", sr.Ref, sr.Range, sr.MaxEndID, sr.Lag)
+	}
+}

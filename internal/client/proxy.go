@@ -47,6 +47,12 @@ type Proxy struct {
 	// included — with every WithCluster-derived proxy, so concurrent use of
 	// the original and derived proxies serializes on the same mutex.
 	tables *tableSet
+
+	// queries is the proxy-side live-query registry + trace flight
+	// recorder: every Query registers on start (killable through
+	// Queries().Kill or the debug plane) and records its trace on finish.
+	// Shared with WithCluster-derived proxies, like tables.
+	queries *obs.QueryLog
 }
 
 // tableSet couples the proxy's table registry with the mutex that guards it.
@@ -74,11 +80,18 @@ func NewProxy(master []byte, cluster ClusterBackend) (*Proxy, error) {
 		cluster: cluster,
 		Link:    netsim.InCluster,
 		tables:  &tableSet{m: make(map[string]*tableEntry)},
+		queries: obs.NewQueryLog(0),
 	}, nil
 }
 
 // Ring exposes the proxy's key ring (it stays inside the trusted domain).
 func (p *Proxy) Ring() *KeyRing { return p.ring }
+
+// Queries exposes the proxy's live-query registry + flight recorder: active
+// runs (killable by trace ID), the last N completed traces, and the JSON
+// debug handlers (obs.QueryLog.ServeQueries / ServeKill) an embedding
+// service mounts on its own debug listener.
+func (p *Proxy) Queries() *obs.QueryLog { return p.queries }
 
 // CreatePlan runs the planner over a plaintext schema and sample query set
 // (the "Create Plan" request of §4.1).
@@ -248,31 +261,47 @@ func (p *Proxy) Table(table string, mode translate.Mode) (*store.Table, error) {
 func (p *Proxy) Query(ctx context.Context, sql string, opts ...QueryOption) (*QueryResult, error) {
 	root := obs.NewTrace("query")
 	parse := root.StartChild("parse")
-	q, err := sqlparse.Parse(sql)
+	stmt, err := sqlparse.ParseStatement(sql)
 	parse.End()
 	if err != nil {
 		return nil, err
 	}
-	return p.runQuery(ctx, root, q, opts...)
+	if stmt.Explain {
+		return p.explainQuery(ctx, root, sql, stmt, opts...)
+	}
+	return p.runQuery(ctx, root, sql, stmt.Query, opts...)
 }
 
 // RunQuery is Query over a pre-parsed statement.
 func (p *Proxy) RunQuery(ctx context.Context, q *sqlparse.Query, opts ...QueryOption) (*QueryResult, error) {
-	return p.runQuery(ctx, obs.NewTrace("query"), q, opts...)
+	return p.runQuery(ctx, obs.NewTrace("query"), "", q, opts...)
 }
 
 // runQuery executes a parsed statement under an open query trace. The trace
 // root spans parse (when Query minted it) through decrypt; it is finished —
-// ended, offered to TraceSink, and slow-query-logged — when the result is
-// complete: at return for materialized results, at drain for streams.
-func (p *Proxy) runQuery(ctx context.Context, root *obs.Span, q *sqlparse.Query, opts ...QueryOption) (*QueryResult, error) {
+// ended, offered to TraceSink, slow-query-logged, and recorded by the
+// flight recorder — when the result is complete: at return for materialized
+// results, at drain for streams. sql is the registry fingerprint ("" for
+// pre-parsed statements).
+func (p *Proxy) runQuery(ctx context.Context, root *obs.Span, sql string, q *sqlparse.Query, opts ...QueryOption) (qr *QueryResult, err error) {
 	o := applyOptions(opts)
-	cancel := func() {}
+	// kill is the per-query cancel the live-query registry holds: the kill
+	// endpoint cancels exactly this context, and every layer below — worker
+	// pool, wire exchange, shard scatter — aborts through it.
+	ctx, kill := context.WithCancel(ctx)
+	cancel := kill
 	if o.timeout != 0 {
 		// A zero timeout means "no timeout"; an explicitly negative one is an
 		// already-expired deadline and fails fast, as with net/http.
-		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, o.timeout)
+		cancel = func() { tcancel(); kill() }
 	}
+	if sql == "" {
+		sql = "(pre-parsed query)"
+	}
+	p.queries.SetSlowThreshold(p.SlowQueryThreshold)
+	aq := p.queries.Start(root.TraceID(), sql, kill)
 	trSpan := root.StartChild("translate")
 	tr, err := translate.Translate(q, p, p.ring, o.mode, translate.Options{
 		Workers:          p.cluster.Workers(),
@@ -282,6 +311,7 @@ func (p *Proxy) runQuery(ctx context.Context, root *obs.Span, q *sqlparse.Query,
 	trSpan.End()
 	if err != nil {
 		cancel()
+		aq.Finish(err, "")
 		return nil, err
 	}
 	if o.selectivity > 0 && o.selectivity < 1 {
@@ -303,10 +333,14 @@ func (p *Proxy) runQuery(ctx context.Context, root *obs.Span, q *sqlparse.Query,
 	// Streaming scan: hand the plan to the backend's streaming path and
 	// return immediately; rows decrypt incrementally as Rows is consumed.
 	if o.stream && len(tr.Client.ScanCols) > 0 && !o.serverOnly {
-		return p.streamQuery(ctx, cancel, tr, root), nil
+		return p.streamQuery(ctx, cancel, aq, tr, root), nil
 	}
 	defer cancel()
-	defer p.finishTrace(root)
+	var finMetrics *engine.Metrics
+	defer func() {
+		p.finishTrace(root, finMetrics)
+		aq.Finish(err, root.String())
+	}()
 
 	runSpan := root.StartChild("run")
 	res, err := p.cluster.Run(obs.ContextWithSpan(ctx, runSpan), tr.Server)
@@ -314,6 +348,7 @@ func (p *Proxy) runQuery(ctx context.Context, root *obs.Span, q *sqlparse.Query,
 	if err != nil {
 		return nil, err
 	}
+	finMetrics = &res.Metrics
 	if o.serverOnly {
 		qr := &QueryResult{
 			Metrics:     res.Metrics,
@@ -330,7 +365,8 @@ func (p *Proxy) runQuery(ctx context.Context, root *obs.Span, q *sqlparse.Query,
 	if err != nil {
 		return nil, err
 	}
-	qr := &QueryResult{
+	aq.SetRows(uint64(len(dec.Rows)))
+	qr = &QueryResult{
 		rows:        dec.Rows,
 		Metrics:     dec.Metrics,
 		PRFEvals:    dec.PRFEvals,
@@ -345,7 +381,11 @@ func (p *Proxy) runQuery(ctx context.Context, root *obs.Span, q *sqlparse.Query,
 
 // finishTrace closes a query's trace root and delivers it: to TraceSink when
 // set, and to the slow-query log when the query ran past SlowQueryThreshold.
-func (p *Proxy) finishTrace(root *obs.Span) {
+// m, when non-nil, enriches the slow-query record with the run's metrics
+// (first-chunk latency, rows scanned/selected); the slowest shard under the
+// run span is named so a skewed query points at its straggler from the log
+// line alone.
+func (p *Proxy) finishTrace(root *obs.Span, m *engine.Metrics) {
 	root.End()
 	if p.TraceSink != nil {
 		p.TraceSink(root)
@@ -355,11 +395,30 @@ func (p *Proxy) finishTrace(root *obs.Span) {
 		if lg == nil {
 			lg = slog.Default()
 		}
-		lg.Warn("slow query",
+		args := []any{
 			"trace_id", fmt.Sprintf("%016x", root.TraceID()),
 			"duration", root.Duration(),
 			"threshold", p.SlowQueryThreshold,
-			"trace", root.String())
+		}
+		if m != nil {
+			args = append(args,
+				"first_chunk", m.FirstChunk,
+				"rows_scanned", m.RowsScanned,
+				"rows_selected", m.RowsSelected)
+		}
+		if run := root.FindSpan("run"); run != nil {
+			// In-process and sharded backends lay "shard i" children under
+			// run; the replicated fleet lays "range k @ daemon" spans.
+			slowest := run.SlowestChild("shard ")
+			if slowest == nil {
+				slowest = run.SlowestChild("range ")
+			}
+			if slowest != nil {
+				args = append(args, "slowest_shard", slowest.Name())
+			}
+		}
+		args = append(args, "trace", root.String())
+		lg.Warn("slow query", args...)
 	}
 }
 
@@ -375,6 +434,7 @@ func (p *Proxy) WithCluster(cluster ClusterBackend) *Proxy {
 		SlowQueryThreshold: p.SlowQueryThreshold, SlowQueryLog: p.SlowQueryLog,
 		TraceSink: p.TraceSink,
 		tables:    p.tables,
+		queries:   p.queries,
 	}
 }
 

@@ -26,9 +26,11 @@ type rowStream struct {
 	link    netsim.Link
 	drained bool
 	// run is the trace span covering the backend run; finish closes the query
-	// trace (slow-query log, TraceSink) once the stream ends for any reason.
+	// trace (slow-query log, TraceSink, flight recorder) once the stream ends
+	// for any reason, with the run's metrics when the drain completed and the
+	// stream's terminal error (nil for a clean drain).
 	run    *obs.Span
-	finish func()
+	finish func(m *engine.Metrics, err error)
 }
 
 // streamFinal carries the backend's terminal result (metrics, no rows) or
@@ -41,7 +43,7 @@ type streamFinal struct {
 // streamQuery launches the backend's streaming run and returns a QueryResult
 // whose rows arrive through Rows. cancel releases the query's timeout (and
 // with it the run) when the stream ends for any reason.
-func (p *Proxy) streamQuery(ctx context.Context, cancel context.CancelFunc, tr *translate.Translation, root *obs.Span) *QueryResult {
+func (p *Proxy) streamQuery(ctx context.Context, cancel context.CancelFunc, aq *obs.ActiveQuery, tr *translate.Translation, root *obs.Span) *QueryResult {
 	sctx, scancel := context.WithCancel(ctx)
 	s := &rowStream{
 		cancel:  func() { scancel(); cancel() },
@@ -53,13 +55,19 @@ func (p *Proxy) streamQuery(ctx context.Context, cancel context.CancelFunc, tr *
 		run:     root.StartChild("run"),
 	}
 	// A fully drained stream that is then Closed finishes twice; deliver the
-	// trace (TraceSink, slow-query log) only once.
+	// trace (TraceSink, slow-query log, flight recorder) only once.
 	var once sync.Once
-	s.finish = func() { once.Do(func() { p.finishTrace(root) }) }
+	s.finish = func(m *engine.Metrics, err error) {
+		once.Do(func() {
+			p.finishTrace(root, m)
+			aq.Finish(err, root.String())
+		})
+	}
 	go func() {
 		res, err := p.cluster.RunStream(obs.ContextWithSpan(sctx, s.run), tr.Server, func(rows []engine.ScanRow) error {
 			select {
 			case s.batches <- rows:
+				aq.AddRows(uint64(len(rows)))
 				return nil
 			case <-sctx.Done():
 				return sctx.Err()
@@ -118,7 +126,7 @@ func (r *QueryResult) Close() error {
 		r.stream.drained = true
 		r.stream.cancel()
 		r.stream.run.End()
-		r.stream.finish()
+		r.stream.finish(nil, context.Canceled)
 	}
 	return nil
 }
@@ -137,9 +145,11 @@ func (s *rowStream) iterate(qr *QueryResult) iter.Seq2[Row, error] {
 		s.drained = true
 		defer s.cancel()
 		// End the run span when the backend run ends (the drain IS the run for
-		// a stream), then finish the whole trace. End is idempotent, so a
-		// Close after a full drain double-ends harmlessly.
-		defer s.finish()
+		// a stream), then finish the whole trace. End and finish are both
+		// idempotent, so a Close after a full drain double-ends harmlessly and
+		// the success path's explicit finish (which carries the metrics) wins
+		// over this fallback.
+		defer s.finish(nil, nil)
 		defer s.run.End()
 		start := time.Now()
 		cols := s.tr.Client.ScanCols
@@ -147,6 +157,8 @@ func (s *rowStream) iterate(qr *QueryResult) iter.Seq2[Row, error] {
 			for i := range batch {
 				row, err := s.dec.scanRow(cols, &batch[i])
 				if err != nil {
+					s.run.End()
+					s.finish(nil, err)
 					yield(Row{}, err)
 					return
 				}
@@ -157,6 +169,8 @@ func (s *rowStream) iterate(qr *QueryResult) iter.Seq2[Row, error] {
 		}
 		fin := <-s.final
 		if fin.err != nil {
+			s.run.End()
+			s.finish(nil, fin.err)
 			yield(Row{}, fin.err)
 			return
 		}
@@ -169,5 +183,7 @@ func (s *rowStream) iterate(qr *QueryResult) iter.Seq2[Row, error] {
 		qr.NetworkTime = s.link.TransferTime(fin.res.Metrics.ResultBytes)
 		qr.ClientTime = time.Since(start)
 		qr.TotalTime = qr.ServerTime + qr.NetworkTime + qr.ClientTime
+		s.run.End()
+		s.finish(&qr.Metrics, nil)
 	}
 }

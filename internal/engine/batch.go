@@ -80,8 +80,10 @@ func (ts *taskState) execute(ctx context.Context, i0, i1 int) error {
 		hi := min(lo+batchRows-1, i1)
 		n := hi - lo + 1
 		processed += n
+		ts.res.ops.Batches++
 
 		if dense {
+			ts.res.ops.DenseBatches++
 			ts.res.rowsSelected += uint64(n)
 			ts.res.single.rows += uint64(n)
 			for ai := range cp.aggs {
@@ -134,6 +136,7 @@ func (ts *taskState) execute(ctx context.Context, i0, i1 int) error {
 func (ts *taskState) probe() {
 	key := ts.cp
 	col := ts.pc.leftKey
+	probed := len(ts.b.sel)
 	out := ts.b.sel[:0]
 	join := ts.joinBuf[:0]
 	switch col.Kind {
@@ -163,6 +166,8 @@ func (ts *taskState) probe() {
 		}
 	}
 	ts.b.sel, ts.b.join, ts.joinBuf = out, join, join
+	ts.res.ops.JoinProbed += uint64(probed)
+	ts.res.ops.JoinMatched += uint64(len(out))
 }
 
 // --- group-by path ---
@@ -427,11 +432,14 @@ func (ts *taskState) groupSlots(startID uint64) {
 		g.hh[miss] = hashU64Key(key)
 		miss++
 	}
+	ts.res.ops.GroupDense += uint64(len(sel) - miss)
+	ts.res.ops.GroupHash += uint64(miss)
 	if miss == 0 {
 		return
 	}
 	order := g.horder[:miss]
 	if len(g.table) >= radixMinTable && miss >= radixBuckets {
+		ts.res.ops.RadixBatches++
 		var count [radixBuckets + 1]int32
 		for m := 0; m < miss; m++ {
 			count[(g.hh[m]>>(64-radixBits))+1]++
@@ -566,6 +574,10 @@ func (g *grouper) slotPartial(s int) *partial {
 // output contract: reducer-bucketed (key, partial) pairs, which the shuffle
 // concatenates per bucket without re-hashing (run.go).
 func (g *grouper) fold(res *mapResult, buckets int) {
+	res.ops.GroupSlots += uint64(len(g.keys) + len(g.str) + len(g.plain))
+	if n := uint64(len(g.table)); g.kind == store.U64 && n > res.ops.GroupTableLen {
+		res.ops.GroupTableLen = n
+	}
 	res.groups = make([][]keyedPartial, buckets)
 	add := func(k groupKey, p *partial) {
 		b := reducerBucket(k, buckets)
@@ -655,12 +667,18 @@ func (cp *compiledPlan) runMapTask(ctx context.Context, c *Cluster, part *store.
 	// Fault in exactly the columns this plan reads, and hold them resident
 	// (safe from eviction) for the duration of the task: the task state binds
 	// &part.Cols[i] pointers, which stay valid only while pinned.
-	release, err := part.Pin(cp.leftIdxs)
+	release, faulted, err := part.PinStats(cp.leftIdxs)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
 	ts := cp.newTaskState(part)
+	pinned := len(cp.leftIdxs)
+	if cp.leftIdxs == nil {
+		pinned = len(part.Cols)
+	}
+	ts.res.ops.ColumnPins = uint64(pinned)
+	ts.res.ops.ColumnFaults = uint64(faulted)
 	i0, i1 := rangeBounds(part, cp.pl.Range)
 	ts.res.rowsScanned = uint64(i1 - i0 + 1)
 

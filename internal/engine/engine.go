@@ -364,6 +364,63 @@ type Metrics struct {
 	// a shard merge it takes the minimum non-zero value: the gather's caller
 	// saw rows as soon as the first shard produced any.
 	FirstChunk time.Duration
+	// Ops is the per-operator counter block: which executor paths each
+	// batch actually took. Crosses the wire from protocol v8; older peers
+	// simply report zeroes (stage-level metrics above still arrive).
+	Ops OpStats
+}
+
+// OpStats counts per-operator executor events — the EXPLAIN ANALYZE
+// substance. Every field is bumped at batch granularity (or once per task),
+// never per row, so the counters cost nothing the batch bookkeeping didn't
+// already pay. Across task and shard merges every field sums except
+// GroupTableLen, which takes the maximum: it reports a capacity (the largest
+// open-addressed slot table any task allocated), not a flow.
+type OpStats struct {
+	// Batches counts row batches the vectorized loop executed.
+	Batches uint64
+	// DenseBatches counts batches on the all-rows-survive dense aggregate
+	// path (no predicates, no join, no grouping, no projection).
+	DenseBatches uint64
+	// JoinProbed and JoinMatched count rows entering the broadcast-join
+	// hash probe and rows that found a partner (inner-join survivors).
+	JoinProbed  uint64
+	JoinMatched uint64
+	// GroupDense and GroupHash count group-key resolutions through the
+	// dense direct index vs the open-addressed table.
+	GroupDense uint64
+	GroupHash  uint64
+	// RadixBatches counts batches whose hash-path probes engaged radix
+	// partitioning (table ≥ radixMinTable and ≥ radixBuckets misses).
+	RadixBatches uint64
+	// GroupSlots totals distinct group slots across tasks (occupancy);
+	// GroupTableLen is the largest open-addressed table capacity seen.
+	GroupSlots    uint64
+	GroupTableLen uint64
+	// ColumnPins counts columns pinned resident for map tasks;
+	// ColumnFaults counts the pins that had to materialize the column from
+	// its backing segment (store.Residency pressure attributed per query).
+	ColumnPins   uint64
+	ColumnFaults uint64
+}
+
+// merge folds src into o under the documented rules: sum flows, max the
+// GroupTableLen capacity. Used both when a run folds task results and when
+// the shard gather folds per-shard metrics.
+func (o *OpStats) merge(src *OpStats) {
+	o.Batches += src.Batches
+	o.DenseBatches += src.DenseBatches
+	o.JoinProbed += src.JoinProbed
+	o.JoinMatched += src.JoinMatched
+	o.GroupDense += src.GroupDense
+	o.GroupHash += src.GroupHash
+	o.RadixBatches += src.RadixBatches
+	o.GroupSlots += src.GroupSlots
+	if src.GroupTableLen > o.GroupTableLen {
+		o.GroupTableLen = src.GroupTableLen
+	}
+	o.ColumnPins += src.ColumnPins
+	o.ColumnFaults += src.ColumnFaults
 }
 
 // Result is a plan's output.

@@ -222,4 +222,7 @@ func mergeMetrics(dst, src *Metrics, first bool) {
 	if src.FirstChunk > 0 && (dst.FirstChunk == 0 || src.FirstChunk < dst.FirstChunk) {
 		dst.FirstChunk = src.FirstChunk
 	}
+	// Per-operator counters: flows sum, GroupTableLen maxes (OpStats.merge
+	// applies the same rules the task fold used within one shard).
+	dst.Ops.merge(&src.Ops)
 }

@@ -185,7 +185,7 @@ func (rp *referencePlan) runMapTask(ctx context.Context, c *Cluster, part *store
 	}
 	// The reference loop is not compiled, so no column working set is known
 	// up front: pin the whole partition resident for the task.
-	release, err := part.Pin(nil)
+	release, faulted, err := part.PinStats(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +195,8 @@ func (rp *referencePlan) runMapTask(ctx context.Context, c *Cluster, part *store
 		return nil, err
 	}
 	res := &mapResult{}
+	res.ops.ColumnPins = uint64(len(part.Cols))
+	res.ops.ColumnFaults = uint64(faulted)
 
 	i0, i1 := rangeBounds(part, pl.Range)
 	res.rowsScanned = uint64(i1 - i0 + 1)

@@ -252,6 +252,7 @@ func (c *Cluster) run(ctx context.Context, pl *Plan, reference bool, sink ScanSi
 		metrics.ShuffleBytes += r.bytes
 		metrics.RowsScanned += r.rowsScanned
 		metrics.RowsSelected += r.rowsSelected
+		metrics.Ops.merge(&r.ops)
 	}
 	metrics.MapTasks = len(results)
 	metrics.MapTime = makespan(durations, c.cfg.Workers)

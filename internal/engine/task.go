@@ -90,6 +90,10 @@ type mapResult struct {
 	bytes        int
 	rowsScanned  uint64
 	rowsSelected uint64
+	// ops carries the task's per-operator counters (batch-granularity; see
+	// OpStats). The reference evaluator leaves it zero except for column
+	// pins/faults, which both executors record in runMapTask's shared path.
+	ops OpStats
 }
 
 // reducerBucket deterministically assigns a group key to one of n reducer

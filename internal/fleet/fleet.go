@@ -81,6 +81,11 @@ type Options struct {
 	// Log receives coordinator events (failovers, hedges, heals). Nil
 	// silences logging.
 	Log *slog.Logger
+	// DebugAddrs, when non-empty, lists each daemon's HTTP debug-plane
+	// address (the -debug-addr listener), parallel to the dialed addresses.
+	// The health rollup (Cluster.Health) then enriches each daemon's entry
+	// with its /stats snapshot; empty leaves health wire-probe-only.
+	DebugAddrs []string
 }
 
 // tableState tracks one replicated table at the coordinator.
@@ -146,6 +151,9 @@ func Dial(addrs []string, opts Options) (*Cluster, error) {
 		if opts.HedgeQuantile != 0 {
 			return nil, fmt.Errorf("fleet: hedge quantile %v outside (0, 1)", opts.HedgeQuantile)
 		}
+	}
+	if n := len(opts.DebugAddrs); n != 0 && n != len(addrs) {
+		return nil, fmt.Errorf("fleet: %d debug addresses for %d daemons; list one per daemon (\"\" for none) or none at all", n, len(addrs))
 	}
 	seen := make(map[string]int, len(addrs))
 	for i, addr := range addrs {

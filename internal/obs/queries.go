@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryInfo is one query as the introspection plane reports it: either a run
+// in flight (Done false, Elapsed still growing) or a completed run retained
+// by the flight recorder. The JSON field names are part of the debug-plane
+// contract (/debug/queries) and must stay stable.
+type QueryInfo struct {
+	// TraceID is the query's trace ID, rendered as 16 hex digits so JSON
+	// consumers never lose precision on a uint64.
+	TraceID string `json:"trace_id"`
+	// Query is the query fingerprint: the SQL text on the proxy, a compact
+	// plan summary on a daemon (which never sees plaintext SQL).
+	Query string `json:"query"`
+	// Start is when the run began.
+	Start time.Time `json:"start"`
+	// Elapsed is the run's age (in flight) or final duration (completed).
+	Elapsed time.Duration `json:"elapsed"`
+	// Rows counts rows delivered so far (streamed runs) or in total.
+	Rows uint64 `json:"rows"`
+	// Err is the terminal error message; "" for success or in-flight runs.
+	Err string `json:"err,omitempty"`
+	// Done marks a completed run (a flight-recorder entry).
+	Done bool `json:"done"`
+	// Slow marks a completed run that crossed the recorder's SlowThreshold;
+	// slow entries are pinned preferentially when the ring evicts.
+	Slow bool `json:"slow"`
+	// Trace is the rendered span tree, when the run carried one.
+	Trace string `json:"trace,omitempty"`
+}
+
+// TraceIDString renders a trace ID the way the whole debug plane does.
+func TraceIDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ActiveQuery is one registered in-flight run: a handle for bumping its row
+// count from the streaming sink and finishing it into the flight recorder.
+type ActiveQuery struct {
+	log      *QueryLog
+	traceID  uint64
+	query    string
+	start    time.Time
+	rows     atomic.Uint64
+	cancel   context.CancelFunc
+	finished atomic.Bool
+}
+
+// AddRows bumps the rows-delivered-so-far counter (atomic; called from the
+// streaming sink).
+func (a *ActiveQuery) AddRows(n uint64) {
+	if a != nil {
+		a.rows.Add(n)
+	}
+}
+
+// SetRows overwrites the row count — the non-streaming path's one-shot total.
+func (a *ActiveQuery) SetRows(n uint64) {
+	if a != nil {
+		a.rows.Store(n)
+	}
+}
+
+// Finish completes the run: it leaves the active set and enters the flight
+// recorder ring with the given terminal error (nil for success) and rendered
+// trace ("" for none). Safe on a nil receiver and idempotent enough for
+// defer-at-every-return use: the second call finds the active entry gone and
+// does nothing.
+func (a *ActiveQuery) Finish(err error, trace string) {
+	if a == nil || a.log == nil {
+		return
+	}
+	a.log.finish(a, err, trace)
+}
+
+// QueryLog is the live-query registry plus the trace flight recorder: every
+// run registers on start (with its cancel func, so the kill endpoint reaches
+// the same per-run context MsgCancel uses), and on finish moves into a
+// bounded ring of the last N completed queries. Eviction prefers dropping
+// fast queries: entries over SlowThreshold survive until the ring is all
+// slow. All methods are safe for concurrent use.
+type QueryLog struct {
+	mu     sync.Mutex
+	slow   time.Duration
+	limit  int
+	active map[uint64]*ActiveQuery
+	ring   []QueryInfo // completion order, oldest first
+}
+
+// SetSlowThreshold marks completed runs at or over d as slow (pinned
+// preferentially by the ring's eviction). Zero — the default — pins nothing.
+// Safe to call at any time; runs finishing afterwards use the new value.
+func (q *QueryLog) SetSlowThreshold(d time.Duration) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.slow = d
+	q.mu.Unlock()
+}
+
+// DefaultFlightRecorderSize is the ring capacity a daemon or proxy gets when
+// it doesn't choose one.
+const DefaultFlightRecorderSize = 128
+
+// NewQueryLog returns a registry whose flight recorder retains at most limit
+// completed queries (DefaultFlightRecorderSize if limit <= 0).
+func NewQueryLog(limit int) *QueryLog {
+	if limit <= 0 {
+		limit = DefaultFlightRecorderSize
+	}
+	return &QueryLog{limit: limit, active: make(map[uint64]*ActiveQuery)}
+}
+
+// Start registers an in-flight run. cancel may be nil (the run is then
+// visible but not killable). A second run under the same trace ID replaces
+// the first in the active set — latest wins, and the replaced run still
+// records on Finish.
+func (q *QueryLog) Start(traceID uint64, query string, cancel context.CancelFunc) *ActiveQuery {
+	if q == nil {
+		return nil // nil registry (zero-value host): run is simply untracked
+	}
+	a := &ActiveQuery{log: q, traceID: traceID, query: query, start: time.Now(), cancel: cancel}
+	q.mu.Lock()
+	q.active[traceID] = a
+	q.mu.Unlock()
+	return a
+}
+
+func (q *QueryLog) finish(a *ActiveQuery, err error, trace string) {
+	if !a.finished.CompareAndSwap(false, true) {
+		return // double Finish (defer-at-every-return)
+	}
+	info := QueryInfo{
+		TraceID: TraceIDString(a.traceID),
+		Query:   a.query,
+		Start:   a.start,
+		Elapsed: time.Since(a.start),
+		Rows:    a.rows.Load(),
+		Done:    true,
+		Trace:   trace,
+	}
+	if err != nil {
+		info.Err = err.Error()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if cur, ok := q.active[a.traceID]; ok && cur == a {
+		delete(q.active, a.traceID)
+	}
+	info.Slow = q.slow > 0 && info.Elapsed >= q.slow
+	q.ring = append(q.ring, info)
+	if len(q.ring) <= q.limit {
+		return
+	}
+	// Evict the oldest non-slow entry; if every entry is slow, the oldest
+	// goes — the ring never exceeds limit regardless of pinning.
+	victim := 0
+	for i := range q.ring {
+		if !q.ring[i].Slow {
+			victim = i
+			break
+		}
+	}
+	q.ring = append(q.ring[:victim], q.ring[victim+1:]...)
+}
+
+// Kill cancels the in-flight run with the given trace ID through its
+// registered cancel func. It reports whether a killable run was found; the
+// run still finishes through its normal path (recording context.Canceled).
+func (q *QueryLog) Kill(traceID uint64) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	a := q.active[traceID]
+	q.mu.Unlock()
+	if a == nil || a.cancel == nil {
+		return false
+	}
+	a.cancel()
+	return true
+}
+
+// Active snapshots the in-flight runs, oldest first.
+func (q *QueryLog) Active() []QueryInfo {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	as := make([]*ActiveQuery, 0, len(q.active))
+	for _, a := range q.active {
+		as = append(as, a)
+	}
+	q.mu.Unlock()
+	sort.Slice(as, func(i, j int) bool { return as[i].start.Before(as[j].start) })
+	out := make([]QueryInfo, len(as))
+	for i, a := range as {
+		out[i] = QueryInfo{
+			TraceID: TraceIDString(a.traceID),
+			Query:   a.query,
+			Start:   a.start,
+			Elapsed: time.Since(a.start),
+			Rows:    a.rows.Load(),
+		}
+	}
+	return out
+}
+
+// Recent snapshots the flight recorder, oldest completion first.
+func (q *QueryLog) Recent() []QueryInfo {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]QueryInfo(nil), q.ring...)
+}
+
+// ActiveCount reports the number of in-flight runs (the
+// seabed_active_queries gauge).
+func (q *QueryLog) ActiveCount() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.active)
+}
+
+// RecordedCount reports the number of retained completed traces (the
+// seabed_flight_recorder_traces gauge).
+func (q *QueryLog) RecordedCount() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ring)
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderRingBound is the ring property test: however many runs
+// complete (N + k for assorted k), the recorder retains at most N, the
+// retained set is the newest completions, and slow entries survive eviction
+// while any fast entry remains.
+func TestFlightRecorderRingBound(t *testing.T) {
+	const limit = 8
+	for _, extra := range []int{0, 1, 3, 5 * limit} {
+		q := NewQueryLog(limit)
+		total := limit + extra
+		for i := 0; i < total; i++ {
+			q.Start(uint64(i+1), fmt.Sprintf("q%d", i), nil).Finish(nil, "")
+		}
+		recent := q.Recent()
+		if len(recent) > limit {
+			t.Fatalf("extra=%d: ring holds %d entries, limit %d", extra, len(recent), limit)
+		}
+		if extra == 0 && len(recent) != limit {
+			t.Fatalf("ring evicted below its limit: %d of %d", len(recent), limit)
+		}
+		// With no slow pinning, eviction is strictly oldest-first: the ring
+		// holds exactly the last `limit` completions in order.
+		for i, info := range recent {
+			want := TraceIDString(uint64(total - limit + i + 1))
+			if info.TraceID != want {
+				t.Fatalf("extra=%d: ring[%d] = %s, want %s", extra, i, info.TraceID, want)
+			}
+		}
+		if q.RecordedCount() != len(recent) {
+			t.Fatalf("RecordedCount %d != len(Recent) %d", q.RecordedCount(), len(recent))
+		}
+	}
+}
+
+// TestFlightRecorderPinsSlow pins the slow-query preference: completed runs
+// over the threshold survive eviction while fast entries remain, and the
+// ring still never exceeds its limit even when everything is slow.
+func TestFlightRecorderPinsSlow(t *testing.T) {
+	const limit = 4
+	q := NewQueryLog(limit)
+	q.SetSlowThreshold(time.Nanosecond) // everything that follows is "slow"
+
+	slow := q.Start(1, "slow", nil)
+	time.Sleep(time.Microsecond)
+	slow.Finish(errors.New("deadline"), "trace-text")
+
+	q.SetSlowThreshold(time.Hour) // everything that follows is "fast"
+	for i := 0; i < 3*limit; i++ {
+		q.Start(uint64(100+i), "fast", nil).Finish(nil, "")
+	}
+	recent := q.Recent()
+	if len(recent) != limit {
+		t.Fatalf("ring holds %d, want %d", len(recent), limit)
+	}
+	if recent[0].TraceID != TraceIDString(1) || !recent[0].Slow {
+		t.Fatalf("slow entry evicted: ring starts with %+v", recent[0])
+	}
+	if recent[0].Err != "deadline" || recent[0].Trace != "trace-text" {
+		t.Fatalf("slow entry lost its error/trace: %+v", recent[0])
+	}
+
+	// All-slow ring: pinning never overrides the size bound.
+	q2 := NewQueryLog(limit)
+	q2.SetSlowThreshold(time.Nanosecond)
+	for i := 0; i < 3*limit; i++ {
+		a := q2.Start(uint64(i+1), "s", nil)
+		time.Sleep(time.Microsecond)
+		a.Finish(nil, "")
+	}
+	if n := q2.RecordedCount(); n != limit {
+		t.Fatalf("all-slow ring holds %d, want %d", n, limit)
+	}
+}
+
+// TestQueryLogConcurrent hammers the registry from racing recorders, killers,
+// and snapshotters — the -race gate for the debug plane's shared state.
+func TestQueryLogConcurrent(t *testing.T) {
+	const limit = 16
+	q := NewQueryLog(limit)
+	q.SetSlowThreshold(time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := uint64(w*1000 + i + 1)
+				_, cancel := context.WithCancel(context.Background())
+				a := q.Start(id, "concurrent", cancel)
+				a.AddRows(3)
+				if i%3 == 0 {
+					q.Kill(id)
+				}
+				a.Finish(nil, "")
+				a.Finish(nil, "") // double Finish must stay idempotent
+				cancel()
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				q.Active()
+				q.Recent()
+				q.ActiveCount()
+				q.RecordedCount()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := q.ActiveCount(); n != 0 {
+		t.Fatalf("%d runs still active after all finished", n)
+	}
+	if n := q.RecordedCount(); n != limit {
+		t.Fatalf("ring holds %d after 1600 completions, want %d", n, limit)
+	}
+	// Each completed run recorded its rows.
+	for _, info := range q.Recent() {
+		if info.Rows != 3 || !info.Done {
+			t.Fatalf("recorded entry corrupt: %+v", info)
+		}
+	}
+}
+
+// TestQueryLogNilSafety pins the zero-value-host contract: a nil registry
+// (a Proxy built without NewProxy, as some tests do) must no-op everywhere
+// instead of panicking.
+func TestQueryLogNilSafety(t *testing.T) {
+	var q *QueryLog
+	q.SetSlowThreshold(time.Second)
+	a := q.Start(1, "x", nil)
+	a.AddRows(1)
+	a.SetRows(2)
+	a.Finish(nil, "")
+	if q.Kill(1) || q.Active() != nil || q.Recent() != nil || q.ActiveCount() != 0 || q.RecordedCount() != 0 {
+		t.Fatal("nil QueryLog not inert")
+	}
+}

@@ -14,6 +14,8 @@ import (
 //	               (request latency histograms, WAL fsync latency, plan-cache
 //	               hits, recovery cost, byte counters)
 //	/stats         the same Stats snapshot the SIGUSR1 dump renders, as JSON
+//	/debug/queries       live-query registry + trace flight recorder (JSON)
+//	/debug/queries/kill  cancel an in-flight run: ?trace=<16-hex trace ID>
 //	/debug/pprof/  the standard Go profiles
 //
 // The handler holds no state of its own — every request reads the live
@@ -31,6 +33,8 @@ func (s *Server) DebugHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Stats()) //nolint:errcheck // best-effort debug endpoint
 	})
+	mux.HandleFunc("/debug/queries", s.queries.ServeQueries)
+	mux.HandleFunc("/debug/queries/kill", s.queries.ServeKill)
 	// net/http/pprof registers on DefaultServeMux at import; route the same
 	// handlers on this private mux instead so the debug listener works even
 	// when the embedding process never touches the default mux.

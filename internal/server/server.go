@@ -94,6 +94,12 @@ type Server struct {
 	canceled   atomic.Uint64
 	reqErrors  atomic.Uint64
 
+	// rowsScanned totals input rows across completed runs
+	// (seabed_query_rows_scanned_total); queries is the live-query registry
+	// + trace flight recorder behind /debug/queries.
+	rowsScanned atomic.Uint64
+	queries     *obs.QueryLog
+
 	// replication counters (wire v6): runs the fleet coordinator marked as
 	// hedges or failovers, and segment bytes shipped to or pulled from peer
 	// daemons.
@@ -385,10 +391,15 @@ func New(cluster *engine.Cluster) *Server {
 		tables:   make(map[string]*store.Table),
 		active:   make(map[net.Conn]struct{}),
 		repStats: make(map[string]*repStat),
+		queries:  obs.NewQueryLog(0),
 	}
 	s.initMetrics()
 	return s
 }
+
+// Queries returns the daemon's live-query registry + flight recorder (the
+// store behind /debug/queries and /debug/queries/kill).
+func (s *Server) Queries() *obs.QueryLog { return s.queries }
 
 // initMetrics registers the server's instruments. Hot-path series (request
 // latency, bytes) are real instruments; counters the Stats snapshot already
@@ -427,6 +438,13 @@ func (s *Server) initMetrics() {
 	})
 	r.GaugeFunc("seabed_runs_active", "Plans executing right now.", nil, func() float64 {
 		return float64(s.runsActive.Load())
+	})
+	cf("seabed_query_rows_scanned_total", "Input rows scanned by completed runs.", nil, &s.rowsScanned)
+	r.GaugeFunc("seabed_active_queries", "Queries registered in flight right now.", nil, func() float64 {
+		return float64(s.queries.ActiveCount())
+	})
+	r.GaugeFunc("seabed_flight_recorder_traces", "Completed query traces retained by the flight recorder.", nil, func() float64 {
+		return float64(s.queries.RecordedCount())
 	})
 	r.CounterFunc("seabed_plan_cache_hits_total", "Compiled-plan cache hits.", nil, func() float64 {
 		h, _ := s.cluster.PlanCacheStats()
@@ -862,7 +880,7 @@ func (s *Server) serveRun(conn net.Conn, quit <-chan struct{}, frames <-chan fra
 	}
 	done := make(chan runDone, 1)
 	go func() {
-		respType, resp := s.executeRun(ctx, conn, f, proto)
+		respType, resp := s.executeRun(ctx, cancel, conn, f, proto)
 		done <- runDone{respType, resp}
 	}()
 
@@ -975,12 +993,28 @@ func (s *Server) handleAppend(payload []byte) (wire.MsgType, []byte) {
 // MsgResultChunk frames as the engine produces them, and returns the
 // terminal response frame. On a v4 connection carrying a trace ID the run
 // builds its span breakdown — queue wait, then the engine's stage spans —
-// and ships it in the result frame.
-func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto uint64) (wire.MsgType, []byte) {
+// and ships it in the result frame. cancel is the run's own cancel func,
+// registered with the live-query registry so /debug/queries/kill reaches
+// the same context MsgCancel does.
+func (s *Server) executeRun(ctx context.Context, cancel context.CancelFunc, conn net.Conn, f frame, proto uint64) (mt wire.MsgType, payload []byte) {
 	req, err := wire.DecodePlan(f.payload, proto)
 	if err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}
+
+	// Register with the introspection plane for the whole run. The daemon
+	// never sees SQL, so the fingerprint is a compact plan summary; the
+	// terminal error (if any) is recovered from the response frame so every
+	// return path below records correctly.
+	aq := s.queries.Start(req.TraceID, planFingerprint(req), cancel)
+	var recTrace string
+	defer func() {
+		var ferr error
+		if mt == wire.MsgError {
+			ferr = errors.New(wire.DecodeError(payload))
+		}
+		aq.Finish(ferr, recTrace)
+	}()
 
 	// Replica-coordination accounting (v6): a pre-v6 frame decodes both
 	// flags false, so no extra gate is needed.
@@ -1043,6 +1077,7 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto u
 					return err
 				}
 				s.bytesOut.Add(uint64(len(chunkBuf)) + 5)
+				aq.AddRows(uint64(len(rows)))
 				return nil
 			}
 		} else {
@@ -1055,6 +1090,7 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto u
 					return err
 				}
 				s.bytesOut.Add(uint64(len(chunk)) + 5)
+				aq.AddRows(uint64(len(rows)))
 				return nil
 			}
 		}
@@ -1065,6 +1101,10 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto u
 			return wire.MsgError, wire.EncodeError("server: query canceled")
 		}
 		return wire.MsgError, wire.EncodeError(err.Error())
+	}
+	s.rowsScanned.Add(res.Metrics.RowsScanned)
+	if len(pl.Project) == 0 {
+		aq.SetRows(uint64(len(res.Groups)))
 	}
 	if res.Metrics.FirstChunk > 0 {
 		s.firstChunk.ObserveDuration(res.Metrics.FirstChunk)
@@ -1082,10 +1122,33 @@ func (s *Server) executeRun(ctx context.Context, conn net.Conn, f frame, proto u
 	if root != nil {
 		root.End()
 		spans = obs.Flatten(root)
+		recTrace = root.String()
 	}
 	resp, err := wire.EncodeResult(codecName, res, spans, proto)
 	if err != nil {
 		return wire.MsgError, wire.EncodeError(err.Error())
 	}
 	return wire.MsgResult, resp
+}
+
+// planFingerprint summarizes a plan request for the live-query registry: the
+// daemon holds only ciphertext plans, so this is the untrusted side's analog
+// of the proxy's SQL fingerprint.
+func planFingerprint(req *wire.PlanRequest) string {
+	pl := req.Plan
+	mode := "agg"
+	switch {
+	case len(pl.Project) > 0:
+		mode = "scan"
+	case pl.GroupBy != nil:
+		mode = "group"
+	}
+	fp := mode + " " + req.TableRef
+	if pl.Join != nil {
+		fp += " join " + req.JoinRef
+	}
+	if pl.Partial {
+		fp += fmt.Sprintf(" [%d-%d]", pl.Range.Lo, pl.Range.Hi)
+	}
+	return fp
 }

@@ -23,6 +23,49 @@ func Parse(src string) (*Query, error) {
 	return q, nil
 }
 
+// Statement is a parsed SQL statement: a query, optionally wrapped by an
+// EXPLAIN or EXPLAIN ANALYZE prefix.
+type Statement struct {
+	// Explain marks an EXPLAIN-wrapped query: the caller should render the
+	// compiled plan instead of (plain EXPLAIN) or in addition to (EXPLAIN
+	// ANALYZE) returning the query's rows.
+	Explain bool
+	// Analyze marks EXPLAIN ANALYZE: run the query and graft its measured
+	// per-operator counters onto the rendered plan.
+	Analyze bool
+	// Query is the wrapped (or bare) query.
+	Query *Query
+}
+
+// ParseStatement parses a statement in Seabed's supported subset: a query,
+// optionally prefixed by EXPLAIN or EXPLAIN ANALYZE. Parse remains the entry
+// point for call sites that accept only bare queries.
+func ParseStatement(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st := &Statement{}
+	if p.atKeyword("explain") {
+		p.next()
+		st.Explain = true
+		if p.atKeyword("analyze") {
+			p.next()
+			st.Analyze = true
+		}
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	st.Query = q
+	return st, nil
+}
+
 // MustParse is Parse but panics on error; intended for tests and fixtures.
 func MustParse(src string) *Query {
 	q, err := Parse(src)

@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -200,5 +201,52 @@ func TestIsRange(t *testing.T) {
 	}
 	if !OpLt.IsRange() || !OpGe.IsRange() {
 		t.Fatal("inequality ops are ranges")
+	}
+}
+
+func TestParseStatementExplain(t *testing.T) {
+	cases := []struct {
+		src              string
+		explain, analyze bool
+	}{
+		{"SELECT SUM(m) FROM big WHERE d > 15", false, false},
+		{"EXPLAIN SELECT SUM(m) FROM big WHERE d > 15", true, false},
+		{"explain analyze SELECT SUM(m) FROM big", true, true},
+		{"  Explain   Analyze  SELECT COUNT(*) FROM t", true, true},
+	}
+	for _, c := range cases {
+		st, err := ParseStatement(c.src)
+		if err != nil {
+			t.Fatalf("ParseStatement(%q): %v", c.src, err)
+		}
+		if st.Explain != c.explain || st.Analyze != c.analyze {
+			t.Errorf("ParseStatement(%q): explain=%v analyze=%v, want %v/%v",
+				c.src, st.Explain, st.Analyze, c.explain, c.analyze)
+		}
+		if st.Query == nil || st.Query.From.Table == "" {
+			t.Errorf("ParseStatement(%q): wrapped query not parsed: %+v", c.src, st.Query)
+		}
+	}
+	// The wrapped query is identical to a bare Parse of the same SQL.
+	bare := MustParse("SELECT SUM(m) FROM big WHERE d > 15")
+	st, err := ParseStatement("EXPLAIN ANALYZE SELECT SUM(m) FROM big WHERE d > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Query, bare) {
+		t.Errorf("EXPLAIN-wrapped query diverges from bare parse:\n got %+v\nwant %+v", st.Query, bare)
+	}
+}
+
+func TestParseStatementRejectsJunk(t *testing.T) {
+	for _, src := range []string{
+		"EXPLAIN",                           // nothing to explain
+		"ANALYZE SELECT COUNT(*) FROM t",    // ANALYZE without EXPLAIN
+		"EXPLAIN EXPLAIN SELECT * FROM t",   // doubled keyword
+		"EXPLAIN SELECT COUNT(*) FROM t 42", // trailing input after the query
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) accepted", src)
+		}
 	}
 }

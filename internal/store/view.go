@@ -75,12 +75,21 @@ func releaseNone() {}
 // stay valid until release is called; after release the residency manager may
 // drop the vectors again at any time.
 func (p *Partition) Pin(idxs []int) (release func(), err error) {
+	release, _, err = p.PinStats(idxs)
+	return release, err
+}
+
+// PinStats is Pin plus attribution: faulted reports how many of the pinned
+// columns had to be materialized from their backing segments by this call
+// (0 on a heap partition or a warm view). The per-query fault accounting in
+// engine.OpStats reads this; the global Residency counters are unchanged.
+func (p *Partition) PinStats(idxs []int) (release func(), faulted int, err error) {
 	v := p.view
 	if v == nil {
-		return releaseNone, nil
+		return releaseNone, 0, nil
 	}
 	v.mu.Lock()
-	var faulted uint64
+	var faultedBytes uint64
 	var faultedCols int
 	load := func(i int) error {
 		if v.loaded[i] {
@@ -98,7 +107,7 @@ func (p *Partition) Pin(idxs []int) (release func(), err error) {
 		}
 		p.Cols[i].U64, p.Cols[i].Bytes, p.Cols[i].Str = col.U64, col.Bytes, col.Str
 		v.loaded[i] = true
-		faulted += p.Cols[i].memBytes()
+		faultedBytes += p.Cols[i].memBytes()
 		faultedCols++
 		return nil
 	}
@@ -106,30 +115,30 @@ func (p *Partition) Pin(idxs []int) (release func(), err error) {
 		for i := range p.Cols {
 			if err := load(i); err != nil {
 				v.mu.Unlock()
-				return nil, err
+				return nil, 0, err
 			}
 		}
 	} else {
 		for _, i := range idxs {
 			if i < 0 || i >= len(p.Cols) {
 				v.mu.Unlock()
-				return nil, fmt.Errorf("store: pin column %d of %d", i, len(p.Cols))
+				return nil, 0, fmt.Errorf("store: pin column %d of %d", i, len(p.Cols))
 			}
 			if err := load(i); err != nil {
 				v.mu.Unlock()
-				return nil, err
+				return nil, 0, err
 			}
 		}
 	}
 	v.pins++
-	v.bytes += faulted
+	v.bytes += faultedBytes
 	v.mu.Unlock()
 	if v.res != nil {
 		// Charged outside v.mu: the residency manager may evict other
 		// partitions to make room, and eviction takes their view locks.
-		v.res.charge(p, faulted, faultedCols)
+		v.res.charge(p, faultedBytes, faultedCols)
 	}
-	return p.unpin, nil
+	return p.unpin, faultedCols, nil
 }
 
 // unpin releases one Pin, making the partition evictable again once its pin

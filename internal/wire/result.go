@@ -318,6 +318,20 @@ func encodeMetrics(e *enc, m *engine.Metrics, version uint64) {
 	if version >= 7 {
 		e.int(int64(m.FirstChunk))
 	}
+	// Per-operator execution counters (v8) — EXPLAIN ANALYZE's payload.
+	if version >= 8 {
+		e.uint(m.Ops.Batches)
+		e.uint(m.Ops.DenseBatches)
+		e.uint(m.Ops.JoinProbed)
+		e.uint(m.Ops.JoinMatched)
+		e.uint(m.Ops.GroupDense)
+		e.uint(m.Ops.GroupHash)
+		e.uint(m.Ops.RadixBatches)
+		e.uint(m.Ops.GroupSlots)
+		e.uint(m.Ops.GroupTableLen)
+		e.uint(m.Ops.ColumnPins)
+		e.uint(m.Ops.ColumnFaults)
+	}
 }
 
 func decodeMetrics(d *dec, m *engine.Metrics, version uint64) {
@@ -339,5 +353,18 @@ func decodeMetrics(d *dec, m *engine.Metrics, version uint64) {
 	}
 	if version >= 7 {
 		m.FirstChunk = time.Duration(d.int())
+	}
+	if version >= 8 {
+		m.Ops.Batches = d.uint()
+		m.Ops.DenseBatches = d.uint()
+		m.Ops.JoinProbed = d.uint()
+		m.Ops.JoinMatched = d.uint()
+		m.Ops.GroupDense = d.uint()
+		m.Ops.GroupHash = d.uint()
+		m.Ops.RadixBatches = d.uint()
+		m.Ops.GroupSlots = d.uint()
+		m.Ops.GroupTableLen = d.uint()
+		m.Ops.ColumnPins = d.uint()
+		m.Ops.ColumnFaults = d.uint()
 	}
 }

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"seabed/internal/engine"
+	"seabed/internal/idlist"
+	"seabed/internal/store"
+)
+
+// opsResult builds a result whose per-operator counter block has every field
+// nonzero and distinct, so a dropped or reordered field cannot round-trip
+// cleanly by accident.
+func opsResult() *engine.Result {
+	return &engine.Result{
+		Groups: []engine.Group{
+			{KeyKind: store.U64, KeyU64: 7, Suffix: -1, Rows: 3,
+				Aggs: []engine.AggValue{{Kind: engine.AggCount, U64: 3}}},
+		},
+		Metrics: engine.Metrics{
+			ServerTime: 5 * time.Millisecond, MapTasks: 4, ReduceTasks: 1,
+			RowsScanned: 9000, RowsSelected: 1234,
+			FirstChunk: 2 * time.Millisecond,
+			Ops: engine.OpStats{
+				Batches:       101,
+				DenseBatches:  11,
+				JoinProbed:    5000,
+				JoinMatched:   4200,
+				GroupDense:    3000,
+				GroupHash:     1200,
+				RadixBatches:  7,
+				GroupSlots:    31,
+				GroupTableLen: 4096,
+				ColumnPins:    12,
+				ColumnFaults:  2,
+			},
+		},
+	}
+}
+
+// TestResultOpsRoundTripV8 pins the v8 result frame: the full per-operator
+// counter block survives encode/decode exactly.
+func TestResultOpsRoundTripV8(t *testing.T) {
+	res := opsResult()
+	payload, err := EncodeResult(idlist.Default.Name(), res, nil, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err := DecodeResult(payload, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Metrics.Ops, res.Metrics.Ops) {
+		t.Fatalf("v8 ops round trip:\n got %+v\nwant %+v", got.Metrics.Ops, res.Metrics.Ops)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("v8 result round trip:\n got %+v\nwant %+v", got, res)
+	}
+}
+
+// TestResultOpsV7Interop pins backward compatibility: a connection negotiated
+// at v7 (an older peer) frames the same result without the ops block — the
+// decode succeeds, stage-level metrics arrive intact, and the counters simply
+// read zero. A v7 frame must also not leave trailing bytes a v7 decoder
+// would reject.
+func TestResultOpsV7Interop(t *testing.T) {
+	res := opsResult()
+	payload, err := EncodeResult(idlist.Default.Name(), res, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err := DecodeResult(payload, 7)
+	if err != nil {
+		t.Fatalf("v7 peer rejected the frame: %v", err)
+	}
+	if got.Metrics.Ops != (engine.OpStats{}) {
+		t.Fatalf("v7 frame carried ops counters: %+v", got.Metrics.Ops)
+	}
+	if got.Metrics.RowsScanned != res.Metrics.RowsScanned ||
+		got.Metrics.FirstChunk != res.Metrics.FirstChunk ||
+		got.Metrics.MapTasks != res.Metrics.MapTasks {
+		t.Fatalf("v7 frame lost stage-level metrics: %+v", got.Metrics)
+	}
+	// The version gate is symmetric: a v7 frame is shorter than a v8 one.
+	v8, err := EncodeResult(idlist.Default.Name(), res, nil, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) >= len(v8) {
+		t.Fatalf("v7 frame (%dB) not shorter than v8 (%dB); gate not applied", len(payload), len(v8))
+	}
+}
+
+// TestResultOpsRejectsTruncatedV8 pins the hostile-payload guard: a v8 frame
+// cut off inside the ops block must fail the decode, not panic or hand the
+// trusted proxy fabricated counters plus a clean error.
+func TestResultOpsRejectsTruncatedV8(t *testing.T) {
+	payload, err := EncodeResult(idlist.Default.Name(), opsResult(), nil, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point from "just before the ops block could finish"
+	// back to an empty frame must error — never panic.
+	for cut := len(payload) - 1; cut >= 0; cut-- {
+		if _, _, _, err := DecodeResult(payload[:cut], Version); err == nil {
+			t.Fatalf("truncated frame (%d of %d bytes) accepted", cut, len(payload))
+		}
+	}
+}

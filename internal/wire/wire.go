@@ -68,9 +68,14 @@ import (
 // added two streaming-engine fields — a group-by key-domain bound in the
 // plan frame (KeyBound, a sizing hint for the executor's flat accumulator)
 // and a first-chunk latency in the result frame's metrics (FirstChunk, how
-// long the streamed scan took to deliver its first rows).
+// long the streamed scan took to deliver its first rows); v8 added per-
+// operator execution counters to the result frame's metrics (engine.OpStats:
+// batch/path counts, join probe survival, group dense-vs-hash resolution and
+// radix engagement, group-table occupancy, column pins/faults) — the EXPLAIN
+// ANALYZE payload. A v7-or-older peer still gets stage-level metrics; the
+// operator block just reads zero.
 const (
-	Version    = 7
+	Version    = 8
 	MinVersion = 3
 )
 

@@ -484,8 +484,8 @@ func TestCancelFrameType(t *testing.T) {
 	if MsgCancel.String() != "cancel" || MsgResultChunk.String() != "result-chunk" {
 		t.Fatalf("v3 frame names: %v, %v", MsgCancel, MsgResultChunk)
 	}
-	if Version != 7 || MinVersion != 3 {
-		t.Fatalf("protocol versions = %d (min %d), want 7 (min 3)", Version, MinVersion)
+	if Version != 8 || MinVersion != 3 {
+		t.Fatalf("protocol versions = %d (min %d), want 8 (min 3)", Version, MinVersion)
 	}
 	if MsgSegmentList.String() != "segment-list" || MsgSegmentFetch.String() != "segment-fetch" || MsgSegmentData.String() != "segment-data" {
 		t.Fatalf("v6 frame names: %v, %v, %v", MsgSegmentList, MsgSegmentFetch, MsgSegmentData)
